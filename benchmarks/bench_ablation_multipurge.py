@@ -1,0 +1,64 @@
+"""Ablation A1: Algorithm HB vs the multiple-purge variant (Section 4.1).
+
+The paper dismisses the phase-3-free multiple-purge variant without
+measurements: "somewhat more expensive than Algorithm HB on average, and
+the final sample sizes would tend to be smaller and less stable.  Thus
+the multiple-purge algorithm is dominated by Algorithm HB."  This bench
+measures both claims on the uniform workload.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.report import print_table
+from repro.core.hybrid_bernoulli import AlgorithmHB
+from repro.core.multi_purge import MultiPurgeBernoulli
+from repro.stats.summaries import coefficient_of_variation, mean
+from repro.workloads.generators import UniformGenerator
+
+
+def _run_variants(rng, *, population, bound, repeats):
+    gen = UniformGenerator()
+    rows = []
+    stats = {}
+    for name, factory in (
+            ("hb", lambda r: AlgorithmHB(population, bound, rng=r)),
+            ("multi-purge", lambda r: MultiPurgeBernoulli(
+                population, bound, rng=r))):
+        sizes, seconds = [], []
+        for rep in range(repeats):
+            data = gen.generate(population, rng.spawn("data", name, rep))
+            sampler = factory(rng.spawn("samp", name, rep))
+            start = time.perf_counter()
+            sampler.feed_many(data)
+            sample = sampler.finalize()
+            seconds.append(time.perf_counter() - start)
+            sizes.append(float(sample.size))
+        rows.append((name, mean(seconds), mean(sizes),
+                     coefficient_of_variation(sizes)))
+        stats[name] = (mean(seconds), mean(sizes),
+                       coefficient_of_variation(sizes))
+    return rows, stats
+
+
+def test_ablation_multipurge(benchmark, scale, rng):
+    population = scale.sizes_partition_size * 8
+    rows, stats = benchmark.pedantic(
+        _run_variants, rounds=1, iterations=1,
+        args=(rng,),
+        kwargs=dict(population=population, bound=scale.bound_values,
+                    repeats=max(3, scale.repeats)))
+    print_table(("variant", "seconds", "mean_size", "size_cv"), rows,
+                title="Ablation A1: HB vs multiple-purge "
+                      f"(N = {population}, n_F = {scale.bound_values})")
+
+    _hb_secs, hb_size, _hb_cv = stats["hb"]
+    _mp_secs, mp_size, _mp_cv = stats["multi-purge"]
+    # Paper's size claim: multiple-purge samples tend to be smaller.
+    assert mp_size <= hb_size * 1.02, (
+        f"multiple-purge mean size {mp_size} unexpectedly exceeds "
+        f"HB's {hb_size}")
+    # Both respect the bound.
+    assert hb_size <= scale.bound_values
+    assert mp_size <= scale.bound_values

@@ -1,0 +1,43 @@
+"""Section 5's summary conclusions, re-measured.
+
+1. The new algorithms are within an order of magnitude of Algorithm SB's
+   sampling speed (the price of bounded footprints + compact storage).
+2. Absolute throughput is acceptable (reported; hardware-dependent).
+3. Both new algorithms achieve linear scaleup (checked by Figures 12-14;
+   here we re-check the speed relationship at the optimum).
+4. Algorithm HR yields larger and more stable sample sizes than HB, at
+   some loss of sampling speed.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import conclusions_check
+from repro.bench.report import print_table
+
+
+def test_conclusions(benchmark, scale, rng):
+    result = benchmark.pedantic(
+        conclusions_check, rounds=1, iterations=1,
+        kwargs=dict(population=scale.speedup_population // 4,
+                    partition_counts=scale.speedup_partition_counts[:6],
+                    partition_size=scale.sizes_partition_size,
+                    bound_values=scale.bound_values,
+                    rng=rng, repeats=scale.repeats))
+
+    print_table(
+        ("metric", "value"),
+        [(k, v) for k, v in result.items()
+         if not isinstance(v, dict)],
+        title="Section 5 conclusions")
+
+    # Conclusion 1: within an order of magnitude of SB.
+    assert result["within_order_of_magnitude"], (
+        f"hybrid algorithms too slow vs SB: "
+        f"hb={result['speed_ratio_hb_over_sb']:.1f}x, "
+        f"hr={result['speed_ratio_hr_over_sb']:.1f}x")
+    # Conclusion 4: HR sizes larger and more stable.
+    assert result["hr_larger_than_hb"], (
+        f"HR mean size {result['hr_mean_size']} < "
+        f"HB mean size {result['hb_mean_size']}")
+    assert result["hr_more_stable_than_hb"], (
+        f"HR size cv {result['hr_size_cv']} > HB {result['hb_size_cv']}")

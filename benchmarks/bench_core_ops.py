@@ -1,0 +1,71 @@
+"""Micro-benchmarks of the core operations.
+
+Not a paper figure — operational visibility into the primitives the
+figure benches compose: histogram insertion, the two purges, skip
+generation, and a single HRMerge.  These use pytest-benchmark's standard
+multi-round timing (they are fast and deterministic enough for it).
+"""
+
+from __future__ import annotations
+
+from repro.core.histogram import CompactHistogram
+from repro.core.hybrid_reservoir import AlgorithmHR
+from repro.core.merge import hr_merge
+from repro.core.purge import purge_bernoulli, purge_reservoir
+from repro.rng import SplittableRng
+from repro.sampling.skip import SkipGenerator
+from repro.workloads.generators import UniformGenerator
+
+N_VALUES = 20_000
+BOUND = 2_048
+
+
+def _histogram(rng) -> CompactHistogram:
+    gen = UniformGenerator(value_range=5_000)
+    return CompactHistogram.from_values(gen.generate(N_VALUES, rng))
+
+
+def test_histogram_insert(benchmark, rng):
+    values = UniformGenerator(5_000).generate(N_VALUES, rng)
+
+    def build():
+        return CompactHistogram.from_values(values)
+
+    hist = benchmark(build)
+    assert hist.size == N_VALUES
+
+
+def test_purge_bernoulli(benchmark, rng):
+    hist = _histogram(rng.spawn("h"))
+    result = benchmark(purge_bernoulli, hist, 0.1, rng)
+    assert 0 < result.size < hist.size
+
+
+def test_purge_reservoir(benchmark, rng):
+    hist = _histogram(rng.spawn("h"))
+    result = benchmark(purge_reservoir, hist, BOUND, rng)
+    assert result.size == BOUND
+
+
+def test_skip_generation(benchmark, rng):
+    def run():
+        gen = SkipGenerator(BOUND, rng)
+        t = BOUND
+        while t < N_VALUES:
+            t += gen.next_skip(t)
+        return t
+
+    final = benchmark(run)
+    assert final >= N_VALUES
+
+
+def test_hr_merge_once(benchmark, rng):
+    gen = UniformGenerator()
+    samples = []
+    for i in range(2):
+        hr = AlgorithmHR(BOUND, rng=rng.spawn("hr", i))
+        hr.feed_many(gen.generate(N_VALUES, rng.spawn("d", i)))
+        samples.append(hr.finalize())
+
+    merged = benchmark(hr_merge, samples[0], samples[1], rng=rng)
+    assert merged.size == BOUND

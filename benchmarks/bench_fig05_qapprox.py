@@ -1,0 +1,37 @@
+"""Figure 5: relative error of the eq. (1) rate approximation.
+
+Paper: N = 1e5, p in [1e-5, 5e-3], n_F in {1e2, 1e3, 1e4}; the relative
+error of the closed-form q against the exact binomial-tail root "never
+exceeds 3%, and is typically much lower" (figure annotation:
+max = 2.765%).  Our exact solver reproduces that number to four digits.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import FIG05_HEADERS, fig05_qapprox
+from repro.bench.report import print_table
+
+
+def _run():
+    return fig05_qapprox()
+
+
+def test_fig05_qapprox(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_table(FIG05_HEADERS, rows,
+                title="Figure 5: relative error of eq. (1) (N = 1e5)")
+
+    max_err = max(r[4] for r in rows)
+    # Paper: error never exceeds 3% (max = 2.765%).
+    assert max_err < 3.0, f"max relative error {max_err}% >= 3%"
+    # Error shrinks as the bound n_F grows (the figure's three curves).
+    worst_by_bound = {}
+    for p, bound, _qe, _qa, err in rows:
+        worst_by_bound[bound] = max(worst_by_bound.get(bound, 0.0), err)
+    bounds = sorted(worst_by_bound)
+    errors = [worst_by_bound[b] for b in bounds]
+    assert errors == sorted(errors, reverse=True), \
+        f"error should decrease with n_F: {worst_by_bound}"
+    # And the overall max matches the paper's annotation closely.
+    assert abs(max_err - 2.765) < 0.05, \
+        f"paper annotates max = 2.765%, we got {max_err:.3f}%"

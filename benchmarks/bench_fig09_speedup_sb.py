@@ -1,0 +1,39 @@
+"""Figure 9: speedup of Algorithm SB (sample + merge time vs partitions).
+
+Paper: population 2^26 of unique values; total elapsed cost is U-shaped
+in the partition count, SB has the best overall performance of the three
+algorithms and supports the highest degree of parallelism (its optimum
+lies at a higher partition count than HB's or HR's).
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import SPEEDUP_HEADERS, speedup_experiment
+from repro.bench.report import print_table
+
+from conftest import assert_mostly_decreasing
+
+
+def test_fig09_speedup_sb(benchmark, scale, rng):
+    rows = benchmark.pedantic(
+        speedup_experiment, rounds=1, iterations=1,
+        args=("sb",),
+        kwargs=dict(population=scale.speedup_population,
+                    partition_counts=scale.speedup_partition_counts,
+                    bound_values=scale.bound_values,
+                    rng=rng, repeats=scale.repeats))
+    print_table(SPEEDUP_HEADERS, rows,
+                title=f"Figure 9: Algorithm SB speedup "
+                      f"(N = {scale.speedup_population}, unique)")
+
+    sample_times = [r[1] for r in rows]
+    merge_times = [r[2] for r in rows]
+    totals = [r[3] for r in rows]
+    # Parallel sampling time falls as partitions are added ...
+    assert_mostly_decreasing(sample_times)
+    # ... while merge cost rises ...
+    assert merge_times[-1] > merge_times[0], \
+        f"merge cost should grow with partitions: {merge_times}"
+    # ... so the best total beats the single-partition total (speedup
+    # exists) and is interior or right-edge of the U.
+    assert min(totals) < totals[0], f"no speedup observed: {totals}"

@@ -1,0 +1,36 @@
+"""Figure 10: speedup of Algorithm HB.
+
+Paper: same setup as Figure 9; HB is second-fastest overall, its cost
+curve U-shaped with the optimum at a lower partition count than SB's
+(their prototype supported 32-64 partitions before merges dominate).
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import SPEEDUP_HEADERS, speedup_experiment
+from repro.bench.report import print_table
+
+from conftest import assert_mostly_decreasing
+
+
+def test_fig10_speedup_hb(benchmark, scale, rng):
+    rows = benchmark.pedantic(
+        speedup_experiment, rounds=1, iterations=1,
+        args=("hb",),
+        kwargs=dict(population=scale.speedup_population,
+                    partition_counts=scale.speedup_partition_counts,
+                    bound_values=scale.bound_values,
+                    rng=rng, repeats=scale.repeats))
+    print_table(SPEEDUP_HEADERS, rows,
+                title=f"Figure 10: Algorithm HB speedup "
+                      f"(N = {scale.speedup_population}, unique)")
+
+    sample_times = [r[1] for r in rows]
+    merge_times = [r[2] for r in rows]
+    assert_mostly_decreasing(sample_times)
+    assert merge_times[-1] > merge_times[0], \
+        f"merge cost should grow with partitions: {merge_times}"
+    # HB's merge costs overtake sampling well before the largest
+    # partition count — the U's right arm.
+    assert merge_times[-1] > sample_times[-1], \
+        "merges should dominate at high partition counts"

@@ -1,0 +1,34 @@
+"""Figure 11: speedup of Algorithm HR.
+
+Paper: same setup as Figures 9-10; HR is slightly slower than HB (its
+hypergeometric merges cost more), with a comparable optimum (32-64
+partitions in their prototype).
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import SPEEDUP_HEADERS, speedup_experiment
+from repro.bench.report import print_table
+
+from conftest import assert_mostly_decreasing
+
+
+def test_fig11_speedup_hr(benchmark, scale, rng):
+    rows = benchmark.pedantic(
+        speedup_experiment, rounds=1, iterations=1,
+        args=("hr",),
+        kwargs=dict(population=scale.speedup_population,
+                    partition_counts=scale.speedup_partition_counts,
+                    bound_values=scale.bound_values,
+                    rng=rng, repeats=scale.repeats))
+    print_table(SPEEDUP_HEADERS, rows,
+                title=f"Figure 11: Algorithm HR speedup "
+                      f"(N = {scale.speedup_population}, unique)")
+
+    sample_times = [r[1] for r in rows]
+    merge_times = [r[2] for r in rows]
+    assert_mostly_decreasing(sample_times)
+    assert merge_times[-1] > merge_times[0], \
+        f"merge cost should grow with partitions: {merge_times}"
+    assert merge_times[-1] > sample_times[-1], \
+        "merges should dominate at high partition counts"

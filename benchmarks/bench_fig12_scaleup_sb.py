@@ -1,0 +1,43 @@
+"""Figure 12: scaleup of Algorithm SB.
+
+Paper: per-partition size fixed at 32K elements while the scale factor
+(= partition count = population multiplier) grows 32..512; the three
+distributions (unique / uniform / Zipfian) are charted on a log-seconds
+axis.  SB is the fastest of the three algorithms and all scale roughly
+linearly.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import SCALEUP_HEADERS, scaleup_experiment
+from repro.bench.report import print_table
+
+from conftest import assert_mostly_increasing
+
+
+def _check_roughly_linear(rows, factors):
+    """Cost grows with scale but clearly subquadratically."""
+    by_dist = {}
+    for scale_factor, dist, secs in rows:
+        by_dist.setdefault(dist, []).append(secs)
+    growth = factors[-1] / factors[0]
+    for dist, series in by_dist.items():
+        assert_mostly_increasing(series)
+        # Linear scaleup: cost ratio stays well under the quadratic
+        # growth ratio (growth^2); allow 3x the linear ratio for noise.
+        assert series[-1] <= series[0] * growth * 3.0, \
+            f"{dist}: superlinear scaleup {series}"
+
+
+def test_fig12_scaleup_sb(benchmark, scale, rng):
+    rows = benchmark.pedantic(
+        scaleup_experiment, rounds=1, iterations=1,
+        args=("sb",),
+        kwargs=dict(partition_size=scale.scaleup_partition_size,
+                    scale_factors=scale.scaleup_factors,
+                    bound_values=scale.bound_values,
+                    rng=rng, repeats=scale.repeats))
+    print_table(SCALEUP_HEADERS, rows,
+                title=f"Figure 12: Algorithm SB scaleup "
+                      f"({scale.scaleup_partition_size} elems/partition)")
+    _check_roughly_linear(rows, scale.scaleup_factors)

@@ -1,0 +1,35 @@
+"""Figure 13: scaleup of Algorithm HB.
+
+Paper: same setup as Figure 12.  HB scales roughly linearly; the Zipfian
+workload is the cheapest because its few distinct values keep every
+partition sample exhaustive (nothing to purge, trivial merges).
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import SCALEUP_HEADERS, scaleup_experiment
+from repro.bench.report import print_table
+
+from conftest import assert_mostly_increasing
+
+
+def test_fig13_scaleup_hb(benchmark, scale, rng):
+    rows = benchmark.pedantic(
+        scaleup_experiment, rounds=1, iterations=1,
+        args=("hb",),
+        kwargs=dict(partition_size=scale.scaleup_partition_size,
+                    scale_factors=scale.scaleup_factors,
+                    bound_values=scale.bound_values,
+                    rng=rng, repeats=scale.repeats))
+    print_table(SCALEUP_HEADERS, rows,
+                title=f"Figure 13: Algorithm HB scaleup "
+                      f"({scale.scaleup_partition_size} elems/partition)")
+
+    by_dist = {}
+    for scale_factor, dist, secs in rows:
+        by_dist.setdefault(dist, []).append(secs)
+    growth = scale.scaleup_factors[-1] / scale.scaleup_factors[0]
+    for dist, series in by_dist.items():
+        assert_mostly_increasing(series)
+        assert series[-1] <= series[0] * growth * 3.0, \
+            f"{dist}: superlinear scaleup {series}"

@@ -1,0 +1,62 @@
+"""Figure 15: merged sample sizes for Algorithm HB.
+
+Paper: 32K-element partitions, n_F = 8192, uniform and unique data, p in
+{1e-3, 1e-5}.  HB's merged sample sizes are *below* the bound, shrink
+and fluctuate as the partition count (and thus the number of Bernoulli
+subsampling merges) grows, and are relatively insensitive to p — which
+is why p can be chosen very small.  Worst case in the paper: 9.25%
+smaller than HR's at 512 partitions.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import SIZES_HEADERS, sample_size_experiment
+from repro.bench.report import print_table
+
+
+def test_fig15_sizes_hb(benchmark, scale, rng):
+    rows = benchmark.pedantic(
+        sample_size_experiment, rounds=1, iterations=1,
+        args=("hb",),
+        kwargs=dict(partition_size=scale.sizes_partition_size,
+                    partition_counts=scale.sizes_partition_counts,
+                    bound_values=scale.bound_values,
+                    rng=rng,
+                    p_values=(0.001, 0.00001),
+                    repeats=scale.repeats))
+    print_table(SIZES_HEADERS, rows,
+                title=f"Figure 15: Algorithm HB merged sample sizes "
+                      f"(n_F = {scale.bound_values})")
+
+    bound = scale.bound_values
+    for parts, dist, p, mean_size, cv in rows:
+        # The footprint bound holds unconditionally, and HB's sizes sit
+        # strictly *below* the bound (HR's are pinned exactly at it —
+        # the Figure 15 vs 16 contrast).
+        assert mean_size < bound, \
+            f"{dist}/{parts}p/p={p}: size {mean_size} >= bound {bound}"
+    # HB sizes fluctuate between repetitions ("less stable"): at least
+    # one multi-partition configuration shows nonzero variation.
+    assert any(cv > 0.0 for parts, _d, _p, _m, cv in rows if parts > 1), \
+        "HB sizes show no fluctuation at all"
+    # Sizes must never *grow* materially as merges stack up.  (Deviation
+    # note, recorded in EXPERIMENTS.md: the paper observed sizes decaying
+    # with the merge count; our HBMerge recomputes q from the union size,
+    # which keeps the mean near N*q(N_total) for every partition count.)
+    by_curve = {}
+    for parts, dist, p, mean_size, _cv in rows:
+        by_curve.setdefault((dist, p), []).append((parts, mean_size))
+    for (dist, p), series in by_curve.items():
+        series.sort()
+        first, last = series[0][1], series[-1][1]
+        assert last <= first * 1.05, \
+            f"{dist}/p={p}: sizes grew with merges: {series}"
+    # Insensitivity to p: at the largest partition count, the two p
+    # curves differ by only a few percent (paper's observation).
+    largest = max(scale.sizes_partition_counts)
+    for dist in ("uniform", "unique"):
+        sizes = {p: m for parts, d, p, m, _cv in rows
+                 if d == dist and parts == largest}
+        hi, lo = max(sizes.values()), min(sizes.values())
+        assert (hi - lo) / hi < 0.10, \
+            f"{dist}: sample size too sensitive to p: {sizes}"

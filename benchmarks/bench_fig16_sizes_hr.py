@@ -1,0 +1,35 @@
+"""Figure 16: merged sample sizes for Algorithm HR.
+
+Paper: same grid as Figure 15 (minus the p parameter, which HR does not
+have).  HR's merged sample size is pinned at n_F for every partition
+count — each pairwise HRMerge preserves min(|S1|, |S2|) = n_F — which is
+the "larger and more stable sample sizes" half of the HB/HR tradeoff.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import SIZES_HEADERS, sample_size_experiment
+from repro.bench.report import print_table
+
+
+def test_fig16_sizes_hr(benchmark, scale, rng):
+    rows = benchmark.pedantic(
+        sample_size_experiment, rounds=1, iterations=1,
+        args=("hr",),
+        kwargs=dict(partition_size=scale.sizes_partition_size,
+                    partition_counts=scale.sizes_partition_counts,
+                    bound_values=scale.bound_values,
+                    rng=rng,
+                    p_values=(0.001,),   # unused by HR; one row set
+                    repeats=scale.repeats))
+    print_table(SIZES_HEADERS, rows,
+                title=f"Figure 16: Algorithm HR merged sample sizes "
+                      f"(n_F = {scale.bound_values})")
+
+    bound = scale.bound_values
+    for parts, dist, _p, mean_size, cv in rows:
+        # Partitions are 4x the bound, so every per-partition sample is a
+        # full reservoir and every merge preserves the size: exactly n_F.
+        assert mean_size == bound, \
+            f"{dist}/{parts}p: HR size {mean_size} != bound {bound}"
+        assert cv == 0.0, f"{dist}/{parts}p: HR sizes fluctuate (cv={cv})"

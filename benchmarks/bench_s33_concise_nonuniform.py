@@ -1,0 +1,30 @@
+"""Section 3.3: concise sampling is not uniform — the worked example.
+
+Population ``{a,a,a,b,b,b}`` with a concise-sampling structure holding at
+most one (value, count) pair.  Under uniformity, the size-3 samples
+H1 = {(a,3)}, H2 = {(b,3)}, H3 = {(a,2), b} would either all be possible
+(with H3 nine times as likely as H1 or H2) or all impossible.  In fact
+H1 and H2 occur with positive probability while H3 can never be produced
+(its footprint exceeds the bound) — so concise sampling cannot be
+uniform, and values that appear infrequently are underrepresented.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import concise_demo
+from repro.bench.report import print_table
+
+
+def test_s33_concise_nonuniform(benchmark, rng):
+    counts = benchmark.pedantic(
+        concise_demo, rounds=1, iterations=1,
+        kwargs=dict(trials=5_000, rng=rng))
+    print_table(("histogram", "occurrences"),
+                sorted(counts.items()),
+                title="Section 3.3: concise-sampling outcome frequencies "
+                      "(capacity: one pair)")
+
+    assert counts["H1"] > 0, "H1 = {(a,3)} should occur"
+    assert counts["H2"] > 0, "H2 = {(b,3)} should occur"
+    assert counts["H3"] == 0, \
+        "H3 = {(a,2), b} must never occur - that is the non-uniformity"

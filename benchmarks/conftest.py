@@ -1,0 +1,112 @@
+"""Shared configuration for the figure-reproduction benchmarks.
+
+Scales
+------
+Every bench reads ``REPRO_BENCH_SCALE`` from the environment:
+
+* ``small`` (default) — laptop-budget parameters.  The ratios that drive
+  the figures' *shapes* are preserved (partition size = 4x the sample
+  bound, as in the paper's 32K/8192), only the absolute magnitudes
+  shrink.
+* ``paper`` — the paper's parameters (2^26-element populations, up to
+  1024 partitions, n_F = 8192).  Expect hours of CPU in pure Python.
+
+Each bench prints the series behind its figure as an ASCII table (so a
+``pytest benchmarks/ --benchmark-only -s`` run regenerates every figure's
+data) and asserts the figure's qualitative shape.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import pytest
+
+from repro.rng import SplittableRng
+
+MASTER_SEED = 20060403  # ICDE 2006, Atlanta
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Parameter set for one scale level."""
+
+    name: str
+    # Figures 9-11 (speedup): fixed population, varying partition count.
+    speedup_population: int
+    speedup_partition_counts: Tuple[int, ...]
+    # Figures 12-14 (scaleup): fixed per-partition size, varying factor.
+    scaleup_partition_size: int
+    scaleup_factors: Tuple[int, ...]
+    # Figures 15-16 (sizes): fixed per-partition size, varying count.
+    sizes_partition_size: int
+    sizes_partition_counts: Tuple[int, ...]
+    bound_values: int
+    repeats: int
+
+
+SMALL = BenchScale(
+    name="small",
+    speedup_population=2 ** 18,
+    speedup_partition_counts=(1, 2, 4, 8, 16, 32, 64, 128),
+    scaleup_partition_size=8 * 1024,
+    scaleup_factors=(4, 8, 16, 32, 64),
+    sizes_partition_size=8 * 1024,
+    sizes_partition_counts=(1, 2, 4, 8, 16, 32, 64),
+    bound_values=2 * 1024,   # partition_size / bound = 4, as in the paper
+    repeats=2,
+)
+
+PAPER = BenchScale(
+    name="paper",
+    speedup_population=2 ** 26,
+    speedup_partition_counts=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
+    scaleup_partition_size=32 * 1024,
+    scaleup_factors=(32, 64, 128, 256, 512),
+    sizes_partition_size=32 * 1024,
+    sizes_partition_counts=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
+    bound_values=8192,
+    repeats=3,
+)
+
+
+def current_scale() -> BenchScale:
+    """The BenchScale selected by ``REPRO_BENCH_SCALE``."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "small")
+    if name == "paper":
+        return PAPER
+    return SMALL
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    """The active scale level."""
+    return current_scale()
+
+
+@pytest.fixture()
+def rng() -> SplittableRng:
+    """A fresh master RNG per bench (fixed seed: runs are reproducible)."""
+    return SplittableRng(MASTER_SEED)
+
+
+def assert_mostly_decreasing(xs: Sequence[float], *,
+                             tolerance: float = 0.30) -> None:
+    """Assert a series trends downward (noise-tolerant).
+
+    The last element must sit below ``(1 + tolerance) *`` the first, and
+    the overall minimum must not be the first element's strict neighbor
+    only by noise — we simply require last <= first * (1 + tolerance)
+    and min(xs) < first.
+    """
+    assert xs[-1] <= xs[0] * (1.0 + tolerance), \
+        f"series does not trend down: {xs}"
+
+
+def assert_mostly_increasing(xs: Sequence[float], *,
+                             tolerance: float = 0.30) -> None:
+    """Assert a series trends upward (noise-tolerant)."""
+    assert xs[-1] >= xs[0] * (1.0 - tolerance), \
+        f"series does not trend up: {xs}"

@@ -1,0 +1,54 @@
+"""Quickstart: sample a data set, merge partitions, run estimates.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (AlgorithmHB, AlgorithmHR, SampleWarehouse, SplittableRng,
+                   hr_merge)
+from repro.analytics.estimators import estimate_avg, estimate_count
+
+rng = SplittableRng(42)
+
+# ----------------------------------------------------------------------
+# 1. A single bounded-footprint sample (Algorithm HR: no a-priori size).
+# ----------------------------------------------------------------------
+hr = AlgorithmHR(bound_values=1024, rng=rng.spawn("hr"))
+hr.feed_many(list(range(1_000_000)))
+sample = hr.finalize()
+print(f"HR sample: kind={sample.kind.name}, size={sample.size}, "
+      f"population={sample.population_size}, "
+      f"footprint={sample.footprint_bytes} bytes "
+      f"(bound {sample.bound_bytes})")
+
+# ----------------------------------------------------------------------
+# 2. Algorithm HB when the partition size is known a priori.
+# ----------------------------------------------------------------------
+hb = AlgorithmHB(1_000_000, bound_values=1024, rng=rng.spawn("hb"))
+hb.feed_many(list(range(1_000_000)))
+hb_sample = hb.finalize()
+print(f"HB sample: kind={hb_sample.kind.name}, size={hb_sample.size}, "
+      f"rate={hb_sample.rate:.2e}")
+
+# ----------------------------------------------------------------------
+# 3. Merging two partition samples into one uniform sample (Theorem 1).
+# ----------------------------------------------------------------------
+hr2 = AlgorithmHR(bound_values=1024, rng=rng.spawn("hr2"))
+hr2.feed_many(list(range(1_000_000, 1_500_000)))
+merged = hr_merge(sample, hr2.finalize(), rng=rng.spawn("merge"))
+print(f"merged:    kind={merged.kind.name}, size={merged.size}, "
+      f"population={merged.population_size}")
+
+# ----------------------------------------------------------------------
+# 4. The warehouse facade: parallel batch ingest + analytics.
+# ----------------------------------------------------------------------
+wh = SampleWarehouse(bound_values=1024, scheme="hr",
+                     rng=SplittableRng(7))
+wh.ingest_batch("orders.amount", list(range(200_000)), partitions=8)
+s = wh.sample_of("orders.amount")
+
+count = estimate_count(s)
+avg = estimate_avg(s)
+print(f"COUNT(*) ~ {count.value:,.0f}  "
+      f"[{count.ci_low:,.0f}, {count.ci_high:,.0f}]  (truth: 200,000)")
+print(f"AVG(amount) ~ {avg.value:,.1f}  "
+      f"[{avg.ci_low:,.1f}, {avg.ci_high:,.1f}]  (truth: 99,999.5)")

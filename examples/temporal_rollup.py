@@ -1,0 +1,64 @@
+"""Daily partitions rolled up to weekly and monthly samples (Section 2).
+
+"It may be desirable to further partition the incoming data stream
+temporally, e.g., one partition per day, and then combine daily samples
+to form weekly, monthly, or yearly samples as needed."
+
+Run:  python examples/temporal_rollup.py
+"""
+
+from repro import SampleWarehouse, SplittableRng
+from repro.analytics.estimators import estimate_count
+from repro.warehouse.dataset import PartitionKey
+from repro.warehouse.rollup import temporal_rollup
+from repro.workloads.generators import ZipfGenerator
+
+DAYS = 28
+ROWS_PER_DAY = 10_000
+SEED = 314
+
+rng = SplittableRng(SEED)
+gen = ZipfGenerator(value_range=2_000)
+
+wh = SampleWarehouse(bound_values=1024, scheme="hr", rng=rng.spawn("wh"))
+
+# One partition per day for four weeks.
+for day in range(DAYS):
+    values = gen.generate(ROWS_PER_DAY, rng.spawn("day", day))
+    wh.ingest_batch("pageviews.url", values, labels=[f"2026-06-{day+1:02d}"])
+
+print(f"{DAYS} daily partitions ingested "
+      f"({DAYS * ROWS_PER_DAY:,} rows total)")
+
+# ----------------------------------------------------------------------
+# Weekly rollups: 7 dailies -> 1 weekly sample.
+# ----------------------------------------------------------------------
+weekly = temporal_rollup(wh, "pageviews.url", window=7,
+                         rng=rng.spawn("weekly"))
+for name in sorted(weekly):
+    s = weekly[name]
+    print(f"  weekly {name}: {s.size} sampled of "
+          f"{s.population_size:,} ({s.kind.name})")
+
+# Register the weeklies as a derived dataset so they can be reused.
+for i, name in enumerate(sorted(weekly)):
+    wh.ingest_sample(PartitionKey("pageviews.url.weekly", 0, i),
+                     weekly[name], label=name)
+
+# ----------------------------------------------------------------------
+# Monthly sample: merge the weeklies (merging is composable).
+# ----------------------------------------------------------------------
+monthly = wh.sample_of("pageviews.url.weekly")
+est = estimate_count(monthly)
+print(f"monthly sample: {monthly.size} of {monthly.population_size:,}")
+print(f"COUNT(month) ~ {est.value:,.0f} "
+      f"(truth: {DAYS * ROWS_PER_DAY:,})")
+
+# ----------------------------------------------------------------------
+# Ad hoc unions: any subset of days merges into a uniform sample.
+# ----------------------------------------------------------------------
+fortnight = wh.sample_of(
+    "pageviews.url",
+    labels=[f"2026-06-{d:02d}" for d in range(1, 15)])
+print(f"first fortnight: {fortnight.size} sampled of "
+      f"{fortnight.population_size:,}")

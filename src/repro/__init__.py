@@ -1,0 +1,88 @@
+"""repro — a sample-data warehouse (Brown & Haas, ICDE 2006).
+
+A library for maintaining a warehouse of sampled data that shadows a
+full-scale data warehouse: per-partition uniform samples with a-priori
+bounded footprints and compact ``(value, count)`` storage (Algorithms HB
+and HR), mergeable into uniform samples of arbitrary partition unions
+(HBMerge / HRMerge), plus the warehouse plumbing — catalog, storage,
+parallel ingest, temporal rollup — and an analytics layer for approximate
+query answering over the samples.
+
+Quick start::
+
+    from repro import SampleWarehouse, SplittableRng
+
+    wh = SampleWarehouse(bound_values=1024, scheme="hr",
+                         rng=SplittableRng(42))
+    wh.ingest_batch("orders.amount", values, partitions=8)
+    sample = wh.sample_of("orders.amount")     # uniform sample of it all
+    print(sample.size, sample.kind.name)
+"""
+
+from repro.core import (
+    AlgorithmHB,
+    AlgorithmHR,
+    AlgorithmSB,
+    CompactHistogram,
+    ConciseSampler,
+    CountingSampler,
+    FootprintModel,
+    MultiPurgeBernoulli,
+    SampleKind,
+    WarehouseSample,
+    hb_merge,
+    hr_merge,
+    merge_samples,
+    merge_tree,
+)
+from repro.errors import (
+    CatalogError,
+    ConfigurationError,
+    DatasetNotFoundError,
+    IncompatibleSamplesError,
+    MergeError,
+    PartitionNotFoundError,
+    ProtocolError,
+    ReproError,
+    StorageError,
+)
+from repro.rng import SplittableRng, derive_seed
+from repro.warehouse import SampleWarehouse
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core algorithms
+    "AlgorithmHB",
+    "AlgorithmHR",
+    "AlgorithmSB",
+    "MultiPurgeBernoulli",
+    "ConciseSampler",
+    "CountingSampler",
+    # sample model
+    "CompactHistogram",
+    "FootprintModel",
+    "SampleKind",
+    "WarehouseSample",
+    # merges
+    "hb_merge",
+    "hr_merge",
+    "merge_samples",
+    "merge_tree",
+    # warehouse
+    "SampleWarehouse",
+    # rng
+    "SplittableRng",
+    "derive_seed",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "ProtocolError",
+    "MergeError",
+    "IncompatibleSamplesError",
+    "CatalogError",
+    "DatasetNotFoundError",
+    "PartitionNotFoundError",
+    "StorageError",
+]

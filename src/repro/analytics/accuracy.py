@@ -1,0 +1,146 @@
+"""Sample-size planning: how big must ``n_F`` be for a target accuracy?
+
+The warehouse's one knob is the per-partition footprint bound.  These
+planners invert the estimators of :mod:`repro.analytics.estimators` so an
+operator can choose the bound from accuracy requirements instead of
+guessing:
+
+* :func:`required_sample_size_for_mean` — sample size so that the AVG
+  estimate's half-width is at most ``target`` (given a variance guess);
+* :func:`required_sample_size_for_proportion` — same for a COUNT/share
+  estimate (worst case p = 1/2 by default);
+* :func:`plan_bound` — turn a required *merged* sample size into the
+  per-partition ``n_F`` for a given scheme and merge plan, accounting
+  for HB's expected shortfall below the bound (its safety margin).
+
+All use the standard normal-approximation inversions with finite-
+population correction; they are planning tools, not guarantees — the
+usual caveat that variance guesses come from pilot samples applies.
+"""
+
+from __future__ import annotations
+
+import math
+from statistics import NormalDist
+
+from repro.errors import ConfigurationError
+from repro.sampling.exceedance import rate_for_bound
+
+__all__ = ["required_sample_size_for_mean",
+           "required_sample_size_for_proportion",
+           "expected_hb_sample_size", "plan_bound"]
+
+_NORMAL = NormalDist()
+
+
+def _z(confidence: float) -> float:
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(
+            f"confidence must be in (0, 1), got {confidence}")
+    return _NORMAL.inv_cdf(0.5 + confidence / 2.0)
+
+
+def _apply_fpc(n0: float, population: int) -> int:
+    """Finite-population correction: n = n0 / (1 + (n0 - 1)/N)."""
+    n = n0 / (1.0 + (n0 - 1.0) / population)
+    return max(1, min(population, math.ceil(n)))
+
+
+def required_sample_size_for_mean(*, std_dev: float, target_half_width: float,
+                                  population: int,
+                                  confidence: float = 0.95) -> int:
+    """Sample size for an AVG half-width of at most ``target_half_width``.
+
+    ``std_dev`` is the (estimated) population standard deviation — take
+    it from a pilot sample or a previous period's exhaustive partition.
+    """
+    if std_dev < 0.0:
+        raise ConfigurationError(f"std_dev must be >= 0, got {std_dev}")
+    if target_half_width <= 0.0:
+        raise ConfigurationError(
+            f"target_half_width must be positive, got {target_half_width}")
+    if population <= 0:
+        raise ConfigurationError(
+            f"population must be positive, got {population}")
+    if std_dev == 0.0:
+        return 1
+    n0 = (_z(confidence) * std_dev / target_half_width) ** 2
+    return _apply_fpc(n0, population)
+
+
+def required_sample_size_for_proportion(*, target_half_width: float,
+                                        population: int,
+                                        proportion: float = 0.5,
+                                        confidence: float = 0.95) -> int:
+    """Sample size so a share estimate is within ``target_half_width``.
+
+    ``proportion`` is the anticipated share; the default 0.5 is the
+    worst case (maximum variance), so the returned size is safe for any
+    predicate.
+    """
+    if not 0.0 <= proportion <= 1.0:
+        raise ConfigurationError(
+            f"proportion must be in [0, 1], got {proportion}")
+    if target_half_width <= 0.0:
+        raise ConfigurationError(
+            f"target_half_width must be positive, got {target_half_width}")
+    if population <= 0:
+        raise ConfigurationError(
+            f"population must be positive, got {population}")
+    variance = proportion * (1.0 - proportion)
+    if variance == 0.0:
+        return 1
+    n0 = (_z(confidence) ** 2) * variance / (target_half_width ** 2)
+    return _apply_fpc(n0, population)
+
+
+def expected_hb_sample_size(population: int, bound_values: int, *,
+                            exceedance_p: float = 0.001) -> float:
+    """E[|S|] for an HB phase-2 sample: ``N * q(N, p, n_F)``.
+
+    HB sits *below* its bound by the eq. (1) safety margin (roughly
+    ``z_p * sqrt(n_F)``); planners must budget for the expectation, not
+    the bound.  Exhaustive outcomes (everything fits) return N.
+    """
+    if bound_values >= population:
+        return float(population)
+    q = rate_for_bound(population, exceedance_p, bound_values)
+    return population * q
+
+
+def plan_bound(*, required_merged_size: int, population: int,
+               scheme: str = "hr",
+               exceedance_p: float = 0.001) -> int:
+    """The per-partition ``n_F`` achieving a merged sample size target.
+
+    * ``"hr"`` — HRMerge pins the merged size at ``n_F`` (as long as
+      every partition holds at least ``n_F`` elements), so the bound is
+      the target itself.
+    * ``"hb"`` — the merged sample is (essentially) Bern(q(N_total)),
+      whose expectation sits below ``n_F``; the bound is inflated until
+      the expectation clears the target.
+
+    Raises if no bound can reach the target (target > population).
+    """
+    if required_merged_size <= 0:
+        raise ConfigurationError(
+            f"required_merged_size must be positive, "
+            f"got {required_merged_size}")
+    if required_merged_size > population:
+        raise ConfigurationError(
+            f"cannot sample {required_merged_size} from a population of "
+            f"{population}")
+    if scheme == "hr":
+        return required_merged_size
+    if scheme != "hb":
+        raise ConfigurationError(
+            f"plan_bound supports 'hr' and 'hb', got {scheme!r}")
+    bound = required_merged_size
+    while bound <= population:
+        if expected_hb_sample_size(population, bound,
+                                   exceedance_p=exceedance_p) \
+                >= required_merged_size:
+            return bound
+        # The shortfall is ~z*sqrt(bound); grow by at least that.
+        bound += max(1, int(3 * math.sqrt(bound)))
+    return population

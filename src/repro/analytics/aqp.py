@@ -1,0 +1,132 @@
+"""Approximate query answering over the sample warehouse.
+
+:class:`ApproximateQueryEngine` binds the estimators of
+:mod:`repro.analytics.estimators` to a :class:`~repro.warehouse.warehouse.
+SampleWarehouse`: each query selects a set of partitions (all active ones
+by default, or a temporal label set), merges their samples into one
+uniform sample via the warehouse, and evaluates the estimator on it.
+
+This is the "quick approximate analytics" use case of the paper's
+abstract: COUNT / SUM / AVG with confidence intervals, GROUP BY counts,
+and quantiles — all without touching the full-scale warehouse.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.analytics.estimators import (Estimate, estimate_avg,
+                                        estimate_count, estimate_quantile,
+                                        estimate_sum)
+from repro.core.phases import SampleKind
+from repro.core.sample import WarehouseSample
+from repro.warehouse.dataset import PartitionKey
+
+__all__ = ["ApproximateQueryEngine", "Estimate"]
+
+Predicate = Callable[[object], bool]
+
+
+class ApproximateQueryEngine:
+    """SQL-ish aggregate estimates from a sample warehouse.
+
+    Examples
+    --------
+    >>> from repro import SampleWarehouse, SplittableRng
+    >>> wh = SampleWarehouse(bound_values=512, rng=SplittableRng(5))
+    >>> _ = wh.ingest_batch("sales.amount", list(range(100_000)),
+    ...                     partitions=4)
+    >>> engine = ApproximateQueryEngine(wh)
+    >>> est = engine.count("sales.amount")
+    >>> est.value
+    100000.0
+    """
+
+    def __init__(self, warehouse) -> None:
+        self._warehouse = warehouse
+        # Merged-sample cache keyed by (dataset, selection signature):
+        # queries against the same selection reuse one merge.
+        self._cache: Dict[tuple, WarehouseSample] = {}
+
+    def _sample(self, dataset: str,
+                keys: Optional[Iterable[PartitionKey]] = None,
+                labels: Optional[Iterable[str]] = None) -> WarehouseSample:
+        key_sig = tuple(sorted(map(str, keys))) if keys is not None else None
+        label_sig = tuple(sorted(labels)) if labels is not None else None
+        cache_key = (dataset, key_sig, label_sig)
+        sample = self._cache.get(cache_key)
+        if sample is None:
+            sample = self._warehouse.sample_of(dataset, keys=keys,
+                                               labels=labels)
+            self._cache[cache_key] = sample
+        return sample
+
+    def invalidate(self) -> None:
+        """Drop cached merged samples (call after new ingests)."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def count(self, dataset: str, *, where: Optional[Predicate] = None,
+              labels: Optional[Iterable[str]] = None,
+              confidence: float = 0.95) -> Estimate:
+        """Estimated ``COUNT(*) [WHERE ...]`` over the selected partitions."""
+        sample = self._sample(dataset, labels=labels)
+        return estimate_count(sample, where=where, confidence=confidence)
+
+    def sum(self, dataset: str, *,
+            value_fn: Callable[[object], float] = float,
+            labels: Optional[Iterable[str]] = None,
+            confidence: float = 0.95) -> Estimate:
+        """Estimated ``SUM(value_fn(v))``."""
+        sample = self._sample(dataset, labels=labels)
+        return estimate_sum(sample, value_fn=value_fn,
+                            confidence=confidence)
+
+    def avg(self, dataset: str, *,
+            value_fn: Callable[[object], float] = float,
+            labels: Optional[Iterable[str]] = None,
+            confidence: float = 0.95) -> Estimate:
+        """Estimated ``AVG(value_fn(v))``."""
+        sample = self._sample(dataset, labels=labels)
+        return estimate_avg(sample, value_fn=value_fn,
+                            confidence=confidence)
+
+    def quantile(self, dataset: str, fraction: float, *,
+                 labels: Optional[Iterable[str]] = None) -> float:
+        """Estimated ``fraction``-quantile of the values."""
+        sample = self._sample(dataset, labels=labels)
+        return estimate_quantile(sample, fraction)
+
+    def group_by_count(self, dataset: str,
+                       key_fn: Callable[[object], object], *,
+                       labels: Optional[Iterable[str]] = None,
+                       top: Optional[int] = None
+                       ) -> List[tuple]:
+        """Estimated per-group counts for ``GROUP BY key_fn(v)``.
+
+        Returns ``[(group, estimated_count), ...]`` sorted by estimate,
+        largest first, truncated to ``top`` groups if given.
+        """
+        sample = self._sample(dataset, labels=labels)
+        scale = sample.scale_factor
+        groups: Dict[object, float] = {}
+        for value, cnt in sample.histogram.pairs():
+            g = key_fn(value)
+            groups[g] = groups.get(g, 0.0) + cnt * scale
+        ranked = sorted(groups.items(), key=lambda kv: -kv[1])
+        return ranked[:top] if top is not None else ranked
+
+    def sampling_summary(self, dataset: str, *,
+                         labels: Optional[Iterable[str]] = None) -> dict:
+        """Diagnostics: what the query sample actually is."""
+        sample = self._sample(dataset, labels=labels)
+        return {
+            "kind": sample.kind.name,
+            "exact": sample.kind is SampleKind.EXHAUSTIVE,
+            "sample_size": sample.size,
+            "population_size": sample.population_size,
+            "sampling_fraction": sample.sampling_fraction,
+            "distinct_in_sample": sample.distinct,
+        }

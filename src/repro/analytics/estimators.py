@@ -1,0 +1,242 @@
+"""Estimators over warehouse samples.
+
+The warehouse exists so that analytical queries can be answered quickly
+from samples [9, 10, 19].  Each estimator consumes a
+:class:`~repro.core.sample.WarehouseSample` and exploits its kind:
+
+* **exhaustive** samples answer exactly (zero-width intervals);
+* **Bernoulli(q)** samples scale by Horvitz–Thompson ``1/q``;
+* **reservoir** (simple random) samples scale by ``N/n`` with the
+  finite-population correction in their variance.
+
+All interval-producing estimators return an :class:`Estimate` with a
+normal-approximation confidence interval.  Distinct-value estimation —
+the metadata-discovery workhorse — gets the classical Chao and GEE
+estimators, both computed directly from the compact histogram's
+frequency-of-frequencies (a free by-product of the storage format).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from statistics import NormalDist
+from typing import Callable, Dict, Optional
+
+from repro.core.phases import SampleKind
+from repro.core.sample import WarehouseSample
+from repro.errors import ConfigurationError
+
+__all__ = ["Estimate", "estimate_count", "estimate_sum", "estimate_avg",
+           "estimate_quantile", "frequency_of_frequencies", "chao_distinct",
+           "gee_distinct", "naive_distinct"]
+
+_NORMAL = NormalDist()
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A point estimate with a symmetric normal-approximation interval."""
+
+    value: float
+    ci_low: float
+    ci_high: float
+    confidence: float
+    exact: bool = False
+
+    @property
+    def half_width(self) -> float:
+        """Half the interval width."""
+        return (self.ci_high - self.ci_low) / 2.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.exact:
+            return f"Estimate({self.value:g}, exact)"
+        return (f"Estimate({self.value:g} "
+                f"[{self.ci_low:g}, {self.ci_high:g}] "
+                f"@{self.confidence:.0%})")
+
+
+def _z(confidence: float) -> float:
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(
+            f"confidence must be in (0, 1), got {confidence}")
+    return _NORMAL.inv_cdf(0.5 + confidence / 2.0)
+
+
+def _interval(value: float, std_err: float, confidence: float,
+              exact: bool = False) -> Estimate:
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(
+            f"confidence must be in (0, 1), got {confidence}")
+    if exact or std_err == 0.0:
+        return Estimate(value, value, value, confidence, exact=exact)
+    half = _z(confidence) * std_err
+    return Estimate(value, value - half, value + half, confidence)
+
+
+Predicate = Callable[[object], bool]
+
+
+def estimate_count(sample: WarehouseSample, *,
+                   where: Optional[Predicate] = None,
+                   confidence: float = 0.95) -> Estimate:
+    """Estimated number of population elements satisfying ``where``.
+
+    With no predicate the count of an exhaustive/reservoir sample is the
+    (known) population size; a Bernoulli sample yields the
+    Horvitz–Thompson estimate ``|S| / q``.
+    """
+    n = sample.size
+    hits = n if where is None else sum(
+        cnt for v, cnt in sample.histogram.pairs() if where(v))
+    if sample.kind is SampleKind.EXHAUSTIVE:
+        return _interval(float(hits), 0.0, confidence, exact=True)
+    if sample.kind is SampleKind.BERNOULLI:
+        assert sample.rate is not None
+        q = sample.rate
+        value = hits / q
+        std_err = math.sqrt(hits * (1.0 - q)) / q
+        return _interval(value, std_err, confidence)
+    # Reservoir: proportion estimator with finite-population correction.
+    big_n = sample.population_size
+    if where is None:
+        return _interval(float(big_n), 0.0, confidence, exact=True)
+    if n == 0:
+        return _interval(0.0, 0.0, confidence)
+    p_hat = hits / n
+    fpc = max(0.0, 1.0 - n / big_n)
+    std_err = big_n * math.sqrt(p_hat * (1.0 - p_hat) / n * fpc)
+    return _interval(big_n * p_hat, std_err, confidence)
+
+
+def estimate_sum(sample: WarehouseSample, *,
+                 value_fn: Callable[[object], float] = float,
+                 confidence: float = 0.95) -> Estimate:
+    """Estimated population total of ``value_fn(v)``."""
+    pairs = list(sample.histogram.pairs())
+    n = sample.size
+    total = sum(value_fn(v) * cnt for v, cnt in pairs)
+    if sample.kind is SampleKind.EXHAUSTIVE:
+        return _interval(total, 0.0, confidence, exact=True)
+    if sample.kind is SampleKind.BERNOULLI:
+        assert sample.rate is not None
+        q = sample.rate
+        sum_sq = sum(value_fn(v) ** 2 * cnt for v, cnt in pairs)
+        value = total / q
+        std_err = math.sqrt(max(0.0, sum_sq * (1.0 - q))) / q
+        return _interval(value, std_err, confidence)
+    big_n = sample.population_size
+    if n == 0:
+        return _interval(0.0, 0.0, confidence)
+    mean = total / n
+    var = (sum(value_fn(v) ** 2 * cnt for v, cnt in pairs) / n
+           - mean * mean)
+    var = max(0.0, var) * (n / (n - 1) if n > 1 else 1.0)
+    fpc = max(0.0, 1.0 - n / big_n)
+    std_err = big_n * math.sqrt(var / n * fpc)
+    return _interval(big_n * mean, std_err, confidence)
+
+
+def estimate_avg(sample: WarehouseSample, *,
+                 value_fn: Callable[[object], float] = float,
+                 confidence: float = 0.95) -> Estimate:
+    """Estimated population mean of ``value_fn(v)``.
+
+    For all three kinds the sample mean is (conditionally) unbiased; the
+    interval uses the sample variance with a finite-population correction
+    for reservoir samples.
+    """
+    pairs = list(sample.histogram.pairs())
+    n = sample.size
+    if n == 0:
+        raise ConfigurationError("cannot average an empty sample")
+    total = sum(value_fn(v) * cnt for v, cnt in pairs)
+    mean = total / n
+    if sample.kind is SampleKind.EXHAUSTIVE:
+        return _interval(mean, 0.0, confidence, exact=True)
+    var = (sum(value_fn(v) ** 2 * cnt for v, cnt in pairs) / n
+           - mean * mean)
+    var = max(0.0, var) * (n / (n - 1) if n > 1 else 1.0)
+    fpc = 1.0
+    if sample.kind is SampleKind.RESERVOIR and sample.population_size:
+        fpc = max(0.0, 1.0 - n / sample.population_size)
+    std_err = math.sqrt(var / n * fpc)
+    return _interval(mean, std_err, confidence)
+
+
+def estimate_quantile(sample: WarehouseSample, fraction: float, *,
+                      value_fn: Callable[[object], float] = float) -> float:
+    """The sample ``fraction``-quantile (a consistent estimator of the
+    population quantile for every uniform sample kind)."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigurationError(
+            f"fraction must be in [0, 1], got {fraction}")
+    if sample.size == 0:
+        raise ConfigurationError("cannot take a quantile of an empty sample")
+    ordered = sorted(
+        ((value_fn(v), cnt) for v, cnt in sample.histogram.pairs()),
+        key=lambda item: item[0])
+    target = fraction * (sample.size - 1)
+    acc = 0
+    for value, cnt in ordered:
+        acc += cnt
+        if acc - 1 >= target:
+            return value
+    return ordered[-1][0]
+
+
+# ----------------------------------------------------------------------
+# Distinct-value estimation
+# ----------------------------------------------------------------------
+def frequency_of_frequencies(sample: WarehouseSample) -> Dict[int, int]:
+    """``f_i``: how many values occur exactly ``i`` times in the sample."""
+    freq: Dict[int, int] = {}
+    for _v, cnt in sample.histogram.pairs():
+        freq[cnt] = freq.get(cnt, 0) + 1
+    return freq
+
+
+def naive_distinct(sample: WarehouseSample) -> float:
+    """Scale-up estimator ``d * N / n`` — biased, shown for contrast."""
+    if sample.size == 0:
+        return 0.0
+    if sample.kind is SampleKind.EXHAUSTIVE:
+        return float(sample.distinct)
+    return sample.distinct * sample.population_size / sample.size
+
+
+def chao_distinct(sample: WarehouseSample) -> float:
+    """Chao (1984) lower-bound estimator ``d + f1^2 / (2 f2)``.
+
+    The estimate is clamped to the (known) population size: no
+    population can have more distinct values than elements, and the
+    ``f2 = 0`` bias-corrected fallback otherwise explodes on
+    all-singleton samples (e.g. a reservoir sample of a key column).
+    """
+    if sample.kind is SampleKind.EXHAUSTIVE:
+        return float(sample.distinct)
+    freq = frequency_of_frequencies(sample)
+    f1 = freq.get(1, 0)
+    f2 = freq.get(2, 0)
+    if f2 == 0:
+        # Standard bias-corrected fallback.
+        estimate = sample.distinct + f1 * (f1 - 1) / 2.0
+    else:
+        estimate = sample.distinct + (f1 * f1) / (2.0 * f2)
+    return min(estimate, float(sample.population_size))
+
+
+def gee_distinct(sample: WarehouseSample) -> float:
+    """Guaranteed-Error Estimator (Charikar et al. 2000):
+    ``sqrt(N/n) * f1 + sum_{i>=2} f_i``, clamped to the population size."""
+    if sample.kind is SampleKind.EXHAUSTIVE:
+        return float(sample.distinct)
+    n = sample.size
+    if n == 0:
+        return 0.0
+    freq = frequency_of_frequencies(sample)
+    f1 = freq.get(1, 0)
+    rest = sum(c for i, c in freq.items() if i >= 2)
+    estimate = math.sqrt(sample.population_size / n) * f1 + rest
+    return min(estimate, float(sample.population_size))

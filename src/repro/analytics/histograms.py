@@ -1,0 +1,181 @@
+"""Histogram synopses built from warehouse samples.
+
+Approximate histograms are the other classic consumer of backing samples
+(the paper's reference [8], Gibbons-Matias-Poosala, maintains approximate
+histograms from a backing sample).  Given any uniform
+:class:`~repro.core.sample.WarehouseSample`, this module constructs:
+
+* :func:`equi_depth` — bucket boundaries holding (approximately) equal
+  element counts: the sample's quantiles scaled to population counts;
+* :func:`equi_width` — fixed-width value buckets with estimated counts;
+* :func:`top_k` — the heavy hitters with population-count estimates (the
+  compact (value, count) storage makes this a direct read-off).
+
+Each returns :class:`HistogramSynopsis`, which can answer approximate
+range-count queries (``estimate_range``) with the usual
+partial-bucket interpolation.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from repro.core.sample import WarehouseSample
+from repro.errors import ConfigurationError
+
+__all__ = ["Bucket", "HistogramSynopsis", "equi_depth", "equi_width",
+           "top_k"]
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """One histogram bucket over ``[low, high)`` (last bucket closed)."""
+
+    low: float
+    high: float
+    estimated_count: float
+
+    @property
+    def width(self) -> float:
+        """Bucket width on the value axis."""
+        return self.high - self.low
+
+
+@dataclass(frozen=True)
+class HistogramSynopsis:
+    """An approximate histogram with range-count estimation."""
+
+    buckets: Tuple[Bucket, ...]
+    population_size: int
+    kind: str  # "equi-depth" | "equi-width"
+
+    def total_count(self) -> float:
+        """Sum of bucket estimates (≈ population size)."""
+        return sum(b.estimated_count for b in self.buckets)
+
+    def estimate_range(self, low: float, high: float) -> float:
+        """Estimated number of elements with value in ``[low, high)``.
+
+        Buckets partially covered by the range contribute
+        proportionally to the covered fraction of their width (the
+        standard continuous-values assumption).
+        """
+        if high <= low:
+            return 0.0
+        total = 0.0
+        for b in self.buckets:
+            overlap_low = max(low, b.low)
+            overlap_high = min(high, b.high)
+            if overlap_high <= overlap_low:
+                continue
+            if b.width <= 0.0:
+                total += b.estimated_count
+            else:
+                total += b.estimated_count \
+                    * (overlap_high - overlap_low) / b.width
+        return total
+
+    def __len__(self) -> int:
+        return len(self.buckets)
+
+
+def _numeric_pairs(sample: WarehouseSample,
+                   value_fn: Callable[[object], float]
+                   ) -> List[Tuple[float, int]]:
+    pairs = sorted((value_fn(v), c) for v, c in sample.histogram.pairs())
+    if not pairs:
+        raise ConfigurationError("cannot build a histogram from an "
+                                 "empty sample")
+    return pairs
+
+
+def equi_depth(sample: WarehouseSample, buckets: int, *,
+               value_fn: Callable[[object], float] = float
+               ) -> HistogramSynopsis:
+    """Equi-depth histogram: ~equal estimated count per bucket.
+
+    Bucket boundaries are the sample's ``i/buckets`` quantiles; counts
+    are the exact per-bucket sample counts scaled by the sample's
+    expansion factor, so the bucket populations are (approximately) equal
+    and sum to the population size.
+    """
+    if buckets <= 0:
+        raise ConfigurationError(f"buckets must be positive, got {buckets}")
+    pairs = _numeric_pairs(sample, value_fn)
+    n = sample.size
+    scale = sample.scale_factor
+
+    # Walk the sorted (value, count) runs, closing a bucket whenever the
+    # accumulated sample count crosses the next i * n/buckets boundary.
+    # A value heavier than n/buckets keeps its whole run in one bucket,
+    # so the result may have fewer than `buckets` buckets (standard for
+    # equi-depth over discrete data).
+    per_bucket = n / buckets
+    out: List[Bucket] = []
+    low = pairs[0][0]
+    accumulated = 0
+    in_bucket = 0
+    boundary = per_bucket
+    for i, (value, count) in enumerate(pairs):
+        accumulated += count
+        in_bucket += count
+        is_last = i == len(pairs) - 1
+        if accumulated >= boundary - 1e-9 or is_last:
+            high = value if is_last else pairs[i + 1][0]
+            out.append(Bucket(low=float(low), high=float(high),
+                              estimated_count=in_bucket * scale))
+            low = high
+            in_bucket = 0
+            while boundary <= accumulated:
+                boundary += per_bucket
+    return HistogramSynopsis(buckets=tuple(out),
+                             population_size=sample.population_size,
+                             kind="equi-depth")
+
+
+def equi_width(sample: WarehouseSample, buckets: int, *,
+               value_fn: Callable[[object], float] = float
+               ) -> HistogramSynopsis:
+    """Equi-width histogram: fixed-width buckets, estimated counts."""
+    if buckets <= 0:
+        raise ConfigurationError(f"buckets must be positive, got {buckets}")
+    pairs = _numeric_pairs(sample, value_fn)
+    lo = pairs[0][0]
+    hi = pairs[-1][0]
+    scale = sample.scale_factor
+    if hi == lo:
+        return HistogramSynopsis(
+            buckets=(Bucket(float(lo), float(hi),
+                            sample.size * scale),),
+            population_size=sample.population_size,
+            kind="equi-width")
+    width = (hi - lo) / buckets
+    edges = [lo + i * width for i in range(buckets + 1)]
+    counts = [0] * buckets
+    for value, c in pairs:
+        idx = min(buckets - 1,
+                  bisect.bisect_right(edges, value) - 1)
+        idx = max(0, idx)
+        counts[idx] += c
+    out = [Bucket(float(edges[i]), float(edges[i + 1]),
+                  counts[i] * scale)
+           for i in range(buckets)]
+    return HistogramSynopsis(buckets=tuple(out),
+                             population_size=sample.population_size,
+                             kind="equi-width")
+
+
+def top_k(sample: WarehouseSample, k: int
+          ) -> List[Tuple[object, float]]:
+    """The ``k`` most frequent sampled values with population estimates.
+
+    Reads straight off the compact (value, count) representation —
+    scaled counts are unbiased estimates of population frequencies.
+    """
+    if k <= 0:
+        raise ConfigurationError(f"k must be positive, got {k}")
+    scale = sample.scale_factor
+    ranked = sorted(sample.histogram.pairs(), key=lambda vc: -vc[1])
+    return [(v, c * scale) for v, c in ranked[:k]]

@@ -1,0 +1,13 @@
+"""Benchmark harness: the partition -> parallel-sample -> serial-merge
+pipeline of Section 5, figure-reproduction drivers, and table printing."""
+
+from repro.bench.harness import PipelineResult, repeat_pipeline, run_pipeline
+from repro.bench.report import format_table, print_table
+
+__all__ = [
+    "run_pipeline",
+    "repeat_pipeline",
+    "PipelineResult",
+    "format_table",
+    "print_table",
+]

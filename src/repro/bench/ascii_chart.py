@@ -1,0 +1,164 @@
+"""ASCII charts for terminal-rendered figure reproductions.
+
+The paper's evaluation is bar and line charts; the bench suite prints
+the underlying series as tables, and this module renders them visually
+for terminals and monospace docs:
+
+* :func:`bar_chart` — horizontal bars with labels and values (used for
+  the speedup figures' stacked sample/merge costs);
+* :func:`stacked_bar_chart` — two-segment horizontal bars (the paper's
+  light sample-time + dark merge-time bars);
+* :func:`line_chart` — a dot-matrix plot of one or more series over a
+  shared x axis (the scaleup and sample-size figures).
+
+Pure text in, pure text out; no terminal-control sequences, so output
+can be pasted into Markdown code blocks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["bar_chart", "stacked_bar_chart", "line_chart"]
+
+
+def _format_value(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1000 or abs(v) < 0.01:
+        return f"{v:.2e}"
+    return f"{v:.3g}"
+
+
+def bar_chart(rows: Sequence[Tuple[str, float]], *,
+              width: int = 50, title: str = "") -> str:
+    """Horizontal bar chart: ``(label, value)`` rows.
+
+    Examples
+    --------
+    >>> print(bar_chart([("a", 2.0), ("b", 4.0)], width=4))
+    a | ##   2
+    b | #### 4
+    """
+    if not rows:
+        raise ConfigurationError("bar_chart needs at least one row")
+    if width <= 0:
+        raise ConfigurationError(f"width must be positive, got {width}")
+    peak = max(v for _l, v in rows)
+    if peak < 0:
+        raise ConfigurationError("bar values must be non-negative")
+    label_w = max(len(l) for l, _v in rows)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in rows:
+        if value < 0:
+            raise ConfigurationError("bar values must be non-negative")
+        bar = "#" * (round(width * value / peak) if peak > 0 else 0)
+        lines.append(f"{label.ljust(label_w)} | {bar.ljust(width)} "
+                     f"{_format_value(value)}")
+    return "\n".join(lines)
+
+
+def stacked_bar_chart(rows: Sequence[Tuple[str, float, float]], *,
+                      width: int = 50, title: str = "",
+                      legend: Tuple[str, str] = ("sample", "merge")
+                      ) -> str:
+    """Two-segment bars: ``(label, first, second)`` rows.
+
+    The first segment renders as ``#`` (the paper's light bars), the
+    second as ``%`` (dark bars); the printed value is the total.
+    """
+    if not rows:
+        raise ConfigurationError("stacked_bar_chart needs rows")
+    if width <= 0:
+        raise ConfigurationError(f"width must be positive, got {width}")
+    peak = max(a + b for _l, a, b in rows)
+    label_w = max(len(l) for l, _a, _b in rows)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{''.ljust(label_w)}   # = {legend[0]}, % = {legend[1]}")
+    for label, first, second in rows:
+        if first < 0 or second < 0:
+            raise ConfigurationError("bar values must be non-negative")
+        total = first + second
+        if peak > 0:
+            first_w = round(width * first / peak)
+            total_w = round(width * total / peak)
+        else:
+            first_w = total_w = 0
+        bar = "#" * first_w + "%" * max(0, total_w - first_w)
+        lines.append(f"{label.ljust(label_w)} | {bar.ljust(width)} "
+                     f"{_format_value(total)}")
+    return "\n".join(lines)
+
+
+def line_chart(series: Dict[str, Sequence[Tuple[float, float]]], *,
+               width: int = 60, height: int = 16, title: str = "",
+               logy: bool = False) -> str:
+    """Dot-matrix line chart of named ``(x, y)`` series.
+
+    Each series gets a distinct plotting glyph; a legend follows the
+    plot.  ``logy=True`` plots log10(y) (the paper's scaleup figures
+    use a log seconds axis) — y values must then be positive.
+    """
+    if not series:
+        raise ConfigurationError("line_chart needs at least one series")
+    if width <= 2 or height <= 2:
+        raise ConfigurationError("chart must be at least 3x3")
+    glyphs = "*o+x@^"
+    points: List[Tuple[float, float, str]] = []
+    for idx, (name, pts) in enumerate(series.items()):
+        if not pts:
+            raise ConfigurationError(f"series {name!r} is empty")
+        glyph = glyphs[idx % len(glyphs)]
+        for x, y in pts:
+            if logy:
+                if y <= 0:
+                    raise ConfigurationError(
+                        f"logy needs positive values; {name!r} has {y}")
+                y = math.log10(y)
+            points.append((float(x), float(y), glyph))
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, glyph in points:
+        col = round((x - x_lo) / x_span * (width - 1))
+        row = round((y - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = glyph
+
+    y_hi_label = _format_value(10 ** y_hi if logy else y_hi)
+    y_lo_label = _format_value(10 ** y_lo if logy else y_lo)
+    margin = max(len(y_hi_label), len(y_lo_label))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for i, row_cells in enumerate(grid):
+        if i == 0:
+            label = y_hi_label.rjust(margin)
+        elif i == height - 1:
+            label = y_lo_label.rjust(margin)
+        else:
+            label = " " * margin
+        lines.append(f"{label} |{''.join(row_cells)}")
+    lines.append(f"{' ' * margin} +{'-' * width}")
+    x_axis = (f"{_format_value(x_lo)}".ljust(width // 2)
+              + f"{_format_value(x_hi)}".rjust(width - width // 2))
+    lines.append(f"{' ' * margin}  {x_axis}")
+    legend = "   ".join(f"{glyphs[i % len(glyphs)]} {name}"
+                        for i, name in enumerate(series))
+    lines.append(f"{' ' * margin}  {legend}")
+    if logy:
+        lines.append(f"{' ' * margin}  (log y axis)")
+    return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""ASCII table/series rendering for the figure-reproduction benches.
+
+The paper's evaluation is all charts; our benches print the underlying
+series as aligned text tables so "the same rows/series the paper reports"
+appear in the bench output and in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "print_table", "format_cell"]
+
+
+def format_cell(value: object) -> str:
+    """Render one cell: floats get 4 significant digits, rest ``str``."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]], *,
+                 title: str = "") -> str:
+    """Render an aligned ASCII table.
+
+    Examples
+    --------
+    >>> print(format_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+----
+    1 | 2.5
+    """
+    str_rows: List[List[str]] = [[format_cell(c) for c in row]
+                                 for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths))
+                 .rstrip())
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths))
+                     .rstrip())
+    return "\n".join(lines)
+
+
+def print_table(headers: Sequence[str],
+                rows: Iterable[Sequence[object]], *,
+                title: str = "") -> None:
+    """Print :func:`format_table` output (with a leading blank line)."""
+    print()
+    print(format_table(headers, rows, title=title))

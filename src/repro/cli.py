@@ -1,0 +1,263 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Operate a file-backed sample warehouse from the shell:
+
+* ``ingest``  — sample a column of values (one per line, or a CSV column)
+  into a warehouse directory;
+* ``info``    — list datasets / partitions and their catalog metadata;
+* ``query``   — approximate COUNT/SUM/AVG/quantile over a dataset;
+* ``rollup``  — merge consecutive partitions into coarser units;
+* ``bench``   — regenerate one of the paper's figures;
+* ``demo``    — the Section 3.3 concise-sampling counter-example.
+
+All commands are deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analytics.estimators import (estimate_avg, estimate_count,
+                                        estimate_quantile, estimate_sum)
+from repro.bench.report import format_table
+from repro.errors import ReproError
+from repro.rng import SplittableRng
+from repro.warehouse.rollup import temporal_rollup
+from repro.warehouse.warehouse import SampleWarehouse
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_value(text: str):
+    """CSV/line values: int if possible, then float, else the string."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def _read_values(path: str, column: Optional[str]) -> List[object]:
+    """Read values from a file: one per line, or a named CSV column."""
+    if path == "-":
+        handle = sys.stdin
+        close = False
+    else:
+        handle = open(path, "r", encoding="utf-8", newline="")
+        close = True
+    try:
+        if column is None:
+            return [_parse_value(line.strip())
+                    for line in handle if line.strip()]
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or column not in reader.fieldnames:
+            raise ReproError(
+                f"column {column!r} not found; available: "
+                f"{reader.fieldnames}")
+        return [_parse_value(row[column]) for row in reader
+                if row.get(column, "") != ""]
+    finally:
+        if close:
+            handle.close()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sample-data warehouse (Brown & Haas, ICDE 2006)")
+    parser.add_argument("--seed", type=int, default=2006,
+                        help="master random seed (default: 2006)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_ingest = sub.add_parser("ingest", help="sample values into a "
+                                             "warehouse directory")
+    p_ingest.add_argument("--warehouse", required=True,
+                          help="warehouse directory (created if missing)")
+    p_ingest.add_argument("--dataset", required=True)
+    p_ingest.add_argument("--input", required=True,
+                          help="file of values, one per line ('-' = stdin)")
+    p_ingest.add_argument("--column", default=None,
+                          help="treat input as CSV and read this column")
+    p_ingest.add_argument("--partitions", type=int, default=1)
+    p_ingest.add_argument("--scheme", default="hr",
+                          choices=["hb", "hr", "sb", "hb-mp"])
+    p_ingest.add_argument("--bound", type=int, default=8192,
+                          help="sample-size bound n_F (default: 8192)")
+    p_ingest.add_argument("--sb-rate", type=float, default=None)
+    p_ingest.add_argument("--label", default=None,
+                          help="label applied to all created partitions")
+
+    p_info = sub.add_parser("info", help="show catalog contents")
+    p_info.add_argument("--warehouse", required=True)
+    p_info.add_argument("--dataset", default=None)
+
+    p_query = sub.add_parser("query", help="approximate aggregate")
+    p_query.add_argument("--warehouse", required=True)
+    p_query.add_argument("--dataset", required=True)
+    p_query.add_argument("--agg", required=True,
+                         choices=["count", "sum", "avg", "quantile"])
+    p_query.add_argument("--fraction", type=float, default=0.5,
+                         help="quantile fraction (default: 0.5)")
+    p_query.add_argument("--labels", default=None,
+                         help="comma-separated partition labels")
+    p_query.add_argument("--confidence", type=float, default=0.95)
+
+    p_rollup = sub.add_parser("rollup", help="merge consecutive "
+                                             "partitions into windows")
+    p_rollup.add_argument("--warehouse", required=True)
+    p_rollup.add_argument("--dataset", required=True)
+    p_rollup.add_argument("--window", type=int, required=True)
+    p_rollup.add_argument("--store-as", default=None,
+                          help="re-ingest rollups under this dataset name")
+
+    p_bench = sub.add_parser("bench", help="regenerate a paper figure")
+    p_bench.add_argument("--figure", required=True,
+                         choices=["fig05", "s33"])
+    p_bench.add_argument("--trials", type=int, default=2000)
+
+    p_audit = sub.add_parser("audit", help="verify warehouse consistency")
+    p_audit.add_argument("--warehouse", required=True)
+
+    return parser
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    values = _read_values(args.input, args.column)
+    if not values:
+        print("no values read", file=sys.stderr)
+        return 1
+    try:
+        wh = SampleWarehouse.load(args.warehouse,
+                                  rng=SplittableRng(args.seed),
+                                  bound_values=args.bound,
+                                  scheme=args.scheme, sb_rate=args.sb_rate)
+    except ReproError:
+        wh = SampleWarehouse(bound_values=args.bound, scheme=args.scheme,
+                             sb_rate=args.sb_rate,
+                             rng=SplittableRng(args.seed))
+    labels = [args.label] * args.partitions if args.label else None
+    keys = wh.ingest_batch(args.dataset, values,
+                           partitions=args.partitions, labels=labels)
+    wh.save(args.warehouse)
+    print(f"ingested {len(values)} values into {len(keys)} partition(s) "
+          f"of {args.dataset!r}")
+    for key in keys:
+        sample = wh.sample_for(key)
+        print(f"  {key}: {sample.kind.name} sample, "
+              f"{sample.size}/{sample.population_size} values")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    wh = SampleWarehouse.load(args.warehouse,
+                              rng=SplittableRng(args.seed))
+    datasets = [args.dataset] if args.dataset else wh.datasets()
+    rows = []
+    for name in datasets:
+        for meta in wh.catalog.partitions(name, only_active=False):
+            rows.append((str(meta.key), meta.kind.name, meta.scheme,
+                         meta.population_size, meta.sample_size,
+                         meta.label or "-",
+                         "active" if meta.active else "rolled-out"))
+    print(format_table(("partition", "kind", "scheme", "population",
+                        "sample", "label", "status"), rows))
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    wh = SampleWarehouse.load(args.warehouse,
+                              rng=SplittableRng(args.seed))
+    labels = args.labels.split(",") if args.labels else None
+    sample = wh.sample_of(args.dataset, labels=labels)
+    if args.agg == "quantile":
+        value = estimate_quantile(sample, args.fraction)
+        print(f"quantile({args.fraction}) ~ {value}")
+        return 0
+    fn = {"count": estimate_count, "sum": estimate_sum,
+          "avg": estimate_avg}[args.agg]
+    est = fn(sample, confidence=args.confidence)
+    marker = " (exact)" if est.exact else ""
+    print(f"{args.agg} ~ {est.value:g} "
+          f"[{est.ci_low:g}, {est.ci_high:g}]{marker}")
+    print(f"from a {sample.kind.name} sample of {sample.size} / "
+          f"{sample.population_size} values")
+    return 0
+
+
+def _cmd_rollup(args: argparse.Namespace) -> int:
+    wh = SampleWarehouse.load(args.warehouse,
+                              rng=SplittableRng(args.seed))
+    groups = temporal_rollup(wh, args.dataset, window=args.window,
+                             rng=SplittableRng(args.seed).spawn("rollup"))
+    rows = [(name, s.kind.name, s.population_size, s.size)
+            for name, s in sorted(groups.items())]
+    print(format_table(("window", "kind", "population", "sample"), rows))
+    if args.store_as:
+        from repro.warehouse.dataset import PartitionKey
+
+        for i, name in enumerate(sorted(groups)):
+            wh.ingest_sample(PartitionKey(args.store_as, 0, i),
+                             groups[name], label=name)
+        wh.save(args.warehouse)
+        print(f"stored {len(groups)} rollup(s) as {args.store_as!r}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.figure == "fig05":
+        from repro.bench.experiments import FIG05_HEADERS, fig05_qapprox
+
+        rows = fig05_qapprox()
+        print(format_table(FIG05_HEADERS, rows,
+                           title="Figure 5 (N = 1e5)"))
+        print(f"max relative error: {max(r[4] for r in rows):.3f}%")
+        return 0
+    # s33
+    from repro.bench.experiments import concise_demo
+
+    counts = concise_demo(trials=args.trials,
+                          rng=SplittableRng(args.seed))
+    print(format_table(("histogram", "occurrences"),
+                       sorted(counts.items()),
+                       title="Section 3.3 counter-example"))
+    ok = counts["H1"] > 0 and counts["H2"] > 0 and counts["H3"] == 0
+    print("non-uniformity demonstrated" if ok else "UNEXPECTED OUTCOME")
+    return 0 if ok else 1
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.warehouse.audit import audit_warehouse
+
+    wh = SampleWarehouse.load(args.warehouse,
+                              rng=SplittableRng(args.seed))
+    report = audit_warehouse(wh)
+    print(report.summary())
+    for problem in report.problems:
+        print(f"  {problem}")
+    return 0 if report.ok else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "ingest": _cmd_ingest,
+        "info": _cmd_info,
+        "query": _cmd_query,
+        "rollup": _cmd_rollup,
+        "bench": _cmd_bench,
+        "audit": _cmd_audit,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,166 @@
+"""Concise sampling (Gibbons & Matias, SIGMOD'98) — Section 3.3 baseline.
+
+Concise sampling keeps the sample in compact ``(value, count)`` form with
+a hard footprint bound ``F``: incoming elements are admitted by a
+Bernoulli mechanism whose rate is *decreased on demand* — whenever an
+insertion pushes the footprint past ``F``, the rate drops from ``q`` to
+``q' < q`` and every sampled element survives an independent coin flip
+with probability ``q'/q`` ("purge"), repeating until the footprint fits.
+
+The paper's key observation (Section 3.3) is that this scheme is **not
+uniform**: admission survives *for free* when the arriving value is
+already in the sample (the footprint does not grow), so samples with few
+distinct values are systematically favoured and rare values end up
+underrepresented.  The worked example — population ``a,a,a,b,b,b`` with
+room for a single ``(value, count)`` pair, where the histogram
+``{(a,2), b}`` can never be produced while ``{(a,3)}`` and ``{(b,3)}``
+can — is reproduced in ``tests/test_concise.py`` and the Section 3.3
+benchmark.
+
+This implementation is a faithful baseline for comparison, not a
+recommended sampler; use :class:`~repro.core.hybrid_bernoulli.AlgorithmHB`
+or :class:`~repro.core.hybrid_reservoir.AlgorithmHR` for uniform samples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, TypeVar
+
+from repro.core.footprint import DEFAULT_MODEL, FootprintModel
+from repro.core.histogram import CompactHistogram
+from repro.errors import ConfigurationError, ProtocolError
+from repro.rng import SplittableRng
+
+__all__ = ["ConciseSampler"]
+
+T = TypeVar("T")
+
+#: Gibbons & Matias raise the threshold by 10% per purge; the admission
+#: rate correspondingly decays by 1/1.1 per purge round.
+DEFAULT_RATE_DECAY = 1.0 / 1.1
+
+
+class ConciseSampler:
+    """Bounded-footprint concise sampler (non-uniform; baseline only).
+
+    Parameters
+    ----------
+    footprint_bytes:
+        The byte budget ``F`` for the compact sample.
+    rng:
+        Randomness source.
+    rate_decay:
+        Multiplicative factor applied to the admission rate at each purge
+        round (must lie in ``(0, 1)``).
+    model:
+        Storage-cost model.
+
+    Examples
+    --------
+    >>> from repro.rng import SplittableRng
+    >>> cs = ConciseSampler(footprint_bytes=96, rng=SplittableRng(9))
+    >>> cs.feed_many(range(1000))
+    >>> cs.footprint_bytes <= 96
+    True
+    """
+
+    def __init__(self, footprint_bytes: int, *,
+                 rng: Optional[SplittableRng] = None,
+                 rate_decay: float = DEFAULT_RATE_DECAY,
+                 model: FootprintModel = DEFAULT_MODEL) -> None:
+        if footprint_bytes < model.value_bytes:
+            raise ConfigurationError(
+                f"footprint of {footprint_bytes} bytes cannot hold a single "
+                f"{model.value_bytes}-byte value")
+        if not 0.0 < rate_decay < 1.0:
+            raise ConfigurationError(
+                f"rate_decay must be in (0, 1), got {rate_decay}")
+        self._bound_bytes = footprint_bytes
+        self._rng = rng if rng is not None else SplittableRng()
+        self._decay = rate_decay
+        self._model = model
+        self._histogram = CompactHistogram()
+        self._rate = 1.0
+        self._seen = 0
+        self._purge_rounds = 0
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def rate(self) -> float:
+        """Current admission rate ``q`` (monotonically non-increasing)."""
+        return self._rate
+
+    @property
+    def seen(self) -> int:
+        """Number of elements observed."""
+        return self._seen
+
+    @property
+    def sample_size(self) -> int:
+        """Number of data elements currently in the sample."""
+        return self._histogram.size
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Current compact footprint."""
+        return self._histogram.footprint(self._model)
+
+    @property
+    def purge_rounds(self) -> int:
+        """How many purge rounds have run (diagnostic)."""
+        return self._purge_rounds
+
+    @property
+    def histogram(self) -> CompactHistogram:
+        """The current sample (live view; do not mutate)."""
+        return self._histogram
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+    def feed(self, value: T) -> None:
+        """Observe one arriving data element."""
+        if self._finalized:
+            raise ProtocolError("sampler already finalized")
+        self._seen += 1
+        if not self._rng.bernoulli(self._rate):
+            return
+        self._histogram.insert(value)
+        while self._histogram.footprint(self._model) > self._bound_bytes:
+            self._purge()
+
+    def feed_many(self, values: Iterable[T]) -> None:
+        """Observe a batch of values."""
+        for v in values:
+            self.feed(v)
+
+    def _purge(self) -> None:
+        """One purge round: decay the rate, coin-flip every element.
+
+        By luck of the draw a round may not shrink the footprint; the
+        caller loops until it does (exactly the paper's description).
+        """
+        keep = self._decay  # = q' / q
+        self._rate *= self._decay
+        self._purge_rounds += 1
+        survivors = CompactHistogram()
+        for value, count in self._histogram.pairs():
+            kept = self._rng.binomial(count, keep)
+            if kept:
+                survivors.insert_count(value, kept)
+        self._histogram = survivors
+
+    def finalize(self) -> CompactHistogram:
+        """Close the sampler and return the compact sample.
+
+        The result is deliberately *not* a
+        :class:`~repro.core.sample.WarehouseSample`: concise samples are
+        not uniform and must not flow into the merge machinery.
+        """
+        if self._finalized:
+            raise ProtocolError("sampler already finalized")
+        self._finalized = True
+        return self._histogram

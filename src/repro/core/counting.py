@@ -1,0 +1,168 @@
+"""Counting sampling (Gibbons & Matias, SIGMOD'98) — deletion-capable
+extension of concise sampling; Section 3.3 notes it is non-uniform too.
+
+A counting sample differs from a concise sample in one rule: once a value
+is *in* the sample, every later occurrence of that value increments its
+count **deterministically** (no coin flip).  The count of an in-sample
+value is therefore exact over the suffix of the stream that follows its
+admission, which is what makes deletions in the parent data tractable:
+deleting an occurrence of an in-sample value just decrements its count
+(evicting the value when the count reaches zero).
+
+Purging to a lower admission rate flips one coin per *value* (the
+admission event is what gets thinned; the deterministic tail rides
+along): with probability ``q'/q`` the entry survives intact, otherwise
+the whole entry is evicted.
+
+Like :class:`~repro.core.concise.ConciseSampler` this is a baseline:
+value-dependent admission breaks uniformity for the same reason, so
+counting samples must not flow into the merge machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, TypeVar
+
+from repro.core.concise import DEFAULT_RATE_DECAY
+from repro.core.footprint import DEFAULT_MODEL, FootprintModel
+from repro.core.histogram import CompactHistogram
+from repro.errors import ConfigurationError, ProtocolError
+from repro.rng import SplittableRng
+
+__all__ = ["CountingSampler"]
+
+T = TypeVar("T")
+
+
+class CountingSampler:
+    """Bounded-footprint counting sampler with deletion support.
+
+    Parameters
+    ----------
+    footprint_bytes:
+        The byte budget ``F``.
+    rng:
+        Randomness source.
+    rate_decay:
+        Admission-rate decay per purge round.
+    model:
+        Storage-cost model.
+
+    Examples
+    --------
+    >>> from repro.rng import SplittableRng
+    >>> cs = CountingSampler(footprint_bytes=960, rng=SplittableRng(4))
+    >>> for v in [1, 2, 1, 1, 3]:
+    ...     cs.feed(v)
+    >>> cs.delete(1)
+    True
+    >>> cs.sample_size <= 5
+    True
+    """
+
+    def __init__(self, footprint_bytes: int, *,
+                 rng: Optional[SplittableRng] = None,
+                 rate_decay: float = DEFAULT_RATE_DECAY,
+                 model: FootprintModel = DEFAULT_MODEL) -> None:
+        if footprint_bytes < model.value_bytes:
+            raise ConfigurationError(
+                f"footprint of {footprint_bytes} bytes cannot hold a single "
+                f"{model.value_bytes}-byte value")
+        if not 0.0 < rate_decay < 1.0:
+            raise ConfigurationError(
+                f"rate_decay must be in (0, 1), got {rate_decay}")
+        self._bound_bytes = footprint_bytes
+        self._rng = rng if rng is not None else SplittableRng()
+        self._decay = rate_decay
+        self._model = model
+        self._histogram = CompactHistogram()
+        self._rate = 1.0
+        self._seen = 0
+        self._deleted = 0
+        self._finalized = False
+
+    @property
+    def rate(self) -> float:
+        """Current admission rate ``q``."""
+        return self._rate
+
+    @property
+    def seen(self) -> int:
+        """Insertions observed (deletions tracked separately)."""
+        return self._seen
+
+    @property
+    def deletions(self) -> int:
+        """Deletions observed."""
+        return self._deleted
+
+    @property
+    def sample_size(self) -> int:
+        """Number of data elements currently in the sample."""
+        return self._histogram.size
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Current compact footprint."""
+        return self._histogram.footprint(self._model)
+
+    @property
+    def histogram(self) -> CompactHistogram:
+        """The current sample (live view; do not mutate)."""
+        return self._histogram
+
+    def _check_open(self) -> None:
+        if self._finalized:
+            raise ProtocolError("sampler already finalized")
+
+    def feed(self, value: T) -> None:
+        """Observe an inserted data element.
+
+        In-sample values increment deterministically; new values are
+        admitted with probability ``rate``.
+        """
+        self._check_open()
+        self._seen += 1
+        if value in self._histogram:
+            self._histogram.insert(value)  # deterministic count bump
+        elif self._rng.bernoulli(self._rate):
+            self._histogram.insert(value)
+        else:
+            return
+        while self._histogram.footprint(self._model) > self._bound_bytes:
+            self._purge()
+
+    def feed_many(self, values: Iterable[T]) -> None:
+        """Observe a batch of inserted values."""
+        for v in values:
+            self.feed(v)
+
+    def delete(self, value: T) -> bool:
+        """Observe a deletion in the parent data.
+
+        If the value is in the sample its count is decremented (the entry
+        is evicted at zero) and ``True`` is returned; deletions of
+        un-sampled values are no-ops returning ``False``.
+        """
+        self._check_open()
+        self._deleted += 1
+        if value not in self._histogram:
+            return False
+        self._histogram.remove(value)
+        return True
+
+    def _purge(self) -> None:
+        """One purge round: per-*value* survival coin at ``q'/q``."""
+        keep = self._decay
+        self._rate *= self._decay
+        survivors = CompactHistogram()
+        for value, count in self._histogram.pairs():
+            if self._rng.bernoulli(keep):
+                survivors.insert_count(value, count)
+        self._histogram = survivors
+
+    def finalize(self) -> CompactHistogram:
+        """Close the sampler and return the compact sample."""
+        self._check_open()
+        self._finalized = True
+        return self._histogram

@@ -1,0 +1,105 @@
+"""Footprint accounting: bytes consumed by a sample's representation.
+
+The paper states requirements in terms of a maximum footprint of ``F``
+bytes, which "corresponds to a sample size of ``n_F`` data-element values".
+That correspondence needs a concrete storage model:
+
+* an expanded bag of ``n`` values costs ``n * value_bytes``;
+* a compact histogram costs ``value_bytes`` per *singleton* value and
+  ``value_bytes + count_bytes`` per ``(value, count)`` pair — matching the
+  concise-sampling representation of [7] where singletons are stored as the
+  bare value.
+
+With that model, ``n_F = F // value_bytes``: a bag at the size bound and a
+histogram of ``n_F`` singletons cost the same ``F`` bytes, and a histogram
+with duplicates holds *more* than ``n_F`` data elements in the same space
+(which is exactly why the hybrid algorithms prefer the compact form).
+
+The defaults (8-byte values, 4-byte counts) mirror the paper's experiments
+on integer data, where a 32 K-element partition with ``n_F = 8192``
+corresponds to ``F = 64 KiB``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FootprintModel", "DEFAULT_MODEL"]
+
+
+@dataclass(frozen=True)
+class FootprintModel:
+    """Maps sample representations to storage bytes.
+
+    Parameters
+    ----------
+    value_bytes:
+        Cost of storing one data-element value (default 8: a 64-bit
+        integer or a pointer/offset into a value dictionary).
+    count_bytes:
+        Additional cost of the count in a ``(value, count)`` pair
+        (default 4: a 32-bit counter, as in concise sampling).
+
+    Examples
+    --------
+    >>> m = FootprintModel()
+    >>> m.bag_footprint(3)
+    24
+    >>> m.histogram_footprint(distinct=3, singletons=1)
+    32
+    >>> m.bound_values(65536)
+    8192
+    """
+
+    value_bytes: int = 8
+    count_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.value_bytes <= 0:
+            raise ConfigurationError(
+                f"value_bytes must be positive, got {self.value_bytes}")
+        if self.count_bytes < 0:
+            raise ConfigurationError(
+                f"count_bytes must be >= 0, got {self.count_bytes}")
+        if self.count_bytes > self.value_bytes:
+            # If a count costs more than a value, the compact form would be
+            # larger than the expanded bag and the footprint bound of a
+            # bounded-size sample could no longer be guaranteed.
+            raise ConfigurationError(
+                f"count_bytes ({self.count_bytes}) must not exceed "
+                f"value_bytes ({self.value_bytes})")
+
+    def bag_footprint(self, size: int) -> int:
+        """Bytes to store ``size`` values in expanded (bag) form."""
+        return size * self.value_bytes
+
+    def histogram_footprint(self, distinct: int, singletons: int) -> int:
+        """Bytes to store a compact histogram.
+
+        ``distinct`` values of which ``singletons`` have count 1 (stored as
+        bare values) and the rest as ``(value, count)`` pairs.
+        """
+        pairs = distinct - singletons
+        return (distinct * self.value_bytes) + (pairs * self.count_bytes)
+
+    def bound_values(self, footprint_bytes: int) -> int:
+        """``n_F``: the sample-size bound implied by an ``F``-byte budget."""
+        bound = footprint_bytes // self.value_bytes
+        if bound <= 0:
+            raise ConfigurationError(
+                f"footprint of {footprint_bytes} bytes cannot hold even one "
+                f"{self.value_bytes}-byte value")
+        return bound
+
+    def footprint_for_values(self, bound_values: int) -> int:
+        """``F``: the byte budget corresponding to a value-count bound."""
+        if bound_values <= 0:
+            raise ConfigurationError(
+                f"bound_values must be positive, got {bound_values}")
+        return bound_values * self.value_bytes
+
+
+#: Shared default model (8-byte values, 4-byte counts).
+DEFAULT_MODEL = FootprintModel()

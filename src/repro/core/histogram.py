@@ -1,0 +1,246 @@
+"""Compact ``(value, count)`` histogram — the samples' storage format.
+
+All of the paper's samplers keep their sample, whenever possible, as a set
+of ``(value, count)`` pairs with singletons stored as bare values (the
+concise representation of [7]).  :class:`CompactHistogram` implements that
+representation with O(1) insert/remove and *incremental* footprint
+tracking, so the samplers can test ``footprint(S) >= F`` after every
+arrival without rescanning the histogram.
+
+The ``expand``/``compact`` round trip (Figure 2's ``expand(S)`` and the
+finalization step) and the ``join`` of two histograms (used by HBMerge and
+HRMerge) live here too.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Tuple
+
+from repro.core.footprint import FootprintModel
+from repro.errors import ConfigurationError
+
+__all__ = ["CompactHistogram"]
+
+Value = Hashable
+
+
+class CompactHistogram:
+    """A bag of values stored as value -> count with footprint tracking.
+
+    Examples
+    --------
+    >>> h = CompactHistogram.from_values(["a", "a", "b"])
+    >>> h.size, h.distinct, h.singletons
+    (3, 2, 1)
+    >>> sorted(h.expand())
+    ['a', 'a', 'b']
+    """
+
+    __slots__ = ("_counts", "_size", "_singletons")
+
+    def __init__(self) -> None:
+        self._counts: Dict[Value, int] = {}
+        self._size = 0        # total number of data elements
+        self._singletons = 0  # number of values with count == 1
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_values(cls, values: Iterable[Value]) -> "CompactHistogram":
+        """Build a histogram by inserting every value in ``values``."""
+        hist = cls()
+        for v in values:
+            hist.insert(v)
+        return hist
+
+    @classmethod
+    def from_pairs(cls,
+                   pairs: Iterable[Tuple[Value, int]]) -> "CompactHistogram":
+        """Build a histogram from ``(value, count)`` pairs.
+
+        Counts must be positive; repeated values accumulate.
+        """
+        hist = cls()
+        for v, n in pairs:
+            hist.insert_count(v, n)
+        return hist
+
+    def copy(self) -> "CompactHistogram":
+        """An independent copy."""
+        clone = CompactHistogram()
+        clone._counts = dict(self._counts)
+        clone._size = self._size
+        clone._singletons = self._singletons
+        return clone
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Total number of data elements (sum of counts)."""
+        return self._size
+
+    @property
+    def distinct(self) -> int:
+        """Number of distinct values."""
+        return len(self._counts)
+
+    @property
+    def singletons(self) -> int:
+        """Number of values whose count is exactly 1."""
+        return self._singletons
+
+    def count(self, value: Value) -> int:
+        """The count of ``value`` (0 if absent)."""
+        return self._counts.get(value, 0)
+
+    def footprint(self, model: FootprintModel) -> int:
+        """Storage bytes under ``model`` (O(1) — tracked incrementally)."""
+        return model.histogram_footprint(len(self._counts), self._singletons)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, value: Value) -> None:
+        """Insert one occurrence of ``value`` (the paper's insertValue)."""
+        old = self._counts.get(value, 0)
+        self._counts[value] = old + 1
+        self._size += 1
+        if old == 0:
+            self._singletons += 1
+        elif old == 1:
+            self._singletons -= 1
+
+    def insert_count(self, value: Value, count: int) -> None:
+        """Insert ``count`` occurrences of ``value`` at once."""
+        if count <= 0:
+            raise ConfigurationError(f"count must be positive, got {count}")
+        old = self._counts.get(value, 0)
+        new = old + count
+        self._counts[value] = new
+        self._size += count
+        if old == 1:
+            self._singletons -= 1
+        if old == 0 and new == 1:
+            self._singletons += 1
+
+    def remove(self, value: Value, count: int = 1) -> None:
+        """Remove ``count`` occurrences of ``value``.
+
+        Removing more occurrences than present raises
+        :class:`~repro.errors.ConfigurationError`.
+        """
+        if count <= 0:
+            raise ConfigurationError(f"count must be positive, got {count}")
+        old = self._counts.get(value, 0)
+        if count > old:
+            raise ConfigurationError(
+                f"cannot remove {count} of {value!r}; only {old} present")
+        new = old - count
+        self._size -= count
+        if new == 0:
+            del self._counts[value]
+            if old == 1:
+                self._singletons -= 1
+        else:
+            self._counts[value] = new
+            if new == 1:
+                self._singletons += 1
+            elif old == 1:
+                self._singletons -= 1  # unreachable (old==1 implies new==0)
+
+    def set_count(self, value: Value, count: int) -> None:
+        """Set the count of ``value`` outright (0 removes it)."""
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        old = self._counts.get(value, 0)
+        if old == count:
+            return
+        if old == 1:
+            self._singletons -= 1
+        if count == 0:
+            if old:
+                del self._counts[value]
+        else:
+            self._counts[value] = count
+            if count == 1:
+                self._singletons += 1
+        self._size += count - old
+
+    # ------------------------------------------------------------------
+    # Views and conversions
+    # ------------------------------------------------------------------
+    def pairs(self) -> Iterator[Tuple[Value, int]]:
+        """Iterate ``(value, count)`` pairs in insertion order."""
+        return iter(self._counts.items())
+
+    def sorted_pairs(self) -> List[Tuple[Value, int]]:
+        """``(value, count)`` pairs sorted by value (for stable output)."""
+        return sorted(self._counts.items(), key=lambda item: repr(item[0]))
+
+    def values(self) -> Iterator[Value]:
+        """Iterate the distinct values."""
+        return iter(self._counts)
+
+    def expand(self) -> List[Value]:
+        """The bag of values (each value repeated by its count)."""
+        out: List[Value] = []
+        for v, n in self._counts.items():
+            out.extend([v] * n)
+        return out
+
+    def join(self, other: "CompactHistogram") -> "CompactHistogram":
+        """Histogram of the multiset union (the merge algorithms' join).
+
+        Computes the compact representation of
+        ``expand(self) ++ expand(other)`` without expanding either operand.
+        """
+        bigger, smaller = (self, other) if self.distinct >= other.distinct \
+            else (other, self)
+        result = bigger.copy()
+        for v, n in smaller.pairs():
+            result.insert_count(v, n)
+        return result
+
+    def joined_footprint(self, other: "CompactHistogram",
+                         model: FootprintModel) -> int:
+        """Footprint ``join(self, other)`` would have, without building it.
+
+        HBMerge (Figure 6, line 12) needs this test before deciding whether
+        the joined Bernoulli sample fits in ``F`` bytes.
+        """
+        distinct = len(self._counts)
+        singletons = self._singletons
+        for v, n in other.pairs():
+            mine = self._counts.get(v, 0)
+            if mine == 0:
+                distinct += 1
+                if n == 1:
+                    singletons += 1
+            else:
+                if mine == 1:
+                    singletons -= 1
+        return model.histogram_footprint(distinct, singletons)
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of data elements, matching the paper's |S|."""
+        return self._size
+
+    def __contains__(self, value: Value) -> bool:
+        return value in self._counts
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CompactHistogram):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        preview = dict(list(self._counts.items())[:4])
+        suffix = "..." if self.distinct > 4 else ""
+        return (f"CompactHistogram(size={self._size}, "
+                f"distinct={self.distinct}, {preview}{suffix})")

@@ -1,0 +1,49 @@
+"""Sampler phases / final sample kinds.
+
+Algorithm HB moves through up to three phases (Figure 2) and Algorithm HR
+through two (Figure 7).  The *final* phase determines what the produced
+sample statistically is, which in turn drives the merge logic of Figures 6
+and 8 — so the same enumeration serves as both the live phase of a running
+sampler and the kind tag on a finished :class:`~repro.core.sample.WarehouseSample`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["SampleKind"]
+
+
+class SampleKind(enum.IntEnum):
+    """What a finished sample *is*, statistically.
+
+    The integer values match the paper's phase numbers for Algorithm HB.
+    """
+
+    #: Phase 1 outcome: the sample is an exact frequency histogram of the
+    #: entire parent partition (every value, with its true count).
+    EXHAUSTIVE = 1
+
+    #: Phase 2 outcome: a Bernoulli(q) sample (conditioned on not exceeding
+    #: the bound; treatable as Bernoulli in practice since the exceedance
+    #: probability p is tiny).
+    BERNOULLI = 2
+
+    #: Phase 3 outcome: a simple random sample without replacement of a
+    #: fixed size (a reservoir sample).
+    RESERVOIR = 3
+
+    @property
+    def is_exhaustive(self) -> bool:
+        """True for :attr:`EXHAUSTIVE`."""
+        return self is SampleKind.EXHAUSTIVE
+
+    @property
+    def is_bernoulli(self) -> bool:
+        """True for :attr:`BERNOULLI`."""
+        return self is SampleKind.BERNOULLI
+
+    @property
+    def is_reservoir(self) -> bool:
+        """True for :attr:`RESERVOIR`."""
+        return self is SampleKind.RESERVOIR

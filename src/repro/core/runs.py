@@ -1,0 +1,56 @@
+"""A constant-value virtual sequence, for feeding histogram runs.
+
+The merge procedures stream the contents of a compact sample into a
+running sampler "without requiring expansion" (Figures 6 and 8).  A
+:class:`RepeatedValue` presents ``count`` copies of one value through the
+sequence protocol, so the samplers' skip-based fast paths can jump across
+the run in O(#inclusions) time without materializing it.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RepeatedValue"]
+
+
+class RepeatedValue:
+    """``count`` copies of ``value`` behind ``__len__``/``__getitem__``.
+
+    Examples
+    --------
+    >>> r = RepeatedValue("x", 3)
+    >>> len(r), r[0], r[2]
+    (3, 'x', 'x')
+    """
+
+    __slots__ = ("value", "count")
+
+    def __init__(self, value: Hashable, count: int) -> None:
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        self.value = value
+        self.count = count
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __getitem__(self, index: int) -> Hashable:
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self.count)
+            if step != 1:
+                raise ConfigurationError(
+                    "RepeatedValue slices must have step 1")
+            return RepeatedValue(self.value, max(0, stop - start))
+        if not -self.count <= index < self.count:
+            raise IndexError(index)
+        return self.value
+
+    def __iter__(self):
+        for _ in range(self.count):
+            yield self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RepeatedValue({self.value!r}, {self.count})"

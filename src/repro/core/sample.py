@@ -1,0 +1,162 @@
+"""The sample object stored in (and retrieved from) the sample warehouse.
+
+A :class:`WarehouseSample` bundles a compact histogram with the metadata
+the merge procedures of Figures 6 and 8 require:
+
+* the **kind** — what the sample statistically is (exhaustive / Bernoulli /
+  reservoir), i.e. the final phase of the producing algorithm;
+* the **population size** ``|D|`` of the parent partition (or union of
+  partitions) it was drawn from;
+* the Bernoulli **rate** ``q`` (kind = BERNOULLI only);
+* the footprint **bound** (``n_F`` values / ``F`` bytes under a
+  :class:`~repro.core.footprint.FootprintModel`) it was collected under;
+* the producing **scheme** ("hb", "hr", "sb") and the target exceedance
+  probability ``p`` (HB only) — needed so merges can recompute rates.
+
+Samples are immutable from the caller's perspective; merge functions build
+new ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.core.footprint import DEFAULT_MODEL, FootprintModel
+from repro.core.histogram import CompactHistogram
+from repro.core.phases import SampleKind
+from repro.errors import ConfigurationError
+
+__all__ = ["WarehouseSample"]
+
+
+@dataclass(frozen=True)
+class WarehouseSample:
+    """A finished, mergeable, footprint-bounded uniform sample.
+
+    Examples
+    --------
+    >>> h = CompactHistogram.from_values([1, 1, 2])
+    >>> s = WarehouseSample(histogram=h, kind=SampleKind.EXHAUSTIVE,
+    ...                     population_size=3, bound_values=100)
+    >>> s.size, s.scale_factor
+    (3, 1.0)
+    """
+
+    #: The sample contents in compact (value, count) form.
+    histogram: CompactHistogram
+    #: What the sample statistically is (final phase of the sampler).
+    kind: SampleKind
+    #: |D|: number of data elements in the parent partition(s).
+    population_size: int
+    #: n_F: the value-count bound the sample was collected under.
+    bound_values: int
+    #: Bernoulli rate q; required iff kind is BERNOULLI.
+    rate: Optional[float] = None
+    #: Producing scheme: "hb", "hr", "sb", or "merge" products thereof.
+    scheme: str = "hb"
+    #: Target exceedance probability used to pick q (HB family).
+    exceedance_p: float = 0.001
+    #: Storage model for footprint accounting.
+    model: FootprintModel = field(default=DEFAULT_MODEL)
+
+    def __post_init__(self) -> None:
+        if self.population_size < 0:
+            raise ConfigurationError(
+                f"population_size must be >= 0, got {self.population_size}")
+        if self.bound_values <= 0:
+            raise ConfigurationError(
+                f"bound_values must be positive, got {self.bound_values}")
+        if self.kind is SampleKind.BERNOULLI:
+            if self.rate is None or not 0.0 < self.rate <= 1.0:
+                raise ConfigurationError(
+                    f"Bernoulli sample needs a rate in (0, 1], "
+                    f"got {self.rate}")
+        if self.kind is SampleKind.EXHAUSTIVE \
+                and self.histogram.size != self.population_size:
+            raise ConfigurationError(
+                f"exhaustive sample must contain the whole partition: "
+                f"got {self.histogram.size} elements for population "
+                f"{self.population_size}")
+        if self.histogram.size > self.population_size:
+            raise ConfigurationError(
+                f"sample of {self.histogram.size} elements cannot come from "
+                f"a population of {self.population_size}")
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of data elements in the sample."""
+        return self.histogram.size
+
+    @property
+    def distinct(self) -> int:
+        """Number of distinct values in the sample."""
+        return self.histogram.distinct
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Current storage footprint of the compact representation."""
+        return self.histogram.footprint(self.model)
+
+    @property
+    def bound_bytes(self) -> int:
+        """F: the byte bound corresponding to :attr:`bound_values`."""
+        return self.model.footprint_for_values(self.bound_values)
+
+    @property
+    def scale_factor(self) -> float:
+        """Multiplier from sample-level totals to population-level totals.
+
+        * exhaustive: 1
+        * Bernoulli(q): 1/q  (Horvitz–Thompson)
+        * reservoir of size k from N: N/k
+        """
+        if self.kind is SampleKind.EXHAUSTIVE:
+            return 1.0
+        if self.kind is SampleKind.BERNOULLI:
+            assert self.rate is not None
+            return 1.0 / self.rate
+        if self.size == 0:
+            return 0.0
+        return self.population_size / self.size
+
+    @property
+    def sampling_fraction(self) -> float:
+        """Realized fraction of the parent data present in the sample."""
+        if self.population_size == 0:
+            return 1.0
+        return self.size / self.population_size
+
+    def values(self) -> List[object]:
+        """The sample as an expanded bag of values."""
+        return self.histogram.expand()
+
+    def with_scheme(self, scheme: str) -> "WarehouseSample":
+        """A copy relabelled with a different producing scheme."""
+        return replace(self, scheme=scheme)
+
+    def check_invariants(self) -> None:
+        """Assert the bounded-footprint contract; raises on violation.
+
+        * non-exhaustive samples hold at most ``bound_values`` elements;
+        * every sample's compact footprint is at most ``F`` bytes, except
+          an exhaustive sample exactly at the switch boundary.
+        """
+        if self.kind is not SampleKind.EXHAUSTIVE \
+                and self.size > self.bound_values:
+            raise ConfigurationError(
+                f"{self.kind.name} sample of {self.size} elements exceeds "
+                f"bound of {self.bound_values}")
+        if self.footprint_bytes > self.bound_bytes:
+            raise ConfigurationError(
+                f"sample footprint {self.footprint_bytes} exceeds bound "
+                f"{self.bound_bytes}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rate = f", rate={self.rate:.6g}" if self.rate is not None else ""
+        return (f"WarehouseSample(kind={self.kind.name}, size={self.size}, "
+                f"population={self.population_size}, "
+                f"bound={self.bound_values}{rate}, scheme={self.scheme!r})")

@@ -1,0 +1,121 @@
+"""Algorithm SB — the "stratified Bernoulli" benchmark baseline (Section 5).
+
+SB samples every partition at one fixed rate ``q`` and merges by plain
+union.  It is uniform and extremely fast — there is no footprint tracking,
+no compact representation, no size control — which is exactly why the
+paper uses it as the speed yardstick: the gap between SB and HB/HR is the
+price of bounded footprints and compact storage.
+
+For storage symmetry with the other algorithms we *do* return the sample
+as a :class:`~repro.core.sample.WarehouseSample` in compact histogram
+form, built once at finalization (cost O(sample size), not per arrival).
+The ``bound_values`` recorded on the sample is nominal (SB guarantees no
+bound); it is carried so SB samples can flow through the same warehouse
+plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, TypeVar
+
+from repro.core.footprint import DEFAULT_MODEL, FootprintModel
+from repro.core.histogram import CompactHistogram
+from repro.core.phases import SampleKind
+from repro.core.sample import WarehouseSample
+from repro.errors import ConfigurationError, ProtocolError
+from repro.rng import SplittableRng
+from repro.sampling.bernoulli import BernoulliSampler
+
+__all__ = ["AlgorithmSB"]
+
+T = TypeVar("T")
+
+
+class AlgorithmSB:
+    """Fixed-rate Bernoulli sampler (the paper's speed baseline).
+
+    Parameters
+    ----------
+    rate:
+        The Bernoulli sampling rate ``q`` shared by all partitions of the
+        data set (merging by union requires equal rates).
+    rng:
+        Randomness source.
+    nominal_bound:
+        A ``bound_values`` to record on the produced sample for warehouse
+        plumbing; purely informational (SB enforces no bound).  Defaults
+        to the realized sample size at finalization.
+
+    Examples
+    --------
+    >>> from repro.rng import SplittableRng
+    >>> sb = AlgorithmSB(0.01, rng=SplittableRng(3))
+    >>> sb.feed_many(range(100_000))
+    >>> sample = sb.finalize()
+    >>> sample.kind.name
+    'BERNOULLI'
+    """
+
+    def __init__(self, rate: float, *,
+                 rng: Optional[SplittableRng] = None,
+                 nominal_bound: Optional[int] = None,
+                 model: FootprintModel = DEFAULT_MODEL) -> None:
+        if not 0.0 < rate <= 1.0:
+            raise ConfigurationError(
+                f"rate must be in (0, 1], got {rate}")
+        if nominal_bound is not None and nominal_bound <= 0:
+            raise ConfigurationError(
+                f"nominal_bound must be positive, got {nominal_bound}")
+        self._rng = rng if rng is not None else SplittableRng()
+        self._inner = BernoulliSampler(rate, self._rng)
+        self._nominal_bound = nominal_bound
+        self._model = model
+        self._finalized = False
+
+    @property
+    def rate(self) -> float:
+        """The fixed Bernoulli rate ``q``."""
+        return self._inner.rate
+
+    @property
+    def seen(self) -> int:
+        """Number of elements observed so far."""
+        return self._inner.seen
+
+    @property
+    def sample_size(self) -> int:
+        """Current number of sampled elements."""
+        return len(self._inner)
+
+    def feed(self, value: T) -> None:
+        """Observe one arriving data element."""
+        self._check_open()
+        self._inner.feed(value)
+
+    def feed_many(self, values: Iterable[T]) -> None:
+        """Observe a batch of values (geometric-skip fast path)."""
+        self._check_open()
+        self._inner.feed_many(values)
+
+    def _check_open(self) -> None:
+        if self._finalized:
+            raise ProtocolError("sampler already finalized")
+
+    def finalize(self) -> WarehouseSample:
+        """Close the sampler and return the sample in warehouse form."""
+        self._check_open()
+        self._finalized = True
+        values: List[object] = self._inner.finalize()
+        histogram = CompactHistogram.from_values(values)
+        bound = self._nominal_bound
+        if bound is None:
+            bound = max(1, histogram.size)
+        return WarehouseSample(
+            histogram=histogram,
+            kind=SampleKind.BERNOULLI,
+            population_size=self._inner.seen,
+            bound_values=bound,
+            rate=self._inner.rate,
+            scheme="sb",
+            model=self._model,
+        )

@@ -1,0 +1,81 @@
+"""Exception hierarchy for the :mod:`repro` sample-warehousing library.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  More specific subclasses exist for the failure modes a
+downstream system is likely to want to distinguish: configuration mistakes,
+protocol misuse (e.g. feeding a finalized sampler), merge incompatibilities,
+and warehouse catalog lookups.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ProtocolError",
+    "MergeError",
+    "IncompatibleSamplesError",
+    "CatalogError",
+    "PartitionNotFoundError",
+    "DatasetNotFoundError",
+    "StorageError",
+    "FootprintExceededError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A parameter is out of range or a configuration is inconsistent.
+
+    Examples: a Bernoulli rate outside ``[0, 1]``, a footprint bound that
+    cannot hold even a single value, a non-positive reservoir capacity.
+    """
+
+
+class ProtocolError(ReproError, RuntimeError):
+    """An operation was invoked in an invalid state.
+
+    Examples: feeding values to a sampler after :meth:`finalize`, asking an
+    HB sampler for its final sample before finalizing, reusing a stream
+    partition that has been closed.
+    """
+
+
+class MergeError(ReproError):
+    """A merge operation failed."""
+
+
+class IncompatibleSamplesError(MergeError, ValueError):
+    """The two samples cannot be merged.
+
+    Raised when the samples were drawn by incompatible schemes, declare
+    overlapping parent partitions, or disagree on footprint models in a way
+    the merge algorithms cannot reconcile.
+    """
+
+
+class CatalogError(ReproError, KeyError):
+    """Base class for warehouse catalog lookup failures."""
+
+
+class PartitionNotFoundError(CatalogError):
+    """A referenced partition does not exist in the catalog."""
+
+
+class DatasetNotFoundError(CatalogError):
+    """A referenced data set does not exist in the catalog."""
+
+
+class StorageError(ReproError, OSError):
+    """A sample store could not read or write a persisted sample."""
+
+
+class FootprintExceededError(ReproError, RuntimeError):
+    """An internal invariant was violated: a sample outgrew its bound.
+
+    This is an internal consistency check; user code should never trigger
+    it.  If raised, it indicates a bug in a sampler or merge routine.
+    """

@@ -1,0 +1,233 @@
+"""Random-number utilities with a deterministic seed-splitting discipline.
+
+The warehouse samples many partitions independently and (optionally) in
+parallel.  Reproducible experiments therefore need a way to derive an
+independent, stable substream for every (dataset, partition) pair from a
+single master seed — regardless of the order in which partitions are
+processed or which worker processes them.
+
+:func:`derive_seed` hashes a master seed together with an arbitrary sequence
+of labels (strings or integers) into a 64-bit child seed using SHA-256, so
+child streams are statistically independent for all practical purposes and
+identical across runs, platforms, and process boundaries.
+
+:class:`SplittableRng` wraps :class:`random.Random` and adds ``spawn`` for
+labelled substreams plus the handful of discrete variate generators the
+sampling algorithms need beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Iterable, Sequence
+
+__all__ = ["derive_seed", "SplittableRng", "DEFAULT_SEED"]
+
+DEFAULT_SEED = 0x5A17_0B5E  # stable default master seed
+
+_MASK64 = (1 << 64) - 1
+
+
+def derive_seed(master: int, *labels: object) -> int:
+    """Derive a stable 64-bit child seed from ``master`` and ``labels``.
+
+    The derivation is order-sensitive and collision-resistant (SHA-256), so
+    ``derive_seed(s, "ds", 3)`` and ``derive_seed(s, "ds", 4)`` give
+    independent streams while remaining identical across runs.
+
+    Parameters
+    ----------
+    master:
+        The experiment-level seed.
+    labels:
+        Any sequence of objects whose ``repr`` identifies the substream,
+        e.g. a dataset name and partition index.
+    """
+    h = hashlib.sha256()
+    h.update(repr(int(master)).encode("utf-8"))
+    for label in labels:
+        h.update(b"\x1f")
+        h.update(repr(label).encode("utf-8"))
+    return int.from_bytes(h.digest()[:8], "big") & _MASK64
+
+
+class SplittableRng(random.Random):
+    """A :class:`random.Random` that can spawn labelled substreams.
+
+    In addition to the full standard-library interface, this class provides
+    :meth:`spawn` for deriving independent child generators and the discrete
+    variates used throughout the library (:meth:`bernoulli`,
+    :meth:`binomial`, :meth:`geometric`).
+
+    Examples
+    --------
+    >>> rng = SplittableRng(42)
+    >>> child = rng.spawn("orders", 7)
+    >>> 0 <= child.random() < 1
+    True
+    """
+
+    def __init__(self, seed: int = DEFAULT_SEED) -> None:
+        self._seed_value = int(seed)
+        super().__init__(self._seed_value)
+
+    @property
+    def seed_value(self) -> int:
+        """The seed this generator was constructed with."""
+        return self._seed_value
+
+    def spawn(self, *labels: object) -> "SplittableRng":
+        """Return an independent child generator for the given labels."""
+        return SplittableRng(derive_seed(self._seed_value, *labels))
+
+    def spawn_many(self, count: int, *labels: object) -> list["SplittableRng"]:
+        """Return ``count`` independent children labelled ``(*labels, i)``."""
+        return [self.spawn(*labels, i) for i in range(count)]
+
+    # ------------------------------------------------------------------
+    # Discrete variates
+    # ------------------------------------------------------------------
+    def bernoulli(self, p: float) -> bool:
+        """Return ``True`` with probability ``p``."""
+        if p <= 0.0:
+            return False
+        if p >= 1.0:
+            return True
+        return self.random() < p
+
+    def geometric(self, p: float) -> int:
+        """Number of failures before the first success, ``P(success) = p``.
+
+        Returns a variate in ``{0, 1, 2, ...}``.  Used to skip directly to
+        the next inclusion in a Bernoulli(q) stream.
+        """
+        import math
+
+        if not 0.0 < p <= 1.0:
+            raise ValueError(f"geometric probability must be in (0, 1], got {p}")
+        if p == 1.0:
+            return 0
+        u = 1.0 - self.random()  # in (0, 1]
+        # log1p keeps precision for tiny p (log(1-p) underflows to 0);
+        # for denormal p the ratio can still overflow a float, in which
+        # case any astronomically large gap is statistically faithful.
+        gap = math.log(u) / math.log1p(-p)
+        if gap >= 2.0 ** 63:
+            return 2 ** 63
+        return int(gap)
+
+    def binomial(self, n: int, p: float) -> int:
+        """A Binomial(n, p) variate.
+
+        Uses direct inversion for small means and the normal-based
+        acceptance procedure (a simplified BTPE in the spirit of
+        Devroye [5]) for large means, so purging a compact sample of
+        millions of duplicated values stays O(#distinct values).
+        """
+        if n < 0:
+            raise ValueError(f"binomial n must be >= 0, got {n}")
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"binomial p must be in [0, 1], got {p}")
+        if n == 0 or p == 0.0:
+            return 0
+        if p == 1.0:
+            return n
+        if p > 0.5:
+            return n - self.binomial(n, 1.0 - p)
+        if n * p < 30.0:
+            return self._binomial_inversion(n, p)
+        return self._binomial_mode_inversion(n, p)
+
+    def _binomial_inversion(self, n: int, p: float) -> int:
+        """Sequential-search inversion; efficient when ``n * p`` is small."""
+        q = 1.0 - p
+        s = p / q
+        f = q**n
+        if f <= 0.0:
+            # Underflow guard: fall back to summing geometric gaps.
+            return self._binomial_geometric(n, p)
+        u = self.random()
+        x = 0
+        cumulative = f
+        while u > cumulative:
+            x += 1
+            if x > n:
+                return n
+            f *= s * (n - x + 1) / x
+            cumulative += f
+        return x
+
+    def _binomial_geometric(self, n: int, p: float) -> int:
+        """Count successes by jumping over failures with geometric gaps."""
+        count = 0
+        i = self.geometric(p)
+        while i < n:
+            count += 1
+            i += 1 + self.geometric(p)
+        return count
+
+    def _binomial_mode_inversion(self, n: int, p: float) -> int:
+        """Exact inversion starting from the distribution mode.
+
+        Sequential-search inversion ordered by decreasing pmf: probe the
+        mode, then mode±1, mode±2, ...  Expected number of probes is
+        O(sqrt(n·p·(1-p))), which keeps large purge operations fast while
+        remaining an *exact* sampler (unlike a normal approximation).
+        """
+        import math
+
+        mode = int((n + 1) * p)
+        if mode > n:
+            mode = n
+        pmf_mode = math.exp(_binomial_log_pmf(n, p, mode))
+        u = self.random()
+        # Walk outward from the mode, maintaining pmf values incrementally.
+        lo, hi = mode, mode
+        pmf_lo, pmf_hi = pmf_mode, pmf_mode
+        acc = pmf_mode
+        if u <= acc:
+            return mode
+        while True:
+            advanced = False
+            if hi < n:
+                # pmf(k+1) = pmf(k) * (n-k)/(k+1) * p/(1-p)
+                pmf_hi *= (n - hi) / (hi + 1) * (p / (1.0 - p))
+                hi += 1
+                acc += pmf_hi
+                advanced = True
+                if u <= acc:
+                    return hi
+            if lo > 0:
+                # pmf(k-1) = pmf(k) * k/(n-k+1) * (1-p)/p
+                pmf_lo *= lo / (n - lo + 1) * ((1.0 - p) / p)
+                lo -= 1
+                acc += pmf_lo
+                advanced = True
+                if u <= acc:
+                    return lo
+            if not advanced:
+                # Accumulated probability fell short of u by floating-point
+                # rounding; the mode is the safest return.
+                return mode
+
+
+def _binomial_log_pmf(n: int, p: float, k: int) -> float:
+    """Log of the Binomial(n, p) pmf at ``k`` via lgamma."""
+    import math
+
+    if k < 0 or k > n:
+        return float("-inf")
+    return (
+        math.lgamma(n + 1)
+        - math.lgamma(k + 1)
+        - math.lgamma(n - k + 1)
+        + k * math.log(p)
+        + (n - k) * math.log(1.0 - p)
+    )
+
+
+def interleave_seeds(rngs: Sequence[SplittableRng]) -> Iterable[int]:
+    """Yield the seed of each generator; useful for experiment logging."""
+    for rng in rngs:
+        yield rng.seed_value

@@ -1,0 +1,40 @@
+"""Sampling primitives: skip generation, Bernoulli/reservoir schemes,
+discrete distributions, and the exceedance-rate solver of eq. (1)."""
+
+from repro.sampling.bernoulli import BernoulliSampler
+from repro.sampling.distributions import (
+    AliasTable,
+    hypergeometric_pmf,
+    sample_hypergeometric,
+    zipf_pmf,
+)
+from repro.sampling.exceedance import (
+    exact_bernoulli_rate,
+    normal_approx_rate,
+    rate_for_bound,
+)
+from repro.sampling.reservoir import ReservoirSampler
+from repro.sampling.skip import SkipGenerator, VitterZSkips, skip
+from repro.sampling.systematic import SystematicSampler
+from repro.sampling.weighted import (WeightedBernoulliSampler,
+                                     WeightedReservoirSampler,
+                                     merge_weighted)
+
+__all__ = [
+    "BernoulliSampler",
+    "ReservoirSampler",
+    "SystematicSampler",
+    "WeightedReservoirSampler",
+    "WeightedBernoulliSampler",
+    "merge_weighted",
+    "SkipGenerator",
+    "VitterZSkips",
+    "skip",
+    "AliasTable",
+    "hypergeometric_pmf",
+    "sample_hypergeometric",
+    "zipf_pmf",
+    "exact_bernoulli_rate",
+    "normal_approx_rate",
+    "rate_for_bound",
+]

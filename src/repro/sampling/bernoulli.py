@@ -1,0 +1,188 @@
+"""Bernoulli sampling (Section 3.1 of the paper).
+
+A ``Bern(q)`` scheme includes each arriving element independently with
+probability ``q``.  It is uniform (all same-size samples equally likely),
+trivially parallel, and merges by plain union over disjoint populations —
+but its sample size is binomial and therefore unbounded in variability.
+
+Two classical facts used throughout the library are exposed as functions:
+
+* ``Bern(p)`` of a ``Bern(q)`` sample is ``Bern(pq)`` of the population —
+  :meth:`BernoulliSampler.thin` / :func:`thin_rate`.
+* The union of ``Bern(q)`` samples of *disjoint* populations is a
+  ``Bern(q)`` sample of the union.
+
+The sampler supports per-element feeding and a geometric-skip fast path
+(:meth:`feed_many`) that jumps directly between inclusions, which matters
+when ``q`` is small (e.g. sampling 2^26 elements at rate 1e-4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, TypeVar
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.rng import SplittableRng
+
+__all__ = ["BernoulliSampler", "bernoulli_subsample", "thin_rate"]
+
+T = TypeVar("T")
+
+
+def thin_rate(outer: float, inner: float) -> float:
+    """Effective rate of Bern(inner) applied to a Bern(outer) sample."""
+    return outer * inner
+
+
+def bernoulli_subsample(values: Sequence[T], q: float,
+                        rng: SplittableRng) -> List[T]:
+    """Return a Bern(q) subsample of ``values`` as a new list.
+
+    Uses geometric skips so the cost is proportional to the *output* size
+    for small ``q`` (plus O(1) bookkeeping per inclusion).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"Bernoulli rate must be in [0, 1], got {q}")
+    if q == 0.0:
+        return []
+    if q == 1.0:
+        return list(values)
+    out: List[T] = []
+    i = rng.geometric(q)
+    n = len(values)
+    while i < n:
+        out.append(values[i])
+        i += 1 + rng.geometric(q)
+    return out
+
+
+class BernoulliSampler:
+    """Streaming ``Bern(q)`` sampler over an unbounded sequence of values.
+
+    Parameters
+    ----------
+    rate:
+        Inclusion probability ``q`` in ``[0, 1]``.
+    rng:
+        Source of randomness; pass a spawned child for parallel partitions.
+
+    Examples
+    --------
+    >>> from repro.rng import SplittableRng
+    >>> s = BernoulliSampler(0.5, SplittableRng(1))
+    >>> included = s.feed_many(range(100))
+    >>> 20 < len(s.sample) < 80
+    True
+    """
+
+    def __init__(self, rate: float, rng: SplittableRng) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(
+                f"Bernoulli rate must be in [0, 1], got {rate}")
+        self._rate = rate
+        self._rng = rng
+        self._sample: List[object] = []
+        self._seen = 0
+        self._finalized = False
+        # Precomputed distance (in elements) to the next inclusion; lets
+        # feed_many skip runs of excluded elements without drawing a
+        # uniform for each.
+        self._until_next = self._draw_gap()
+
+    def _draw_gap(self) -> int:
+        if self._rate == 0.0:
+            return -1  # sentinel: never include
+        if self._rate == 1.0:
+            return 0
+        return self._rng.geometric(self._rate)
+
+    @property
+    def rate(self) -> float:
+        """The Bernoulli inclusion probability ``q``."""
+        return self._rate
+
+    @property
+    def seen(self) -> int:
+        """Number of elements observed so far."""
+        return self._seen
+
+    @property
+    def sample(self) -> List[object]:
+        """The current sample (a list of included values)."""
+        return self._sample
+
+    def _check_open(self) -> None:
+        if self._finalized:
+            raise ProtocolError("sampler already finalized")
+
+    def feed(self, value: T) -> bool:
+        """Observe one value; return ``True`` if it entered the sample."""
+        self._check_open()
+        self._seen += 1
+        if self._until_next < 0:
+            return False
+        if self._until_next == 0:
+            self._sample.append(value)
+            self._until_next = self._draw_gap()
+            return True
+        self._until_next -= 1
+        return False
+
+    def feed_many(self, values: Iterable[T]) -> int:
+        """Observe a sequence of values; return how many were included.
+
+        For indexable sequences this jumps between inclusions; for general
+        iterables it falls back to per-element feeding.
+        """
+        self._check_open()
+        if isinstance(values, (list, tuple, range)):
+            return self._feed_sequence(values)
+        count = 0
+        for v in values:
+            if self.feed(v):
+                count += 1
+        return count
+
+    def _feed_sequence(self, values: Sequence[T]) -> int:
+        n = len(values)
+        if self._until_next < 0:
+            self._seen += n
+            return 0
+        count = 0
+        pos = self._until_next
+        while pos < n:
+            self._sample.append(values[pos])
+            count += 1
+            pos += 1 + self._rng.geometric(self._rate) \
+                if self._rate < 1.0 else 1
+        self._until_next = pos - n
+        self._seen += n
+        return count
+
+    def thin(self, inner_rate: float) -> None:
+        """Subsample the current sample at ``inner_rate`` in place.
+
+        By the composition property the result is a ``Bern(q * inner_rate)``
+        sample of everything seen so far; :attr:`rate` is updated to match
+        so subsequent arrivals are sampled consistently.
+        """
+        self._check_open()
+        self._sample = bernoulli_subsample(self._sample, inner_rate,
+                                           self._rng)
+        self._rate = thin_rate(self._rate, inner_rate)
+        self._until_next = self._draw_gap()
+
+    def finalize(self) -> List[object]:
+        """Close the sampler and return the sample."""
+        self._finalized = True
+        return self._sample
+
+    def __len__(self) -> int:
+        return len(self._sample)
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._sample)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"BernoulliSampler(rate={self._rate!r}, seen={self._seen}, "
+                f"size={len(self._sample)})")

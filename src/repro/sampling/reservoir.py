@@ -1,0 +1,170 @@
+"""Reservoir sampling (Section 3.2 of the paper).
+
+Maintains the invariant that the reservoir is a simple random sample
+(without replacement) of all elements seen so far: the first ``k`` arrivals
+fill the reservoir, and arrival ``n > k`` replaces a uniformly chosen victim
+with probability ``k/n``.  Skip generation (:mod:`repro.sampling.skip`)
+avoids a coin flip per element.
+
+A reservoir sample of fixed size has an a-priori bounded footprint — the
+property Algorithm HB falls back on in phase 3 and Algorithm HR relies on
+in phase 2 — but historically lacked a merge procedure; the paper's
+``HRMerge`` (see :mod:`repro.core.merge`) closes that gap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, TypeVar
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.rng import SplittableRng
+from repro.sampling.skip import SkipGenerator
+
+__all__ = ["ReservoirSampler", "reservoir_subsample"]
+
+T = TypeVar("T")
+
+
+def reservoir_subsample(values: Sequence[T], k: int,
+                        rng: SplittableRng) -> List[T]:
+    """Return a simple random sample of ``min(k, len(values))`` values.
+
+    One-shot convenience; equivalent to feeding ``values`` through a
+    :class:`ReservoirSampler` of capacity ``k``.
+    """
+    sampler = ReservoirSampler(k, rng)
+    sampler.feed_many(values)
+    return sampler.finalize()
+
+
+class ReservoirSampler:
+    """Streaming simple-random-sample-without-replacement of size ``k``.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum (and, once the stream is long enough, exact) sample size.
+    rng:
+        Source of randomness.
+    start_index:
+        Stream position to resume from.  Used when continuing reservoir
+        sampling over a concatenated stream — e.g. HBMerge/HRMerge feed a
+        second partition into a reservoir that already summarizes the
+        first, passing ``start_index=len(first_partition)``.
+
+    Examples
+    --------
+    >>> from repro.rng import SplittableRng
+    >>> r = ReservoirSampler(10, SplittableRng(7))
+    >>> inserted = r.feed_many(range(1000))
+    >>> len(r.sample)
+    10
+    """
+
+    def __init__(self, capacity: int, rng: SplittableRng, *,
+                 start_index: int = 0,
+                 initial: Optional[Sequence[T]] = None) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(
+                f"reservoir capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._rng = rng
+        self._skips = SkipGenerator(capacity, rng)
+        self._sample: List[object] = list(initial) if initial else []
+        if len(self._sample) > capacity:
+            raise ConfigurationError(
+                f"initial sample of {len(self._sample)} exceeds capacity "
+                f"{capacity}")
+        self._seen = start_index
+        if start_index < len(self._sample):
+            raise ConfigurationError(
+                "start_index must be >= size of the initial sample")
+        self._finalized = False
+        self._next_insert = self._compute_next_insert()
+
+    def _compute_next_insert(self) -> int:
+        """Stream position (1-based) of the next element to insert."""
+        if len(self._sample) < self._capacity:
+            # Still filling: every arrival is inserted.
+            return self._seen + 1
+        return self._seen + self._skips.next_skip(self._seen)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum sample size ``k``."""
+        return self._capacity
+
+    @property
+    def seen(self) -> int:
+        """Number of stream elements observed (including skipped ones)."""
+        return self._seen
+
+    @property
+    def sample(self) -> List[object]:
+        """The current reservoir contents."""
+        return self._sample
+
+    def _check_open(self) -> None:
+        if self._finalized:
+            raise ProtocolError("sampler already finalized")
+
+    def feed(self, value: T) -> bool:
+        """Observe one value; return ``True`` if it entered the reservoir."""
+        self._check_open()
+        self._seen += 1
+        if self._seen != self._next_insert:
+            return False
+        if len(self._sample) < self._capacity:
+            self._sample.append(value)
+        else:
+            victim = self._rng.randrange(self._capacity)
+            self._sample[victim] = value
+        self._next_insert = self._compute_next_insert()
+        return True
+
+    def feed_many(self, values: Iterable[T]) -> int:
+        """Observe a sequence of values; return how many were inserted.
+
+        Indexable sequences are consumed by jumping straight to insertion
+        positions; general iterables fall back to per-element feeding.
+        """
+        self._check_open()
+        if isinstance(values, (list, tuple, range)):
+            return self._feed_sequence(values)
+        count = 0
+        for v in values:
+            if self.feed(v):
+                count += 1
+        return count
+
+    def _feed_sequence(self, values: Sequence[T]) -> int:
+        base = self._seen  # stream position just before this batch
+        end = base + len(values)
+        count = 0
+        while self._next_insert <= end:
+            value = values[self._next_insert - base - 1]
+            if len(self._sample) < self._capacity:
+                self._sample.append(value)
+            else:
+                victim = self._rng.randrange(self._capacity)
+                self._sample[victim] = value
+            count += 1
+            self._seen = self._next_insert
+            self._next_insert = self._compute_next_insert()
+        self._seen = end
+        return count
+
+    def finalize(self) -> List[object]:
+        """Close the sampler and return the reservoir."""
+        self._finalized = True
+        return self._sample
+
+    def __len__(self) -> int:
+        return len(self._sample)
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._sample)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ReservoirSampler(capacity={self._capacity}, "
+                f"seen={self._seen}, size={len(self._sample)})")

@@ -1,0 +1,144 @@
+"""Systematic sampling — one of the Section 6 future-work designs.
+
+A systematic sample with interval ``step`` picks a uniform random start
+``r`` in ``0..step-1`` and takes elements ``r, r+step, r+2·step, ...`` of
+the stream.  Each element has inclusion probability exactly ``1/step``
+(first-order uniform), the sample size is within 1 of ``N/step`` (tightly
+controlled, like a reservoir), and collection is the cheapest possible —
+no randomness after the start draw.
+
+What systematic sampling does **not** give is second-order uniformity:
+joint inclusion depends on positions (elements ``step`` apart always
+co-occur), so it is not "uniform" in the paper's all-subsets sense and
+periodic data can bias it badly.  That is why the paper treats it as a
+separate *design*, not a drop-in replacement; the warehouse supports it
+for workloads (e.g. auditing every k-th record) that want it explicitly.
+
+Merging: systematic samples of disjoint partitions taken with the *same*
+step can be concatenated to form a systematic-by-partition design, or
+down-merged through :func:`repro.core.merge.hr_merge` by treating each as
+an (approximate) SRS — both exposed through :meth:`to_sample`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, TypeVar
+
+from repro.core.footprint import DEFAULT_MODEL, FootprintModel
+from repro.core.histogram import CompactHistogram
+from repro.core.phases import SampleKind
+from repro.core.sample import WarehouseSample
+from repro.errors import ConfigurationError, ProtocolError
+from repro.rng import SplittableRng
+
+__all__ = ["SystematicSampler"]
+
+T = TypeVar("T")
+
+
+class SystematicSampler:
+    """Every ``step``-th element from a uniform random start.
+
+    Parameters
+    ----------
+    step:
+        The sampling interval (inclusion probability is ``1/step``).
+    rng:
+        Used once, for the random start.
+
+    Examples
+    --------
+    >>> from repro.rng import SplittableRng
+    >>> s = SystematicSampler(10, SplittableRng(1))
+    >>> taken = s.feed_many(range(100))
+    >>> len(s.sample)
+    10
+    """
+
+    def __init__(self, step: int, rng: SplittableRng) -> None:
+        if step <= 0:
+            raise ConfigurationError(f"step must be positive, got {step}")
+        self._step = step
+        self._start = rng.randrange(step)
+        self._sample: List[object] = []
+        self._seen = 0
+        self._finalized = False
+
+    @property
+    def step(self) -> int:
+        """The sampling interval."""
+        return self._step
+
+    @property
+    def start(self) -> int:
+        """The randomly drawn phase in ``0..step-1``."""
+        return self._start
+
+    @property
+    def seen(self) -> int:
+        """Number of elements observed."""
+        return self._seen
+
+    @property
+    def sample(self) -> List[object]:
+        """The collected elements, in stream order."""
+        return self._sample
+
+    def _check_open(self) -> None:
+        if self._finalized:
+            raise ProtocolError("sampler already finalized")
+
+    def feed(self, value: T) -> bool:
+        """Observe one element; return True if it was taken."""
+        self._check_open()
+        take = (self._seen % self._step) == self._start
+        self._seen += 1
+        if take:
+            self._sample.append(value)
+        return take
+
+    def feed_many(self, values: Iterable[T]) -> int:
+        """Observe a batch; returns how many were taken.
+
+        Indexable sequences are strided directly (no per-element work).
+        """
+        self._check_open()
+        if isinstance(values, (list, tuple, range)):
+            n = len(values)
+            offset = (self._start - self._seen) % self._step
+            taken = values[offset::self._step]
+            self._sample.extend(taken)
+            self._seen += n
+            return len(taken)
+        count = 0
+        for v in values:
+            if self.feed(v):
+                count += 1
+        return count
+
+    def finalize(self) -> List[object]:
+        """Close the sampler and return the sample list."""
+        self._check_open()
+        self._finalized = True
+        return self._sample
+
+    def to_sample(self, *, bound_values: Optional[int] = None,
+                  model: FootprintModel = DEFAULT_MODEL) -> WarehouseSample:
+        """Package the systematic sample for warehouse storage.
+
+        The sample is tagged RESERVOIR (fixed-size, first-order-uniform)
+        so it can flow through the storage and estimator machinery;
+        callers must keep the second-order caveat in mind when merging
+        (see the module docstring).
+        """
+        histogram = CompactHistogram.from_values(self._sample)
+        bound = bound_values if bound_values is not None \
+            else max(1, len(self._sample))
+        return WarehouseSample(
+            histogram=histogram,
+            kind=SampleKind.RESERVOIR,
+            population_size=self._seen,
+            bound_values=bound,
+            scheme="systematic",
+            model=model,
+        )

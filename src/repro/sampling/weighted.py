@@ -1,0 +1,256 @@
+"""Biased (weighted) sampling — one of the Section 6 future-work designs.
+
+Two classical weighted schemes, both streaming and both *mergeable*:
+
+* :class:`WeightedReservoirSampler` — Efraimidis & Spirakis' A-Res:
+  assign each element the key ``u^(1/w)`` (``u`` uniform, ``w`` its
+  weight) and keep the ``k`` largest keys.  The result is a weighted
+  sample *without replacement*: the probability that an element is
+  selected first is proportional to its weight, and the scheme
+  generalizes reservoir sampling (all weights 1 reduces to an SRS).
+
+  Merging is free and exact: because selection depends only on the
+  per-element keys, keeping the top ``k`` keys of the union of two
+  reservoirs' (key, value) pairs yields exactly the weighted sample of
+  the union of the two disjoint populations — the weighted analogue of
+  the paper's HRMerge, implemented by :func:`merge_weighted`.
+
+* :class:`WeightedBernoulliSampler` — include each element independently
+  with probability ``min(1, w / threshold)``, the Horvitz–Thompson
+  workhorse.  Disjoint unions merge by concatenation at equal
+  thresholds; :meth:`thin_to` equalizes differing thresholds, mirroring
+  ``purgeBernoulli`` rate equalization.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Iterable, List, Optional, Tuple, TypeVar
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.rng import SplittableRng
+
+__all__ = ["WeightedReservoirSampler", "WeightedBernoulliSampler",
+           "merge_weighted"]
+
+T = TypeVar("T")
+
+
+class WeightedReservoirSampler:
+    """A-Res weighted reservoir sampling (Efraimidis–Spirakis).
+
+    Parameters
+    ----------
+    capacity:
+        Sample size ``k``.
+    rng:
+        Randomness source.
+
+    Examples
+    --------
+    >>> from repro.rng import SplittableRng
+    >>> s = WeightedReservoirSampler(5, SplittableRng(1))
+    >>> for v in range(100):
+    ...     _ = s.feed(v, weight=1.0 + (v == 7) * 1000)
+    >>> 7 in s.values()
+    True
+    """
+
+    def __init__(self, capacity: int, rng: SplittableRng) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(
+                f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._rng = rng
+        # Min-heap of (key, tiebreak, value); smallest key is evicted.
+        self._heap: List[Tuple[float, int, object]] = []
+        self._counter = 0
+        self._seen = 0
+        self._total_weight = 0.0
+        self._finalized = False
+
+    @property
+    def capacity(self) -> int:
+        """Sample size ``k``."""
+        return self._capacity
+
+    @property
+    def seen(self) -> int:
+        """Number of elements observed."""
+        return self._seen
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of weights observed."""
+        return self._total_weight
+
+    def _check_open(self) -> None:
+        if self._finalized:
+            raise ProtocolError("sampler already finalized")
+
+    def feed(self, value: T, weight: float = 1.0) -> bool:
+        """Observe one weighted element; return True if currently kept."""
+        self._check_open()
+        if weight <= 0.0:
+            raise ConfigurationError(
+                f"weights must be positive, got {weight}")
+        self._seen += 1
+        self._total_weight += weight
+        # A-Res key: u^(1/w), computed in log space for stability.
+        u = self._rng.random()
+        key = math.log(u) / weight if u > 0.0 else float("-inf")
+        self._counter += 1
+        entry = (key, self._counter, value)
+        if len(self._heap) < self._capacity:
+            heapq.heappush(self._heap, entry)
+            return True
+        if key > self._heap[0][0]:
+            heapq.heapreplace(self._heap, entry)
+            return True
+        return False
+
+    def feed_many(self, pairs: Iterable[Tuple[T, float]]) -> int:
+        """Observe ``(value, weight)`` pairs; return how many were kept."""
+        count = 0
+        for value, weight in pairs:
+            if self.feed(value, weight):
+                count += 1
+        return count
+
+    def values(self) -> List[object]:
+        """Currently kept values (unordered)."""
+        return [v for _key, _tie, v in self._heap]
+
+    def keyed_entries(self) -> List[Tuple[float, int, object]]:
+        """The raw (key, tiebreak, value) entries — needed for merging."""
+        return list(self._heap)
+
+    def finalize(self) -> List[object]:
+        """Close the sampler and return the kept values."""
+        self._check_open()
+        self._finalized = True
+        return self.values()
+
+
+def merge_weighted(a: WeightedReservoirSampler,
+                   b: WeightedReservoirSampler, *,
+                   capacity: Optional[int] = None) -> List[object]:
+    """Exact merge of two A-Res samples over disjoint populations.
+
+    Keeps the ``capacity`` (default ``min(k_a, k_b)``) largest keys among
+    both samples' entries.  Because every element's key was drawn
+    independently of all others, this is distributed exactly as an A-Res
+    sample of the union — no re-randomization needed.
+    """
+    k = capacity if capacity is not None \
+        else min(a.capacity, b.capacity)
+    if k <= 0:
+        raise ConfigurationError(f"capacity must be positive, got {k}")
+    # Re-tiebreak across the two samplers (their private counters may
+    # collide, and values themselves need not be comparable).
+    entries = [(key, i, value) for i, (key, _tie, value)
+               in enumerate(a.keyed_entries() + b.keyed_entries())]
+    top = heapq.nlargest(k, entries)
+    return [v for _key, _tie, v in top]
+
+
+class WeightedBernoulliSampler:
+    """Independent inclusion with probability ``min(1, w / threshold)``.
+
+    Parameters
+    ----------
+    threshold:
+        Elements with ``weight >= threshold`` are always included;
+        lighter elements enter proportionally to their weight.
+    rng:
+        Randomness source.
+
+    Examples
+    --------
+    >>> from repro.rng import SplittableRng
+    >>> s = WeightedBernoulliSampler(100.0, SplittableRng(2))
+    >>> s.feed("heavy", weight=150.0)
+    True
+    """
+
+    def __init__(self, threshold: float, rng: SplittableRng) -> None:
+        if threshold <= 0.0:
+            raise ConfigurationError(
+                f"threshold must be positive, got {threshold}")
+        self._threshold = threshold
+        self._rng = rng
+        self._sample: List[Tuple[object, float]] = []
+        self._seen = 0
+        self._finalized = False
+
+    @property
+    def threshold(self) -> float:
+        """Current inclusion threshold."""
+        return self._threshold
+
+    @property
+    def seen(self) -> int:
+        """Number of elements observed."""
+        return self._seen
+
+    @property
+    def sample(self) -> List[Tuple[object, float]]:
+        """Included ``(value, weight)`` pairs."""
+        return self._sample
+
+    def _check_open(self) -> None:
+        if self._finalized:
+            raise ProtocolError("sampler already finalized")
+
+    def feed(self, value: T, weight: float = 1.0) -> bool:
+        """Observe one weighted element; return True if included."""
+        self._check_open()
+        if weight <= 0.0:
+            raise ConfigurationError(
+                f"weights must be positive, got {weight}")
+        self._seen += 1
+        if self._rng.bernoulli(min(1.0, weight / self._threshold)):
+            self._sample.append((value, weight))
+            return True
+        return False
+
+    def feed_many(self, pairs: Iterable[Tuple[T, float]]) -> int:
+        """Observe ``(value, weight)`` pairs; return how many entered."""
+        count = 0
+        for value, weight in pairs:
+            if self.feed(value, weight):
+                count += 1
+        return count
+
+    def thin_to(self, new_threshold: float) -> None:
+        """Raise the threshold, re-flipping survivors' coins.
+
+        Each kept element survives with probability equal to the ratio of
+        its new and old inclusion probabilities, so the result is exactly
+        a ``new_threshold`` weighted Bernoulli sample — the weighted
+        analogue of rate equalization before an SB-style union.
+        """
+        self._check_open()
+        if new_threshold < self._threshold:
+            raise ConfigurationError(
+                "threshold can only increase (samples only shrink)")
+        survivors = []
+        for value, weight in self._sample:
+            old_p = min(1.0, weight / self._threshold)
+            new_p = min(1.0, weight / new_threshold)
+            if self._rng.bernoulli(new_p / old_p):
+                survivors.append((value, weight))
+        self._sample = survivors
+        self._threshold = new_threshold
+
+    def estimate_total_weight(self) -> float:
+        """Horvitz–Thompson estimate of the population's total weight."""
+        return sum(max(weight, self._threshold)
+                   for _value, weight in self._sample)
+
+    def finalize(self) -> List[Tuple[object, float]]:
+        """Close the sampler and return the weighted sample."""
+        self._check_open()
+        self._finalized = True
+        return self._sample

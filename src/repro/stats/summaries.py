@@ -1,0 +1,48 @@
+"""Small summary-statistics helpers shared by tests and benches."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["mean", "stdev", "sem", "relative_error", "coefficient_of_variation"]
+
+
+def mean(xs: Sequence[float]) -> float:
+    """Arithmetic mean (raises on empty input)."""
+    if not xs:
+        raise ConfigurationError("mean of empty sequence")
+    return math.fsum(xs) / len(xs)
+
+
+def stdev(xs: Sequence[float]) -> float:
+    """Sample standard deviation (n-1 denominator); 0.0 for length-1."""
+    n = len(xs)
+    if n == 0:
+        raise ConfigurationError("stdev of empty sequence")
+    if n == 1:
+        return 0.0
+    m = mean(xs)
+    return math.sqrt(math.fsum((x - m) ** 2 for x in xs) / (n - 1))
+
+
+def sem(xs: Sequence[float]) -> float:
+    """Standard error of the mean."""
+    return stdev(xs) / math.sqrt(len(xs))
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """``|estimate - truth| / |truth|`` (truth of 0 compares absolutely)."""
+    if truth == 0.0:
+        return abs(estimate)
+    return abs(estimate - truth) / abs(truth)
+
+
+def coefficient_of_variation(xs: Sequence[float]) -> float:
+    """``stdev / mean`` — the sample-size stability metric of Figs 15-16."""
+    m = mean(xs)
+    if m == 0.0:
+        return 0.0
+    return stdev(xs) / abs(m)

@@ -1,0 +1,224 @@
+"""Empirical uniformity testing for sampling schemes.
+
+A sampling scheme is *uniform* when all same-size samples of a population
+are equally likely (Section 3).  These helpers turn that definition into
+statistical acceptance tests used throughout the test suite:
+
+* :func:`inclusion_frequency_test` — over many runs, every element of the
+  population must be included equally often; chi-square on the per-element
+  inclusion counts.
+* :func:`subset_frequency_test` — stronger: conditioned on a sample size
+  ``k``, every ``k``-subset must be realized equally often; chi-square
+  over all ``C(n, k)`` subsets (small populations only).
+* :func:`concise_nonuniformity_demo` — the Section 3.3 counter-example:
+  population ``a,a,a,b,b,b`` with room for one ``(value, count)`` pair;
+  concise sampling can produce ``{(a,3)}`` and ``{(b,3)}`` but *never*
+  ``{(a,2), b}``, so it cannot be uniform.
+
+The chi-square p-value is computed with a pure-Python regularized
+incomplete gamma (series + continued fraction), keeping the core library
+dependency-free; tests cross-check it against SciPy.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from repro.core.concise import ConciseSampler
+from repro.core.footprint import FootprintModel
+from repro.errors import ConfigurationError
+from repro.rng import SplittableRng
+
+__all__ = ["chi_square_pvalue", "regularized_gamma_q",
+           "inclusion_frequency_test", "subset_frequency_test",
+           "concise_nonuniformity_demo"]
+
+
+# ----------------------------------------------------------------------
+# Chi-square machinery
+# ----------------------------------------------------------------------
+def _gamma_p_series(a: float, x: float, epsilon: float = 1e-14,
+                    max_iterations: int = 10_000) -> float:
+    """Lower regularized gamma P(a, x) by series (x < a + 1)."""
+    term = 1.0 / a
+    total = term
+    n = a
+    for _ in range(max_iterations):
+        n += 1.0
+        term *= x / n
+        total += term
+        if abs(term) < abs(total) * epsilon:
+            break
+    return total * math.exp(-x + a * math.log(x) - math.lgamma(a))
+
+
+def _gamma_q_cf(a: float, x: float, epsilon: float = 1e-14,
+                max_iterations: int = 10_000) -> float:
+    """Upper regularized gamma Q(a, x) by continued fraction (x >= a+1)."""
+    tiny = 1e-300
+    b = x + 1.0 - a
+    c = 1.0 / tiny
+    d = 1.0 / b
+    h = d
+    for i in range(1, max_iterations + 1):
+        an = -i * (i - a)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + an / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < epsilon:
+            break
+    return h * math.exp(-x + a * math.log(x) - math.lgamma(a))
+
+
+def regularized_gamma_q(a: float, x: float) -> float:
+    """Upper regularized incomplete gamma ``Q(a, x) = 1 - P(a, x)``."""
+    if a <= 0.0:
+        raise ConfigurationError(f"a must be positive, got {a}")
+    if x < 0.0:
+        raise ConfigurationError(f"x must be >= 0, got {x}")
+    if x == 0.0:
+        return 1.0
+    if x < a + 1.0:
+        return 1.0 - _gamma_p_series(a, x)
+    return _gamma_q_cf(a, x)
+
+
+def chi_square_pvalue(observed: Sequence[float],
+                      expected: Sequence[float]) -> float:
+    """P-value of Pearson's chi-square goodness-of-fit test.
+
+    ``observed`` and ``expected`` must have equal length; cells with zero
+    expectation are rejected (collapse them first).
+    """
+    if len(observed) != len(expected):
+        raise ConfigurationError(
+            f"length mismatch: {len(observed)} observed vs "
+            f"{len(expected)} expected")
+    if len(observed) < 2:
+        raise ConfigurationError("need at least two cells")
+    stat = 0.0
+    for o, e in zip(observed, expected):
+        if e <= 0.0:
+            raise ConfigurationError(
+                "expected counts must be positive; collapse empty cells")
+        stat += (o - e) ** 2 / e
+    dof = len(observed) - 1
+    return regularized_gamma_q(dof / 2.0, stat / 2.0)
+
+
+# ----------------------------------------------------------------------
+# Uniformity tests
+# ----------------------------------------------------------------------
+SampleFn = Callable[[Sequence[object], SplittableRng], Iterable[object]]
+
+
+def inclusion_frequency_test(sample_fn: SampleFn,
+                             population: Sequence[object],
+                             trials: int,
+                             rng: SplittableRng) -> float:
+    """P-value that all elements are included equally often.
+
+    ``sample_fn(population, rng)`` must return the sampled values of one
+    run (with multiplicity).  The population must consist of distinct
+    values so occurrences can be attributed to elements.
+    """
+    values = list(population)
+    if len(set(values)) != len(values):
+        raise ConfigurationError(
+            "inclusion test needs distinct population values")
+    counts: Dict[object, int] = {v: 0 for v in values}
+    total = 0
+    for t in range(trials):
+        for v in sample_fn(values, rng.spawn("trial", t)):
+            counts[v] += 1
+            total += 1
+    if total == 0:
+        raise ConfigurationError("sampler never included anything")
+    expected = [total / len(values)] * len(values)
+    return chi_square_pvalue([counts[v] for v in values], expected)
+
+
+def subset_frequency_test(sample_fn: SampleFn,
+                          population: Sequence[object],
+                          size: int,
+                          trials: int,
+                          rng: SplittableRng) -> float:
+    """P-value that all ``size``-subsets are equally likely.
+
+    Runs the sampler ``trials`` times, keeps the runs whose sample has
+    exactly ``size`` (distinct) elements, and chi-squares the realized
+    subset frequencies against the uniform law over all ``C(n, size)``
+    subsets.  Population must be small (the subset space is enumerated).
+    """
+    values = list(population)
+    if len(set(values)) != len(values):
+        raise ConfigurationError(
+            "subset test needs distinct population values")
+    space: List[frozenset] = [frozenset(c) for c in
+                              itertools.combinations(values, size)]
+    index = {s: i for i, s in enumerate(space)}
+    observed = [0] * len(space)
+    kept = 0
+    for t in range(trials):
+        sample = list(sample_fn(values, rng.spawn("trial", t)))
+        if len(sample) != size:
+            continue
+        key = frozenset(sample)
+        if len(key) != size:  # duplicates cannot occur for distinct values
+            continue
+        observed[index[key]] += 1
+        kept += 1
+    if kept < 5 * len(space):
+        raise ConfigurationError(
+            f"only {kept} usable runs for {len(space)} subsets; "
+            f"increase trials")
+    expected = [kept / len(space)] * len(space)
+    return chi_square_pvalue(observed, expected)
+
+
+# ----------------------------------------------------------------------
+# The Section 3.3 counter-example
+# ----------------------------------------------------------------------
+def concise_nonuniformity_demo(trials: int, rng: SplittableRng,
+                               ) -> Dict[str, int]:
+    """Reproduce the Section 3.3 worked example.
+
+    Population ``a,a,a,b,b,b`` with a concise-sampling footprint that
+    holds at most one ``(value, count)`` pair.  Counts how often the
+    final sample equals each of the paper's three candidate histograms:
+
+    * ``H1 = {(a,3)}`` — occurs with positive probability;
+    * ``H2 = {(b,3)}`` — occurs with positive probability;
+    * ``H3 = {(a,2), b}`` — can *never* occur (footprint too large),
+      although under uniformity it would have to be 9x as likely as H1.
+
+    Returns ``{"H1": ..., "H2": ..., "H3": ..., "other": ...}``.
+    """
+    model = FootprintModel(value_bytes=8, count_bytes=4)
+    capacity = model.value_bytes + model.count_bytes  # one pair: 12 bytes
+    population = ["a", "a", "a", "b", "b", "b"]
+    counts = {"H1": 0, "H2": 0, "H3": 0, "other": 0}
+    for t in range(trials):
+        sampler = ConciseSampler(footprint_bytes=capacity,
+                                 rng=rng.spawn("concise", t), model=model)
+        sampler.feed_many(population)
+        hist = sampler.finalize()
+        pairs = dict(hist.pairs())
+        if pairs == {"a": 3}:
+            counts["H1"] += 1
+        elif pairs == {"b": 3}:
+            counts["H2"] += 1
+        elif pairs in ({"a": 2, "b": 1}, {"a": 1, "b": 2}):
+            counts["H3"] += 1
+        else:
+            counts["other"] += 1
+    return counts

@@ -1,0 +1,8 @@
+"""Stream substrate: synthetic sources with fluctuating arrival rates and
+stream splitters for parallelizing one stream across machines."""
+
+from repro.stream.source import FluctuatingStream, chunk_stream
+from repro.stream.splitter import RoundRobinSplitter, hash_split
+
+__all__ = ["FluctuatingStream", "chunk_stream", "RoundRobinSplitter",
+           "hash_split"]

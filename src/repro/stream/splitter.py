@@ -1,0 +1,86 @@
+"""Stream splitters: fan one stream out across parallel consumers.
+
+When "the incoming stream could be split over a number of machines and
+samples from the concurrent sampling processes merged on demand"
+(Section 2), the split itself must not bias the per-machine substreams.
+Both splitters here produce *disjoint* substreams whose union is the
+original stream — the precondition for the merge procedures:
+
+* :class:`RoundRobinSplitter` — element ``i`` goes to consumer
+  ``i mod k``; deterministic, perfectly balanced.
+* :func:`hash_split` — route by a hash of the value; keeps equal values
+  together (useful when per-consumer distinct-value locality matters)
+  at the cost of balance under skew.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, List, TypeVar
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RoundRobinSplitter", "hash_split"]
+
+T = TypeVar("T")
+
+
+class RoundRobinSplitter:
+    """Deliver stream elements to ``k`` consumers in rotation.
+
+    Consumers are callables (e.g. a sampler's ``feed`` or an ingestor's
+    ``feed`` method).
+
+    Examples
+    --------
+    >>> outs = [[], []]
+    >>> split = RoundRobinSplitter([outs[0].append, outs[1].append])
+    >>> split.feed_many(range(5))
+    >>> outs
+    [[0, 2, 4], [1, 3]]
+    """
+
+    def __init__(self, consumers: List[Callable[[T], object]]) -> None:
+        if not consumers:
+            raise ConfigurationError("need at least one consumer")
+        self._consumers = list(consumers)
+        self._next = 0
+        self._count = 0
+
+    @property
+    def delivered(self) -> int:
+        """Total elements delivered."""
+        return self._count
+
+    def feed(self, value: T) -> None:
+        """Deliver one element to the next consumer in rotation."""
+        self._consumers[self._next](value)
+        self._next = (self._next + 1) % len(self._consumers)
+        self._count += 1
+
+    def feed_many(self, values: Iterable[T]) -> None:
+        """Deliver a sequence of elements."""
+        for v in values:
+            self.feed(v)
+
+
+def hash_split(values: Iterable[T], k: int, *,
+               key: Callable[[T], Hashable] = lambda v: v) -> List[List[T]]:
+    """Partition values into ``k`` buckets by hash of ``key(value)``.
+
+    Equal values always land in the same bucket.  Note that Python's
+    ``hash`` for ``str`` is salted per process; pass a stable ``key``
+    (e.g. ``lambda v: hash_int(v)``) if cross-process determinism for
+    string values is required.
+
+    Examples
+    --------
+    >>> buckets = hash_split([1, 2, 3, 1], 2)
+    >>> sum(len(b) for b in buckets)
+    4
+    """
+    if k <= 0:
+        raise ConfigurationError(f"k must be positive, got {k}")
+    buckets: List[List[T]] = [[] for _ in range(k)]
+    for v in values:
+        buckets[hash(key(v)) % k].append(v)
+    return buckets

@@ -1,0 +1,141 @@
+"""Warehouse consistency auditing.
+
+A sample warehouse accumulates state through many independent code paths
+(parallel ingests, stream cuts, roll-in/out, deletions, foreign-sample
+imports).  :func:`audit_warehouse` sweeps the whole thing and verifies
+the cross-component invariants that no single operation can check alone:
+
+* every *active* catalog entry has a stored sample, and the stored
+  sample's population/size/kind/scheme match the catalog record;
+* every stored sample passes its own invariants (footprint bound,
+  size <= population, exhaustive-covers-population);
+* partition keys are internally consistent (key.dataset matches the
+  dataset they are registered under);
+* per-dataset totals add up.
+
+The audit never mutates anything; it returns a structured report, so an
+operator can alert on ``report.ok`` or log ``report.problems``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import PartitionNotFoundError, ReproError
+
+__all__ = ["AuditProblem", "AuditReport", "audit_warehouse"]
+
+
+@dataclass(frozen=True)
+class AuditProblem:
+    """One inconsistency found by the audit."""
+
+    severity: str      # "error" | "warning"
+    dataset: str
+    partition: str     # str(key) or "" for dataset-level problems
+    message: str
+
+    def __str__(self) -> str:
+        where = self.partition or self.dataset
+        return f"[{self.severity}] {where}: {self.message}"
+
+
+@dataclass
+class AuditReport:
+    """Outcome of a full warehouse audit."""
+
+    datasets_checked: int = 0
+    partitions_checked: int = 0
+    samples_verified: int = 0
+    problems: List[AuditProblem] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no *errors* were found (warnings allowed)."""
+        return not any(p.severity == "error" for p in self.problems)
+
+    @property
+    def errors(self) -> List[AuditProblem]:
+        """Only the error-severity problems."""
+        return [p for p in self.problems if p.severity == "error"]
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        status = "OK" if self.ok else "INCONSISTENT"
+        return (f"{status}: {self.datasets_checked} dataset(s), "
+                f"{self.partitions_checked} partition(s), "
+                f"{self.samples_verified} sample(s) verified, "
+                f"{len(self.errors)} error(s), "
+                f"{len(self.problems) - len(self.errors)} warning(s)")
+
+
+def audit_warehouse(warehouse) -> AuditReport:
+    """Run every consistency check; returns an :class:`AuditReport`."""
+    report = AuditReport()
+    catalog = warehouse.catalog
+    store = warehouse.store
+
+    for dataset in catalog.datasets():
+        report.datasets_checked += 1
+        metas = catalog.partitions(dataset, only_active=False)
+        for meta in metas:
+            report.partitions_checked += 1
+            key = meta.key
+            if key.dataset != dataset:
+                report.problems.append(AuditProblem(
+                    "error", dataset, str(key),
+                    f"registered under {dataset!r} but key says "
+                    f"{key.dataset!r}"))
+                continue
+
+            try:
+                sample = store.get(key)
+            except PartitionNotFoundError:
+                severity = "error" if meta.active else "warning"
+                report.problems.append(AuditProblem(
+                    severity, dataset, str(key),
+                    "no stored sample"
+                    + ("" if meta.active else " (partition is rolled out)")))
+                continue
+
+            report.samples_verified += 1
+            try:
+                sample.check_invariants()
+            except ReproError as exc:
+                report.problems.append(AuditProblem(
+                    "error", dataset, str(key),
+                    f"sample invariant violation: {exc}"))
+
+            if sample.population_size != meta.population_size:
+                report.problems.append(AuditProblem(
+                    "error", dataset, str(key),
+                    f"catalog population {meta.population_size} != "
+                    f"stored sample population {sample.population_size}"))
+            if sample.size != meta.sample_size:
+                report.problems.append(AuditProblem(
+                    "error", dataset, str(key),
+                    f"catalog sample size {meta.sample_size} != "
+                    f"stored sample size {sample.size}"))
+            if sample.kind is not meta.kind:
+                report.problems.append(AuditProblem(
+                    "error", dataset, str(key),
+                    f"catalog kind {meta.kind.name} != stored kind "
+                    f"{sample.kind.name}"))
+            if sample.scheme != meta.scheme:
+                report.problems.append(AuditProblem(
+                    "warning", dataset, str(key),
+                    f"catalog scheme {meta.scheme!r} != stored scheme "
+                    f"{sample.scheme!r}"))
+
+    # Orphaned samples: stored but not cataloged anywhere.
+    known = {m.key
+             for ds in catalog.datasets()
+             for m in catalog.partitions(ds, only_active=False)}
+    for key in store.keys():
+        if key not in known:
+            report.problems.append(AuditProblem(
+                "warning", key.dataset, str(key),
+                "stored sample has no catalog entry (orphan)"))
+
+    return report

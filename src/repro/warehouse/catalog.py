@@ -1,0 +1,188 @@
+"""The warehouse catalog: which partitions exist, and their metadata.
+
+The catalog is the control-plane companion of the sample store: for every
+partition it records the parent size, the sample's kind and size, an
+optional human label (e.g. ``"2026-07-04"`` for daily partitions), and
+whether the partition is currently **rolled in** (active).  Roll-out
+keeps the metadata (marked inactive) so a partition can be rolled back in
+later — the mechanism the paper uses to approximate moving-window stream
+sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.core.phases import SampleKind
+from repro.errors import (ConfigurationError, DatasetNotFoundError,
+                          PartitionNotFoundError)
+from repro.warehouse.dataset import PartitionKey
+
+__all__ = ["PartitionMeta", "Catalog"]
+
+
+@dataclass
+class PartitionMeta:
+    """Catalog record for one partition."""
+
+    key: PartitionKey
+    population_size: int
+    sample_size: int
+    kind: SampleKind
+    scheme: str
+    label: Optional[str] = None
+    active: bool = True
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (for catalog persistence)."""
+        return {
+            "key": str(self.key),
+            "population_size": self.population_size,
+            "sample_size": self.sample_size,
+            "kind": self.kind.name,
+            "scheme": self.scheme,
+            "label": self.label,
+            "active": self.active,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PartitionMeta":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            key=PartitionKey.parse(data["key"]),
+            population_size=data["population_size"],
+            sample_size=data["sample_size"],
+            kind=SampleKind[data["kind"]],
+            scheme=data["scheme"],
+            label=data.get("label"),
+            active=data.get("active", True),
+        )
+
+
+@dataclass
+class _DatasetEntry:
+    partitions: Dict[PartitionKey, PartitionMeta] = field(
+        default_factory=dict)
+
+
+class Catalog:
+    """Metadata registry over datasets and their partitions.
+
+    Examples
+    --------
+    >>> c = Catalog()
+    >>> k = PartitionKey("orders", 0, 0)
+    >>> c.register(PartitionMeta(k, 100, 10, SampleKind.RESERVOIR, "hr"))
+    >>> [m.key for m in c.partitions("orders")] == [k]
+    True
+    """
+
+    def __init__(self) -> None:
+        self._datasets: Dict[str, _DatasetEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Registration and lookup
+    # ------------------------------------------------------------------
+    def register(self, meta: PartitionMeta, *,
+                 replace: bool = False) -> None:
+        """Add a partition record; re-registering raises unless ``replace``."""
+        entry = self._datasets.setdefault(meta.key.dataset, _DatasetEntry())
+        if meta.key in entry.partitions and not replace:
+            raise ConfigurationError(
+                f"partition {meta.key} already registered")
+        entry.partitions[meta.key] = meta
+
+    def get(self, key: PartitionKey) -> PartitionMeta:
+        """The record for ``key`` (raises if unknown)."""
+        entry = self._datasets.get(key.dataset)
+        if entry is None:
+            raise DatasetNotFoundError(key.dataset)
+        meta = entry.partitions.get(key)
+        if meta is None:
+            raise PartitionNotFoundError(str(key))
+        return meta
+
+    def forget(self, key: PartitionKey) -> None:
+        """Drop a partition record entirely."""
+        meta = self.get(key)
+        del self._datasets[meta.key.dataset].partitions[key]
+
+    def datasets(self) -> List[str]:
+        """Names of all known datasets, sorted."""
+        return sorted(self._datasets)
+
+    def partitions(self, dataset: str, *,
+                   only_active: bool = True,
+                   where: Optional[Callable[[PartitionMeta], bool]] = None
+                   ) -> List[PartitionMeta]:
+        """Partition records of a dataset, in key order.
+
+        ``only_active`` filters out rolled-out partitions; ``where`` is an
+        arbitrary extra predicate (e.g. on labels for temporal selection).
+        """
+        entry = self._datasets.get(dataset)
+        if entry is None:
+            raise DatasetNotFoundError(dataset)
+        metas = sorted(entry.partitions.values(), key=lambda m: m.key)
+        if only_active:
+            metas = [m for m in metas if m.active]
+        if where is not None:
+            metas = [m for m in metas if where(m)]
+        return metas
+
+    def next_seq(self, dataset: str, stream: int = 0) -> int:
+        """The next unused temporal sequence number for a stream."""
+        entry = self._datasets.get(dataset)
+        if entry is None:
+            return 0
+        seqs = [k.seq for k in entry.partitions if k.stream == stream]
+        return max(seqs) + 1 if seqs else 0
+
+    # ------------------------------------------------------------------
+    # Roll-in / roll-out
+    # ------------------------------------------------------------------
+    def roll_out(self, key: PartitionKey) -> None:
+        """Mark a partition inactive (its sample leaves the working set)."""
+        self.get(key).active = False
+
+    def roll_in(self, key: PartitionKey) -> None:
+        """Mark a partition active again."""
+        self.get(key).active = True
+
+    # ------------------------------------------------------------------
+    # Aggregates and persistence
+    # ------------------------------------------------------------------
+    def total_population(self, dataset: str, *,
+                         only_active: bool = True) -> int:
+        """Sum of parent-partition sizes for a dataset."""
+        return sum(m.population_size
+                   for m in self.partitions(dataset,
+                                            only_active=only_active))
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot of the whole catalog."""
+        return {
+            "datasets": {
+                name: [m.to_dict()
+                       for m in sorted(entry.partitions.values(),
+                                       key=lambda m: m.key)]
+                for name, entry in self._datasets.items()
+            }
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Catalog":
+        """Inverse of :meth:`to_dict`."""
+        catalog = cls()
+        for metas in data.get("datasets", {}).values():
+            for meta in metas:
+                catalog.register(PartitionMeta.from_dict(meta))
+        return catalog
+
+    def merge_labels(self, dataset: str,
+                     labels: Iterable[str]) -> List[PartitionMeta]:
+        """Active partitions of a dataset whose label is in ``labels``."""
+        wanted = set(labels)
+        return self.partitions(dataset,
+                               where=lambda m: m.label in wanted)

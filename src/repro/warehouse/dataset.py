@@ -1,0 +1,68 @@
+"""Data-set and partition identity.
+
+Figure 1's naming scheme: a data set ``D`` may be parallelized across
+streams ``D_1, D_2, ...`` (one per CPU) and each stream partitioned
+temporally into ``D_{i,1}, D_{i,2}, ...`` (say, by day).  A
+:class:`PartitionKey` pins down one such cell: ``(dataset, stream, seq)``.
+
+Keys serialize to/from the compact string form ``"dataset/stream/seq"``
+used as file names by the file-backed sample store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PartitionKey"]
+
+
+@dataclass(frozen=True, order=True)
+class PartitionKey:
+    """Identity of one data-set partition ``D_{stream, seq}``.
+
+    Examples
+    --------
+    >>> k = PartitionKey("orders.amount", stream=2, seq=5)
+    >>> str(k)
+    'orders.amount/2/5'
+    >>> PartitionKey.parse("orders.amount/2/5") == k
+    True
+    """
+
+    dataset: str
+    stream: int = 0
+    seq: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.dataset:
+            raise ConfigurationError("dataset name must be non-empty")
+        if "/" in self.dataset:
+            raise ConfigurationError(
+                f"dataset name may not contain '/': {self.dataset!r}")
+        if self.stream < 0 or self.seq < 0:
+            raise ConfigurationError(
+                f"stream and seq must be >= 0, got {self.stream}, {self.seq}")
+
+    def __str__(self) -> str:
+        return f"{self.dataset}/{self.stream}/{self.seq}"
+
+    @classmethod
+    def parse(cls, text: str) -> "PartitionKey":
+        """Inverse of ``str(key)``."""
+        parts = text.rsplit("/", 2)
+        if len(parts) != 3:
+            raise ConfigurationError(
+                f"not a partition key: {text!r} (want 'dataset/stream/seq')")
+        dataset, stream, seq = parts
+        try:
+            return cls(dataset, int(stream), int(seq))
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"not a partition key: {text!r}") from exc
+
+    def filename(self) -> str:
+        """A filesystem-safe name for this key."""
+        safe = self.dataset.replace(":", "_")
+        return f"{safe}__{self.stream}__{self.seq}.sample.json"

@@ -1,0 +1,76 @@
+"""Temporal rollups: daily samples -> weekly/monthly/... samples.
+
+Section 2's warehousing scenario partitions each incoming stream
+temporally ("one partition per day") and combines daily samples into
+weekly, monthly, or yearly samples for analysis.  :func:`temporal_rollup`
+performs that combination over a warehouse dataset by grouping partition
+labels and merging each group into a uniform sample of the group's union.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.merge import merge_tree
+from repro.core.sample import WarehouseSample
+from repro.errors import ConfigurationError
+from repro.rng import SplittableRng
+from repro.warehouse.dataset import PartitionKey
+
+__all__ = ["temporal_rollup", "group_by_window"]
+
+
+def group_by_window(keys: List[PartitionKey],
+                    window: int) -> List[List[PartitionKey]]:
+    """Group keys into consecutive windows of ``window`` partitions.
+
+    The natural grouping for "7 dailies -> 1 weekly".  The final group
+    may be shorter.
+    """
+    if window <= 0:
+        raise ConfigurationError(f"window must be positive, got {window}")
+    return [keys[i:i + window] for i in range(0, len(keys), window)]
+
+
+def temporal_rollup(warehouse, dataset: str, *,
+                    window: Optional[int] = None,
+                    group_fn: Optional[Callable[[PartitionKey], str]] = None,
+                    rng: Optional[SplittableRng] = None,
+                    mode: str = "balanced"
+                    ) -> Dict[str, WarehouseSample]:
+    """Merge a dataset's partitions into coarser temporal units.
+
+    Exactly one grouping must be given:
+
+    * ``window=n`` — consecutive runs of ``n`` partitions (groups are
+      named ``"w0", "w1", ...``), or
+    * ``group_fn`` — maps each :class:`PartitionKey` to a group name
+      (e.g. a month derived from the day encoded in ``key.seq``).
+
+    Returns ``{group_name: merged_sample}``; group contents merge as a
+    ``mode`` merge tree.  The warehouse itself is not modified — callers
+    can re-ingest the rollups under a derived dataset name if they want
+    them cataloged (see ``examples/temporal_rollup.py``).
+    """
+    if (window is None) == (group_fn is None):
+        raise ConfigurationError("give exactly one of window and group_fn")
+    rng = rng if rng is not None else SplittableRng()
+    keys = warehouse.partition_keys(dataset)
+    if not keys:
+        raise ConfigurationError(f"dataset {dataset!r} has no partitions")
+
+    groups: Dict[str, List[PartitionKey]] = {}
+    if window is not None:
+        for i, bucket in enumerate(group_by_window(keys, window)):
+            groups[f"w{i}"] = bucket
+    else:
+        assert group_fn is not None
+        for key in keys:
+            groups.setdefault(group_fn(key), []).append(key)
+
+    out: Dict[str, WarehouseSample] = {}
+    for name, bucket in groups.items():
+        samples = [warehouse.sample_for(k) for k in bucket]
+        out[name] = merge_tree(samples, rng=rng.spawn("rollup", name),
+                               mode=mode)
+    return out

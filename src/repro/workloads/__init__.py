@@ -1,0 +1,20 @@
+"""Workload generators and the Section 5 experiment grid."""
+
+from repro.workloads.generators import (UniformGenerator, UniqueGenerator,
+                                        ZipfGenerator, make_generator)
+from repro.workloads.retail import RetailWorkload
+from repro.workloads.scenarios import (PAPER_PARTITION_COUNTS,
+                                       PAPER_POPULATION_SIZES, Scenario,
+                                       paper_scenarios)
+
+__all__ = [
+    "RetailWorkload",
+    "UniqueGenerator",
+    "UniformGenerator",
+    "ZipfGenerator",
+    "make_generator",
+    "Scenario",
+    "paper_scenarios",
+    "PAPER_POPULATION_SIZES",
+    "PAPER_PARTITION_COUNTS",
+]

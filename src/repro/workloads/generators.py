@@ -1,0 +1,124 @@
+"""The paper's three data distributions (Section 5).
+
+"We considered three kinds of data sets: a set of unique integers between
+1 and the population size, a set of data values that are uniformly
+distributed over the range 1 to 1,000,000, and a set of integer values
+over the range of 1 to 4000 having a Zipf distribution."
+
+Each generator produces a full data set as a list (for batch ingest) or
+lazily (for streams), deterministically from a seed.  The unique data set
+is shuffled so that contiguous batch partitions are not trivially sorted
+ranges.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.errors import ConfigurationError
+from repro.rng import SplittableRng
+from repro.sampling.distributions import ZipfSampler
+
+__all__ = ["UniqueGenerator", "UniformGenerator", "ZipfGenerator",
+           "make_generator", "DISTRIBUTIONS"]
+
+#: Uniform workload value range (paper: 1..1,000,000).
+UNIFORM_VALUE_RANGE = 1_000_000
+#: Zipf workload value range (paper: 1..4000).
+ZIPF_VALUE_RANGE = 4_000
+
+
+class UniqueGenerator:
+    """All-distinct integers ``1..n`` in random order.
+
+    Examples
+    --------
+    >>> from repro.rng import SplittableRng
+    >>> g = UniqueGenerator()
+    >>> sorted(g.generate(5, SplittableRng(1)))
+    [1, 2, 3, 4, 5]
+    """
+
+    name = "unique"
+
+    def generate(self, n: int, rng: SplittableRng) -> List[int]:
+        """A shuffled permutation of ``1..n``."""
+        if n < 0:
+            raise ConfigurationError(f"n must be >= 0, got {n}")
+        values = list(range(1, n + 1))
+        rng.shuffle(values)
+        return values
+
+    def stream(self, n: int, rng: SplittableRng) -> Iterator[int]:
+        """Lazy variant (materializes internally; uniqueness needs it)."""
+        return iter(self.generate(n, rng))
+
+
+class UniformGenerator:
+    """I.i.d. integers uniform on ``1..value_range`` (default 1e6)."""
+
+    name = "uniform"
+
+    def __init__(self, value_range: int = UNIFORM_VALUE_RANGE) -> None:
+        if value_range <= 0:
+            raise ConfigurationError(
+                f"value_range must be positive, got {value_range}")
+        self._range = value_range
+
+    def generate(self, n: int, rng: SplittableRng) -> List[int]:
+        """``n`` i.i.d. uniform draws."""
+        if n < 0:
+            raise ConfigurationError(f"n must be >= 0, got {n}")
+        r = self._range
+        randrange = rng.randrange
+        return [randrange(r) + 1 for _ in range(n)]
+
+    def stream(self, n: int, rng: SplittableRng) -> Iterator[int]:
+        """Lazy variant."""
+        r = self._range
+        for _ in range(n):
+            yield rng.randrange(r) + 1
+
+
+class ZipfGenerator:
+    """I.i.d. Zipf-distributed integers on ``1..value_range``
+    (default 1..4000, exponent 1)."""
+
+    name = "zipfian"
+
+    def __init__(self, value_range: int = ZIPF_VALUE_RANGE,
+                 exponent: float = 1.0) -> None:
+        self._sampler = ZipfSampler(value_range, exponent)
+
+    def generate(self, n: int, rng: SplittableRng) -> List[int]:
+        """``n`` i.i.d. Zipf draws."""
+        if n < 0:
+            raise ConfigurationError(f"n must be >= 0, got {n}")
+        return self._sampler.sample_many(n, rng)
+
+    def stream(self, n: int, rng: SplittableRng) -> Iterator[int]:
+        """Lazy variant."""
+        sample = self._sampler.sample
+        for _ in range(n):
+            yield sample(rng)
+
+
+DISTRIBUTIONS = ("unique", "uniform", "zipfian")
+
+
+def make_generator(name: str):
+    """Generator instance for a distribution name.
+
+    Examples
+    --------
+    >>> make_generator("unique").name
+    'unique'
+    """
+    if name == "unique":
+        return UniqueGenerator()
+    if name == "uniform":
+        return UniformGenerator()
+    if name == "zipfian":
+        return ZipfGenerator()
+    raise ConfigurationError(
+        f"unknown distribution {name!r}; expected one of {DISTRIBUTIONS}")

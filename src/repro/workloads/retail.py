@@ -1,0 +1,128 @@
+"""A correlated star-schema workload ("retail") for realistic demos.
+
+The Section 5 generators (unique / uniform / Zipf) are single columns;
+the warehouse's metadata-discovery and multi-dataset scenarios want
+*related* columns: keys, foreign keys referencing them, skewed measures.
+:class:`RetailWorkload` generates a small star schema with the
+relationships downstream examples and tests can assert against:
+
+* ``customers.id`` — a key column (distinct surrogate ids);
+* ``orders.id`` — a key column, disjoint id range;
+* ``orders.customer_id`` — foreign key into ``customers.id`` with
+  Zipf-skewed customer activity (a few customers place most orders);
+* ``lineitem.order_id`` — foreign key into ``orders.id``;
+* ``lineitem.quantity`` — small uniform integers;
+* ``products.price`` — decimal prices (a non-key, non-overlapping
+  domain).
+
+All columns are deterministic functions of the seed.  ``truths()``
+exposes the exact relationship matrix so discovery results can be
+graded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.rng import SplittableRng
+from repro.sampling.distributions import ZipfSampler
+
+__all__ = ["RetailWorkload"]
+
+#: Disjoint surrogate-key ranges, as separate sequences would produce.
+CUSTOMER_ID_BASE = 1
+ORDER_ID_BASE = 10_000_000
+
+
+@dataclass(frozen=True)
+class RetailWorkload:
+    """Sizing knobs for the generated star schema.
+
+    Examples
+    --------
+    >>> w = RetailWorkload(customers=100, orders=300, lineitems=600,
+    ...                    products=50)
+    >>> cols = w.generate(SplittableRng(1))
+    >>> sorted(cols) == ['customers.id', 'lineitem.order_id',
+    ...                  'lineitem.quantity', 'orders.customer_id',
+    ...                  'orders.id', 'products.price']
+    True
+    >>> len(cols['orders.customer_id'])
+    300
+    """
+
+    customers: int = 20_000
+    orders: int = 80_000
+    lineitems: int = 160_000
+    products: int = 5_000
+    activity_skew: float = 1.0  # Zipf exponent of customer activity
+
+    def __post_init__(self) -> None:
+        for name in ("customers", "orders", "lineitems", "products"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if self.activity_skew < 0.0:
+            raise ConfigurationError("activity_skew must be >= 0")
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def generate(self, rng: SplittableRng) -> Dict[str, List]:
+        """All six columns, keyed by ``table.column`` name."""
+        customer_ids = [CUSTOMER_ID_BASE + i for i in range(self.customers)]
+        order_ids = [ORDER_ID_BASE + i for i in range(self.orders)]
+
+        # Zipf-skewed customer activity: rank r places orders with
+        # probability ~ r^-skew over a random customer permutation.
+        ranks = ZipfSampler(self.customers, self.activity_skew)
+        perm = list(customer_ids)
+        rng.spawn("perm").shuffle(perm)
+        act_rng = rng.spawn("activity")
+        order_customers = [perm[ranks.sample(act_rng) - 1]
+                           for _ in range(self.orders)]
+
+        li_rng = rng.spawn("lineitems")
+        lineitem_orders = [order_ids[li_rng.randrange(self.orders)]
+                           for _ in range(self.lineitems)]
+        qty_rng = rng.spawn("quantity")
+        quantities = [1 + qty_rng.randrange(10)
+                      for _ in range(self.lineitems)]
+
+        price_rng = rng.spawn("prices")
+        prices = [price_rng.randrange(101, 49_999) / 100
+                  for _ in range(self.products)]
+
+        return {
+            "customers.id": customer_ids,
+            "orders.id": order_ids,
+            "orders.customer_id": order_customers,
+            "lineitem.order_id": lineitem_orders,
+            "lineitem.quantity": quantities,
+            "products.price": prices,
+        }
+
+    def ingest_into(self, warehouse, rng: SplittableRng, *,
+                    partitions: int = 2) -> Dict[str, List]:
+        """Generate and batch-ingest every column; returns the columns."""
+        columns = self.generate(rng)
+        for name, values in sorted(columns.items()):
+            warehouse.ingest_batch(name, values, partitions=partitions)
+        return columns
+
+    # ------------------------------------------------------------------
+    # Ground truth
+    # ------------------------------------------------------------------
+    @staticmethod
+    def foreign_keys() -> List[Tuple[str, str]]:
+        """The true FK -> key relationships, for grading discovery."""
+        return [
+            ("orders.customer_id", "customers.id"),
+            ("lineitem.order_id", "orders.id"),
+        ]
+
+    @staticmethod
+    def key_columns() -> List[str]:
+        """Columns whose values are unique per row."""
+        return ["customers.id", "orders.id"]

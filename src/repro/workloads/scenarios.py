@@ -1,0 +1,118 @@
+"""The Section 5 experiment grid.
+
+"We also considered six population sizes ranging from 2^20 through 2^26
+and eleven partitioning schemes ranging from a single partition to 1024
+partitions, for a total of 198 test scenarios."  (6 sizes x 11
+partitionings x 3 distributions = 198.)
+
+:func:`paper_scenarios` enumerates the grid (optionally scaled down so
+the full sweep fits a laptop budget), and :class:`Scenario` carries one
+cell's parameters plus helpers to materialize its data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.rng import SplittableRng
+from repro.workloads.generators import DISTRIBUTIONS, make_generator
+
+__all__ = ["Scenario", "paper_scenarios", "PAPER_POPULATION_SIZES",
+           "PAPER_PARTITION_COUNTS"]
+
+#: Six population sizes, 2^20 .. 2^26 (log-spaced; the paper lists the
+#: endpoints; we take even exponent steps plus both endpoints: 2^20,
+#: 2^21, ..., matching "six sizes ranging from 2^20 through 2^26" as
+#: closely as six log-spaced values allow).
+PAPER_POPULATION_SIZES = tuple(2 ** e for e in (20, 21, 22, 23, 24, 26))
+
+#: Eleven partition counts: 1, 2, 4, ..., 1024.
+PAPER_PARTITION_COUNTS = tuple(2 ** e for e in range(11))
+
+#: The paper's per-partition element count in the scaleup and sample-size
+#: experiments (32K) and the corresponding sample bound (8192).
+PAPER_SCALEUP_PARTITION_SIZE = 32 * 1024
+PAPER_BOUND_VALUES = 8192
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One cell of the experiment grid.
+
+    Examples
+    --------
+    >>> s = Scenario("unique", population_size=1024, partitions=4)
+    >>> len(s.partition_values(SplittableRng(1)))
+    4
+    """
+
+    distribution: str
+    population_size: int
+    partitions: int
+
+    def __post_init__(self) -> None:
+        if self.distribution not in DISTRIBUTIONS:
+            raise ConfigurationError(
+                f"unknown distribution {self.distribution!r}")
+        if self.population_size <= 0:
+            raise ConfigurationError(
+                f"population_size must be positive, "
+                f"got {self.population_size}")
+        if self.partitions <= 0:
+            raise ConfigurationError(
+                f"partitions must be positive, got {self.partitions}")
+        if self.partitions > self.population_size:
+            raise ConfigurationError(
+                f"cannot split {self.population_size} elements into "
+                f"{self.partitions} partitions")
+
+    @property
+    def partition_size(self) -> int:
+        """Elements per partition (last partition absorbs the remainder)."""
+        return self.population_size // self.partitions
+
+    def values(self, rng: SplittableRng) -> List[int]:
+        """The full data set for this scenario."""
+        generator = make_generator(self.distribution)
+        return generator.generate(self.population_size,
+                                  rng.spawn("data", self.distribution,
+                                            self.population_size))
+
+    def partition_values(self, rng: SplittableRng) -> List[List[int]]:
+        """The data set divided into this scenario's partitions."""
+        from repro.warehouse.ingest import split_batch
+
+        data = self.values(rng)
+        return [list(chunk) for chunk in split_batch(data, self.partitions)]
+
+    def label(self) -> str:
+        """Compact display label, e.g. ``unique/2^20/64p``."""
+        exp = self.population_size.bit_length() - 1
+        pop = (f"2^{exp}" if self.population_size == 2 ** exp
+               else str(self.population_size))
+        return f"{self.distribution}/{pop}/{self.partitions}p"
+
+
+def paper_scenarios(*, distributions: Sequence[str] = DISTRIBUTIONS,
+                    population_sizes: Optional[Sequence[int]] = None,
+                    partition_counts: Optional[Sequence[int]] = None,
+                    max_population: Optional[int] = None
+                    ) -> Iterator[Scenario]:
+    """Enumerate the (optionally restricted) Section 5 grid.
+
+    ``max_population`` caps the population sizes (for laptop-scale runs);
+    partition counts exceeding a population are skipped, matching the
+    grid's implicit constraint.
+    """
+    sizes = population_sizes or PAPER_POPULATION_SIZES
+    counts = partition_counts or PAPER_PARTITION_COUNTS
+    for dist in distributions:
+        for pop in sizes:
+            if max_population is not None and pop > max_population:
+                continue
+            for parts in counts:
+                if parts > pop:
+                    continue
+                yield Scenario(dist, pop, parts)

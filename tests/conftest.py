@@ -1,0 +1,23 @@
+"""Shared fixtures for the test suite.
+
+All statistical acceptance tests run on fixed seeds (so the suite is
+deterministic) with generous significance thresholds: a uniformity test
+asserts ``p > ALPHA`` with ``ALPHA = 1e-4``, i.e. it only fails on
+overwhelming evidence of non-uniformity — which is exactly what we want
+for detecting real bugs without flakiness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rng import SplittableRng
+
+#: Significance floor for statistical acceptance tests.
+ALPHA = 1e-4
+
+
+@pytest.fixture()
+def rng() -> SplittableRng:
+    """A deterministic master RNG, fresh per test."""
+    return SplittableRng(987_654_321)

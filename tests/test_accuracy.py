@@ -1,0 +1,148 @@
+"""Tests for repro.analytics.accuracy (sample-size planning)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytics.accuracy import (expected_hb_sample_size, plan_bound,
+                                      required_sample_size_for_mean,
+                                      required_sample_size_for_proportion)
+from repro.analytics.estimators import estimate_avg
+from repro.core.hybrid_bernoulli import AlgorithmHB
+from repro.core.hybrid_reservoir import AlgorithmHR
+from repro.errors import ConfigurationError
+from repro.stats.summaries import mean
+
+
+class TestMeanPlanning:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            required_sample_size_for_mean(std_dev=-1.0,
+                                          target_half_width=1.0,
+                                          population=100)
+        with pytest.raises(ConfigurationError):
+            required_sample_size_for_mean(std_dev=1.0,
+                                          target_half_width=0.0,
+                                          population=100)
+        with pytest.raises(ConfigurationError):
+            required_sample_size_for_mean(std_dev=1.0,
+                                          target_half_width=1.0,
+                                          population=0)
+        with pytest.raises(ConfigurationError):
+            required_sample_size_for_mean(std_dev=1.0,
+                                          target_half_width=1.0,
+                                          population=100, confidence=1.0)
+
+    def test_zero_variance(self):
+        assert required_sample_size_for_mean(
+            std_dev=0.0, target_half_width=1.0, population=100) == 1
+
+    def test_classic_formula(self):
+        # n0 = (1.96 * 10 / 1)^2 ~ 384 for an effectively infinite N.
+        n = required_sample_size_for_mean(
+            std_dev=10.0, target_half_width=1.0, population=10**9)
+        assert 380 <= n <= 390
+
+    def test_fpc_caps_at_population(self):
+        n = required_sample_size_for_mean(
+            std_dev=1000.0, target_half_width=0.001, population=500)
+        assert n == 500
+
+    def test_tighter_target_needs_more(self):
+        loose = required_sample_size_for_mean(
+            std_dev=10.0, target_half_width=2.0, population=10**6)
+        tight = required_sample_size_for_mean(
+            std_dev=10.0, target_half_width=0.5, population=10**6)
+        assert tight > loose
+
+    def test_planned_size_achieves_target(self, rng):
+        """End-to-end: plan, sample, measure the realized half-width."""
+        import math
+
+        population = list(range(100_000))
+        std_dev = math.sqrt((len(population) ** 2 - 1) / 12.0)
+        target = 500.0
+        n = required_sample_size_for_mean(
+            std_dev=std_dev, target_half_width=target,
+            population=len(population))
+        widths = []
+        for t in range(20):
+            hr = AlgorithmHR(bound_values=n, rng=rng.spawn(t))
+            hr.feed_many(population)
+            widths.append(estimate_avg(hr.finalize()).half_width)
+        assert mean(widths) <= target * 1.15
+
+
+class TestProportionPlanning:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            required_sample_size_for_proportion(
+                target_half_width=0.05, population=100, proportion=1.5)
+
+    def test_worst_case_default(self):
+        # Classic n ~ 1067 for ±3% at 95% over a large population.
+        n = required_sample_size_for_proportion(
+            target_half_width=0.03, population=10**9)
+        assert 1050 <= n <= 1080
+
+    def test_known_small_share_needs_less(self):
+        worst = required_sample_size_for_proportion(
+            target_half_width=0.03, population=10**9)
+        skewed = required_sample_size_for_proportion(
+            target_half_width=0.03, population=10**9, proportion=0.05)
+        assert skewed < worst
+
+    def test_degenerate_proportion(self):
+        assert required_sample_size_for_proportion(
+            target_half_width=0.03, population=100, proportion=0.0) == 1
+
+
+class TestHbExpectation:
+    def test_small_population_exhaustive(self):
+        assert expected_hb_sample_size(100, 200) == 100.0
+
+    def test_expectation_below_bound(self):
+        exp = expected_hb_sample_size(1_000_000, 8192)
+        assert 7_500 < exp < 8192
+
+    def test_matches_realized_sizes(self, rng):
+        n, bound, trials = 50_000, 512, 25
+        expectation = expected_hb_sample_size(n, bound)
+        sizes = []
+        for t in range(trials):
+            hb = AlgorithmHB(n, bound_values=bound, rng=rng.spawn(t))
+            hb.feed_many(list(range(n)))
+            sizes.append(hb.finalize().size)
+        assert abs(mean(sizes) - expectation) / expectation < 0.05
+
+
+class TestPlanBound:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            plan_bound(required_merged_size=0, population=100)
+        with pytest.raises(ConfigurationError):
+            plan_bound(required_merged_size=200, population=100)
+        with pytest.raises(ConfigurationError):
+            plan_bound(required_merged_size=10, population=100,
+                       scheme="sb")
+
+    def test_hr_identity(self):
+        assert plan_bound(required_merged_size=1000, population=10**6,
+                          scheme="hr") == 1000
+
+    def test_hb_inflates_for_margin(self):
+        bound = plan_bound(required_merged_size=1000, population=10**6,
+                           scheme="hb")
+        assert bound > 1000
+        assert expected_hb_sample_size(10**6, bound) >= 1000
+
+    def test_hb_bound_realizes_target(self, rng):
+        n, target = 50_000, 400
+        bound = plan_bound(required_merged_size=target, population=n,
+                           scheme="hb")
+        sizes = []
+        for t in range(20):
+            hb = AlgorithmHB(n, bound_values=bound, rng=rng.spawn(t))
+            hb.feed_many(list(range(n)))
+            sizes.append(hb.finalize().size)
+        assert mean(sizes) >= target * 0.97

@@ -1,0 +1,102 @@
+"""Tests for repro.analytics.aqp (the approximate query engine)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytics.aqp import ApproximateQueryEngine
+from repro.rng import SplittableRng
+from repro.warehouse.warehouse import SampleWarehouse
+
+
+@pytest.fixture()
+def warehouse():
+    wh = SampleWarehouse(bound_values=512, rng=SplittableRng(21))
+    wh.ingest_batch("sales", list(range(100_000)), partitions=4)
+    wh.ingest_batch("days", [i % 7 for i in range(7_000)], partitions=2,
+                    labels=["w1", "w2"])
+    return wh
+
+
+class TestAggregates:
+    def test_count(self, warehouse):
+        engine = ApproximateQueryEngine(warehouse)
+        est = engine.count("sales")
+        assert abs(est.value - 100_000) / 100_000 < 0.10
+
+    def test_count_where(self, warehouse):
+        engine = ApproximateQueryEngine(warehouse)
+        est = engine.count("sales", where=lambda v: v < 50_000)
+        assert abs(est.value - 50_000) / 50_000 < 0.20
+
+    def test_sum(self, warehouse):
+        engine = ApproximateQueryEngine(warehouse)
+        truth = sum(range(100_000))
+        est = engine.sum("sales")
+        assert abs(est.value - truth) / truth < 0.10
+
+    def test_avg(self, warehouse):
+        engine = ApproximateQueryEngine(warehouse)
+        est = engine.avg("sales")
+        assert abs(est.value - 49999.5) / 49999.5 < 0.10
+
+    def test_quantile(self, warehouse):
+        engine = ApproximateQueryEngine(warehouse)
+        q = engine.quantile("sales", 0.25)
+        assert abs(q - 25_000) < 10_000
+
+    def test_exact_on_exhaustive_dataset(self, warehouse):
+        """'days' has 7 distinct values: samples stay exhaustive and the
+        engine answers exactly."""
+        engine = ApproximateQueryEngine(warehouse)
+        est = engine.count("days")
+        assert est.value == 7_000.0
+        assert est.exact
+
+
+class TestGroupBy:
+    def test_group_by_count(self, warehouse):
+        engine = ApproximateQueryEngine(warehouse)
+        groups = dict(engine.group_by_count("days", key_fn=lambda v: v))
+        assert len(groups) == 7
+        assert sum(groups.values()) == pytest.approx(7_000)
+
+    def test_top_truncation(self, warehouse):
+        engine = ApproximateQueryEngine(warehouse)
+        groups = engine.group_by_count("sales",
+                                       key_fn=lambda v: v % 10, top=3)
+        assert len(groups) == 3
+        # sorted descending
+        assert groups[0][1] >= groups[1][1] >= groups[2][1]
+
+
+class TestLabelsAndCache:
+    def test_label_scoped_query(self, warehouse):
+        engine = ApproximateQueryEngine(warehouse)
+        est = engine.count("days", labels=["w1"])
+        assert est.value == pytest.approx(3_500)
+
+    def test_cache_reuse(self, warehouse):
+        engine = ApproximateQueryEngine(warehouse)
+        a = engine.count("sales")
+        b = engine.count("sales")
+        assert a.value == b.value  # same cached merged sample
+
+    def test_invalidate(self, warehouse):
+        engine = ApproximateQueryEngine(warehouse)
+        engine.count("sales")
+        warehouse.ingest_batch("sales", list(range(100_000, 120_000)),
+                               partitions=1)
+        engine.invalidate()
+        est = engine.count("sales")
+        assert abs(est.value - 120_000) / 120_000 < 0.10
+
+
+class TestSummary:
+    def test_sampling_summary(self, warehouse):
+        engine = ApproximateQueryEngine(warehouse)
+        info = engine.sampling_summary("sales")
+        assert info["population_size"] == 100_000
+        assert 0 < info["sample_size"] <= 512
+        assert info["kind"] in ("BERNOULLI", "RESERVOIR")
+        assert not info["exact"]

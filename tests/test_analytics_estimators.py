@@ -1,0 +1,191 @@
+"""Tests for repro.analytics.estimators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytics.estimators import (chao_distinct, estimate_avg,
+                                        estimate_count, estimate_quantile,
+                                        estimate_sum,
+                                        frequency_of_frequencies,
+                                        gee_distinct, naive_distinct)
+from repro.core.footprint import FootprintModel
+from repro.core.histogram import CompactHistogram
+from repro.core.hybrid_bernoulli import AlgorithmHB
+from repro.core.hybrid_reservoir import AlgorithmHR
+from repro.core.phases import SampleKind
+from repro.core.sample import WarehouseSample
+from repro.errors import ConfigurationError
+
+MODEL = FootprintModel(8, 4)
+
+
+def exhaustive_sample(values):
+    return WarehouseSample(
+        histogram=CompactHistogram.from_values(values),
+        kind=SampleKind.EXHAUSTIVE,
+        population_size=len(values),
+        bound_values=max(1, len(values)),
+        model=MODEL,
+    )
+
+
+def hb_of(values, bound, rng):
+    hb = AlgorithmHB(len(values), bound_values=bound, rng=rng, model=MODEL)
+    hb.feed_many(values)
+    return hb.finalize()
+
+
+def hr_of(values, bound, rng):
+    hr = AlgorithmHR(bound_values=bound, rng=rng, model=MODEL)
+    hr.feed_many(values)
+    return hr.finalize()
+
+
+class TestExhaustiveExactness:
+    def test_count(self):
+        s = exhaustive_sample([1, 2, 2, 3])
+        est = estimate_count(s)
+        assert est.value == 4.0
+        assert est.exact
+        assert est.ci_low == est.ci_high == 4.0
+
+    def test_count_with_predicate(self):
+        s = exhaustive_sample([1, 2, 2, 3])
+        est = estimate_count(s, where=lambda v: v == 2)
+        assert est.value == 2.0
+        assert est.exact
+
+    def test_sum_and_avg(self):
+        s = exhaustive_sample([1, 2, 3, 4])
+        assert estimate_sum(s).value == 10.0
+        assert estimate_avg(s).value == 2.5
+
+
+class TestBernoulliEstimates:
+    def test_count_scales_by_rate(self, rng):
+        values = list(range(50_000))
+        s = hb_of(values, 1024, rng)
+        assert s.kind is SampleKind.BERNOULLI
+        est = estimate_count(s)
+        assert abs(est.value - 50_000) / 50_000 < 0.10
+        assert est.ci_low < 50_000 < est.ci_high
+
+    def test_sum_estimate(self, rng):
+        values = list(range(50_000))
+        truth = sum(values)
+        s = hb_of(values, 1024, rng)
+        est = estimate_sum(s)
+        assert abs(est.value - truth) / truth < 0.10
+
+    def test_avg_estimate(self, rng):
+        values = list(range(50_000))
+        s = hb_of(values, 1024, rng)
+        est = estimate_avg(s)
+        assert abs(est.value - 24999.5) / 24999.5 < 0.10
+
+
+class TestReservoirEstimates:
+    def test_count_exact_without_predicate(self, rng):
+        s = hr_of(list(range(10_000)), 256, rng)
+        est = estimate_count(s)
+        assert est.value == 10_000.0
+        assert est.exact
+
+    def test_count_with_predicate(self, rng):
+        s = hr_of(list(range(10_000)), 512, rng)
+        est = estimate_count(s, where=lambda v: v < 5_000)
+        assert abs(est.value - 5_000) < 1_500
+        assert est.ci_low <= est.value <= est.ci_high
+
+    def test_avg_with_fpc(self, rng):
+        s = hr_of(list(range(10_000)), 512, rng)
+        est = estimate_avg(s)
+        assert abs(est.value - 4999.5) / 4999.5 < 0.15
+
+    def test_sum_scales(self, rng):
+        values = list(range(10_000))
+        s = hr_of(values, 512, rng)
+        est = estimate_sum(s)
+        assert abs(est.value - sum(values)) / sum(values) < 0.15
+
+
+class TestQuantile:
+    def test_validation(self):
+        s = exhaustive_sample([1, 2, 3])
+        with pytest.raises(ConfigurationError):
+            estimate_quantile(s, 1.5)
+
+    def test_exhaustive_median(self):
+        s = exhaustive_sample(list(range(1, 102)))
+        assert estimate_quantile(s, 0.5) == 51
+
+    def test_extremes(self):
+        s = exhaustive_sample([3, 1, 2])
+        assert estimate_quantile(s, 0.0) == 1
+        assert estimate_quantile(s, 1.0) == 3
+
+    def test_sampled_median_close(self, rng):
+        s = hr_of(list(range(10_000)), 512, rng)
+        median = estimate_quantile(s, 0.5)
+        assert abs(median - 5_000) < 1_000
+
+
+class TestDistinct:
+    def test_frequency_of_frequencies(self):
+        s = exhaustive_sample([1, 1, 2, 3, 3, 3])
+        assert frequency_of_frequencies(s) == {1: 1, 2: 1, 3: 1}
+
+    def test_exhaustive_exact(self):
+        s = exhaustive_sample([1, 1, 2, 3])
+        assert chao_distinct(s) == 3.0
+        assert gee_distinct(s) == 3.0
+        assert naive_distinct(s) == 3.0
+
+    def test_unique_data_estimates(self, rng):
+        """All-distinct population: GEE is within its sqrt guarantee."""
+        n = 20_000
+        s = hr_of(list(range(n)), 512, rng)
+        gee = gee_distinct(s)
+        # GEE for all-singleton sample: sqrt(N/n)*n_sample ~ sqrt(N*n).
+        assert 0.1 * n < gee <= n * (n / s.size) ** 0.5
+
+    def test_low_cardinality_estimates(self, rng):
+        """Few distinct values, all common: estimators ~ exact."""
+        values = [i % 50 for i in range(20_000)]
+        s = hr_of(values, 512, rng)
+        assert abs(chao_distinct(s) - 50) < 10
+        assert abs(gee_distinct(s) - 50) < 10
+
+    def test_empty_edge(self):
+        s = WarehouseSample(
+            histogram=CompactHistogram(),
+            kind=SampleKind.RESERVOIR,
+            population_size=100,
+            bound_values=10,
+            model=MODEL)
+        assert naive_distinct(s) == 0.0
+        assert gee_distinct(s) == 0.0
+
+
+class TestEstimateObject:
+    def test_confidence_validation(self):
+        s = exhaustive_sample([1])
+        with pytest.raises(ConfigurationError):
+            estimate_count(s, confidence=0.0)
+
+    def test_avg_empty_sample(self):
+        s = WarehouseSample(
+            histogram=CompactHistogram(),
+            kind=SampleKind.RESERVOIR,
+            population_size=100,
+            bound_values=10,
+            model=MODEL)
+        with pytest.raises(ConfigurationError):
+            estimate_avg(s)
+
+    def test_half_width(self, rng):
+        s = hr_of(list(range(10_000)), 256, rng)
+        est = estimate_avg(s)
+        assert est.half_width == pytest.approx(
+            (est.ci_high - est.ci_low) / 2)

@@ -1,0 +1,98 @@
+"""Tests for repro.bench.ascii_chart."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.ascii_chart import bar_chart, line_chart, stacked_bar_chart
+from repro.errors import ConfigurationError
+
+
+class TestBarChart:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart([])
+        with pytest.raises(ConfigurationError):
+            bar_chart([("a", 1.0)], width=0)
+        with pytest.raises(ConfigurationError):
+            bar_chart([("a", -1.0)])
+
+    def test_proportional_bars(self):
+        out = bar_chart([("a", 1.0), ("b", 2.0)], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_title(self):
+        out = bar_chart([("a", 1.0)], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_zero_values(self):
+        out = bar_chart([("a", 0.0), ("b", 0.0)])
+        assert "#" not in out
+
+    def test_labels_aligned(self):
+        out = bar_chart([("x", 1.0), ("longer", 1.0)])
+        positions = {line.index("|") for line in out.splitlines()}
+        assert len(positions) == 1
+
+
+class TestStackedBarChart:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            stacked_bar_chart([])
+        with pytest.raises(ConfigurationError):
+            stacked_bar_chart([("a", -1.0, 1.0)])
+
+    def test_segments(self):
+        out = stacked_bar_chart([("a", 1.0, 1.0)], width=10)
+        bar_line = out.splitlines()[-1]
+        assert bar_line.count("#") == 5
+        assert bar_line.count("%") == 5
+
+    def test_legend(self):
+        out = stacked_bar_chart([("a", 1.0, 2.0)],
+                                legend=("light", "dark"))
+        assert "light" in out and "dark" in out
+
+    def test_total_shown(self):
+        out = stacked_bar_chart([("a", 1.0, 2.0)])
+        assert "3" in out
+
+
+class TestLineChart:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            line_chart({})
+        with pytest.raises(ConfigurationError):
+            line_chart({"s": []})
+        with pytest.raises(ConfigurationError):
+            line_chart({"s": [(1, 1)]}, width=1)
+        with pytest.raises(ConfigurationError):
+            line_chart({"s": [(1, 0.0)]}, logy=True)
+
+    def test_glyphs_and_legend(self):
+        out = line_chart({"up": [(0, 0), (1, 1)],
+                          "down": [(0, 1), (1, 0)]})
+        assert "*" in out and "o" in out
+        assert "* up" in out and "o down" in out
+
+    def test_extremes_plotted(self):
+        out = line_chart({"s": [(0, 0), (10, 5)]}, width=20, height=5)
+        lines = out.splitlines()
+        # max y on the first plot row, min on the last
+        assert "*" in lines[0]
+        assert "*" in lines[4]
+
+    def test_axis_labels(self):
+        out = line_chart({"s": [(2, 10), (8, 90)]})
+        assert "2" in out and "8" in out
+        assert "90" in out and "10" in out
+
+    def test_logy_marker(self):
+        out = line_chart({"s": [(0, 1), (1, 1000)]}, logy=True)
+        assert "(log y axis)" in out
+
+    def test_constant_series(self):
+        out = line_chart({"s": [(0, 5), (1, 5)]})
+        assert "*" in out

@@ -1,0 +1,119 @@
+"""Tests for repro.warehouse.audit."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.rng import SplittableRng
+from repro.warehouse.audit import audit_warehouse
+from repro.warehouse.dataset import PartitionKey
+from repro.warehouse.warehouse import SampleWarehouse
+
+
+def make_warehouse():
+    wh = SampleWarehouse(bound_values=64, rng=SplittableRng(19))
+    wh.ingest_batch("a", list(range(5_000)), partitions=2)
+    wh.ingest_batch("b", list(range(3_000)), partitions=3)
+    return wh
+
+
+class TestCleanWarehouse:
+    def test_fresh_warehouse_audits_clean(self):
+        wh = make_warehouse()
+        report = audit_warehouse(wh)
+        assert report.ok
+        assert report.problems == []
+        assert report.datasets_checked == 2
+        assert report.partitions_checked == 5
+        assert report.samples_verified == 5
+        assert report.summary().startswith("OK")
+
+    def test_rolled_out_with_dropped_sample_is_warning(self):
+        wh = make_warehouse()
+        wh.roll_out(PartitionKey("a", 0, 0), drop_sample=True)
+        report = audit_warehouse(wh)
+        assert report.ok  # warnings only
+        assert len(report.problems) == 1
+        assert report.problems[0].severity == "warning"
+
+
+class TestDetection:
+    def test_missing_active_sample_is_error(self):
+        wh = make_warehouse()
+        wh.store.delete(PartitionKey("a", 0, 0))
+        report = audit_warehouse(wh)
+        assert not report.ok
+        assert any("no stored sample" in p.message
+                   for p in report.errors)
+
+    def test_population_mismatch_detected(self):
+        wh = make_warehouse()
+        meta = wh.catalog.get(PartitionKey("a", 0, 0))
+        meta.population_size += 7
+        report = audit_warehouse(wh)
+        assert not report.ok
+        assert any("population" in p.message for p in report.errors)
+
+    def test_size_mismatch_detected(self):
+        wh = make_warehouse()
+        meta = wh.catalog.get(PartitionKey("b", 0, 1))
+        meta.sample_size += 1
+        report = audit_warehouse(wh)
+        assert not report.ok
+
+    def test_kind_mismatch_detected(self):
+        from repro.core.phases import SampleKind
+
+        wh = make_warehouse()
+        meta = wh.catalog.get(PartitionKey("b", 0, 1))
+        meta.kind = SampleKind.EXHAUSTIVE
+        report = audit_warehouse(wh)
+        assert not report.ok
+
+    def test_scheme_mismatch_is_warning(self):
+        wh = make_warehouse()
+        key = PartitionKey("a", 0, 1)
+        sample = wh.store.get(key)
+        wh.store.put(key, replace(sample, scheme="sb"))
+        wh.catalog.get(key).sample_size = sample.size  # keep consistent
+        report = audit_warehouse(wh)
+        assert report.ok
+        assert any(p.severity == "warning" for p in report.problems)
+
+    def test_orphan_sample_is_warning(self):
+        wh = make_warehouse()
+        stray = wh.store.get(PartitionKey("a", 0, 0))
+        wh.store.put(PartitionKey("ghost", 0, 0), stray)
+        report = audit_warehouse(wh)
+        assert report.ok
+        assert any("orphan" in p.message for p in report.problems)
+
+    def test_invariant_violation_detected(self):
+        from repro.core.histogram import CompactHistogram
+        from repro.core.phases import SampleKind
+        from repro.core.sample import WarehouseSample
+
+        wh = make_warehouse()
+        key = PartitionKey("a", 0, 0)
+        # An oversized "reservoir" sample violating its own bound.
+        bad = WarehouseSample(
+            histogram=CompactHistogram.from_values(list(range(100))),
+            kind=SampleKind.RESERVOIR,
+            population_size=2_500,
+            bound_values=64,
+            scheme="hr",
+        )
+        wh.store.put(key, bad)
+        meta = wh.catalog.get(key)
+        meta.sample_size = bad.size
+        meta.population_size = bad.population_size
+        report = audit_warehouse(wh)
+        assert not report.ok
+        assert any("invariant" in p.message for p in report.errors)
+
+    def test_problem_str(self):
+        wh = make_warehouse()
+        wh.store.delete(PartitionKey("a", 0, 0))
+        report = audit_warehouse(wh)
+        text = str(report.errors[0])
+        assert "[error]" in text and "a/0/0" in text

@@ -1,0 +1,111 @@
+"""Tests for repro.bench (harness, report, experiment drivers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import (fig05_qapprox, sample_size_experiment,
+                                     scaleup_experiment, speedup_experiment)
+from repro.bench.harness import repeat_pipeline, run_pipeline
+from repro.bench.report import format_cell, format_table
+from repro.errors import ConfigurationError
+from repro.workloads.scenarios import Scenario
+
+
+class TestHarness:
+    def test_pipeline_result_shape(self, rng):
+        scenario = Scenario("unique", 4_000, 4)
+        result = run_pipeline(scenario, "hr", bound_values=64, rng=rng)
+        assert len(result.partition_sample_seconds) == 4
+        assert result.sample_seconds >= result.sample_seconds_parallel
+        assert result.total_seconds >= result.merge_seconds
+        assert result.elapsed_seconds <= result.total_seconds + 1e-9
+        assert result.merged_size == 64
+        assert result.merged.population_size == 4_000
+        assert len(result.partition_sample_sizes) == 4
+
+    def test_batch_arrival_mode(self, rng):
+        scenario = Scenario("uniform", 4_000, 2)
+        result = run_pipeline(scenario, "hb", bound_values=64, rng=rng,
+                              arrival_mode="batch")
+        result.merged.check_invariants()
+
+    def test_sb_default_rate(self, rng):
+        scenario = Scenario("unique", 8_000, 2)
+        result = run_pipeline(scenario, "sb", bound_values=64, rng=rng)
+        # Expected merged size ~ bound.
+        assert 20 < result.merged_size < 160
+
+    def test_repeat_pipeline(self, rng):
+        scenario = Scenario("unique", 2_000, 2)
+        results = repeat_pipeline(scenario, "hr", bound_values=32,
+                                  rng=rng, repeats=3)
+        assert len(results) == 3
+        with pytest.raises(ConfigurationError):
+            repeat_pipeline(scenario, "hr", bound_values=32, rng=rng,
+                            repeats=0)
+
+
+class TestExperiments:
+    def test_fig05_small_grid(self):
+        rows = fig05_qapprox(population=10_000, p_values=(1e-3,),
+                             bounds=(100, 1000))
+        assert len(rows) == 2
+        for _p, _b, exact, approx, err in rows:
+            assert 0 < exact < 1
+            assert err == pytest.approx(
+                abs(approx - exact) / exact * 100.0)
+
+    def test_speedup_rows(self, rng):
+        rows = speedup_experiment("hr", population=4_000,
+                                  partition_counts=(1, 2, 4),
+                                  bound_values=32, rng=rng, repeats=1)
+        assert [r[0] for r in rows] == [1, 2, 4]
+        for _parts, sample_s, merge_s, total_s in rows:
+            assert total_s == pytest.approx(sample_s + merge_s)
+
+    def test_speedup_skips_oversized_counts(self, rng):
+        rows = speedup_experiment("hr", population=4,
+                                  partition_counts=(2, 8),
+                                  bound_values=8, rng=rng, repeats=1)
+        assert [r[0] for r in rows] == [2]
+
+    def test_scaleup_rows(self, rng):
+        rows = scaleup_experiment("sb", partition_size=500,
+                                  scale_factors=(2, 4),
+                                  bound_values=32, rng=rng,
+                                  distributions=("uniform",), repeats=1)
+        assert [(r[0], r[1]) for r in rows] == [(2, "uniform"),
+                                                (4, "uniform")]
+
+    def test_sizes_rows(self, rng):
+        rows = sample_size_experiment("hr", partition_size=512,
+                                      partition_counts=(1, 2),
+                                      bound_values=128, rng=rng,
+                                      distributions=("unique",),
+                                      repeats=2)
+        for parts, dist, p, mean_size, cv in rows:
+            assert dist == "unique"
+            assert mean_size == 128.0  # pinned at the bound
+            assert cv == 0.0
+
+
+class TestReport:
+    def test_format_cell(self):
+        assert format_cell(3) == "3"
+        assert format_cell(0.0) == "0"
+        assert format_cell(1.5) == "1.5"
+        assert format_cell(1234567.0) == "1.235e+06"
+        assert format_cell(True) == "True"
+
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [[1, 2.0], [30, 4.5]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])

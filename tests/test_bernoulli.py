@@ -1,0 +1,140 @@
+"""Tests for repro.sampling.bernoulli."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.rng import SplittableRng
+from repro.sampling.bernoulli import (BernoulliSampler, bernoulli_subsample,
+                                      thin_rate)
+
+
+class TestBernoulliSubsample:
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            bernoulli_subsample([1, 2], -0.1, rng)
+        with pytest.raises(ConfigurationError):
+            bernoulli_subsample([1, 2], 1.1, rng)
+
+    def test_rate_zero_and_one(self, rng):
+        assert bernoulli_subsample([1, 2, 3], 0.0, rng) == []
+        assert bernoulli_subsample([1, 2, 3], 1.0, rng) == [1, 2, 3]
+
+    def test_preserves_order(self, rng):
+        sub = bernoulli_subsample(list(range(1000)), 0.3, rng)
+        assert sub == sorted(sub)
+
+    def test_expected_size(self, rng):
+        n, q, trials = 500, 0.2, 300
+        sizes = [len(bernoulli_subsample(list(range(n)), q,
+                                         rng.spawn(t)))
+                 for t in range(trials)]
+        mean = sum(sizes) / trials
+        sd = math.sqrt(n * q * (1 - q))
+        assert abs(mean - n * q) < 5 * sd / math.sqrt(trials)
+
+    @given(st.floats(min_value=0.0, max_value=1.0),
+           st.integers(min_value=0, max_value=200))
+    @settings(max_examples=60)
+    def test_subset_property(self, q, n):
+        rng = SplittableRng(hash((q, n)) & 0xFFFF)
+        values = list(range(n))
+        sub = bernoulli_subsample(values, q, rng)
+        assert set(sub) <= set(values)
+        assert len(sub) <= n
+
+
+class TestThinRate:
+    def test_composition(self):
+        assert thin_rate(0.5, 0.4) == pytest.approx(0.2)
+
+
+class TestBernoulliSampler:
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            BernoulliSampler(-0.5, rng)
+        with pytest.raises(ConfigurationError):
+            BernoulliSampler(2.0, rng)
+
+    def test_rate_one_includes_everything(self, rng):
+        s = BernoulliSampler(1.0, rng)
+        s.feed_many(range(100))
+        assert list(s) == list(range(100))
+
+    def test_rate_zero_includes_nothing(self, rng):
+        s = BernoulliSampler(0.0, rng)
+        s.feed_many(range(100))
+        assert len(s) == 0
+        assert s.seen == 100
+
+    def test_feed_counts_seen(self, rng):
+        s = BernoulliSampler(0.5, rng)
+        for v in range(10):
+            s.feed(v)
+        assert s.seen == 10
+
+    def test_feed_many_iterator_fallback(self, rng):
+        s = BernoulliSampler(0.5, rng)
+        s.feed_many(v for v in range(1000))
+        assert s.seen == 1000
+        assert 300 < len(s) < 700
+
+    def test_feed_many_sequence_fast_path(self, rng):
+        s = BernoulliSampler(0.1, rng)
+        included = s.feed_many(list(range(10_000)))
+        assert included == len(s)
+        assert s.seen == 10_000
+        assert 800 < len(s) < 1_200
+
+    def test_fast_path_gap_state_across_batches(self, rng):
+        """Gap state persists over consecutive feed_many calls: the union
+        of two half-batches behaves like one full batch."""
+        trials = 400
+        split_sizes, whole_sizes = [], []
+        for t in range(trials):
+            a = BernoulliSampler(0.05, rng.spawn("a", t))
+            a.feed_many(list(range(500)))
+            a.feed_many(list(range(500, 1000)))
+            split_sizes.append(len(a))
+            b = BernoulliSampler(0.05, rng.spawn("b", t))
+            b.feed_many(list(range(1000)))
+            whole_sizes.append(len(b))
+        mean_split = sum(split_sizes) / trials
+        mean_whole = sum(whole_sizes) / trials
+        assert abs(mean_split - mean_whole) < 5.0
+        assert abs(mean_split - 50.0) < 5.0
+
+    def test_thin_composition(self, rng):
+        s = BernoulliSampler(0.5, rng)
+        s.feed_many(list(range(10_000)))
+        s.thin(0.5)
+        assert s.rate == pytest.approx(0.25)
+        # After thinning, the sample is ~ Bern(0.25) of everything seen.
+        assert 2_000 < len(s) < 3_000
+
+    def test_finalize_closes(self, rng):
+        s = BernoulliSampler(0.5, rng)
+        s.feed(1)
+        s.finalize()
+        with pytest.raises(ProtocolError):
+            s.feed(2)
+        with pytest.raises(ProtocolError):
+            s.thin(0.5)
+
+    def test_sample_size_distribution(self, rng):
+        """|S| ~ Binomial(N, q): check mean and variance."""
+        n, q, trials = 400, 0.3, 500
+        sizes = []
+        for t in range(trials):
+            s = BernoulliSampler(q, rng.spawn(t))
+            s.feed_many(list(range(n)))
+            sizes.append(len(s))
+        mean = sum(sizes) / trials
+        var = sum((x - mean) ** 2 for x in sizes) / (trials - 1)
+        assert abs(mean - n * q) < 4 * math.sqrt(n * q * (1 - q) / trials)
+        assert 0.5 * n * q * (1 - q) < var < 1.6 * n * q * (1 - q)

@@ -1,0 +1,152 @@
+"""Tests for repro.warehouse.catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.phases import SampleKind
+from repro.errors import (ConfigurationError, DatasetNotFoundError,
+                          PartitionNotFoundError)
+from repro.warehouse.catalog import Catalog, PartitionMeta
+from repro.warehouse.dataset import PartitionKey
+
+
+def meta(ds="d", stream=0, seq=0, size=100, label=None):
+    return PartitionMeta(
+        key=PartitionKey(ds, stream, seq),
+        population_size=size,
+        sample_size=10,
+        kind=SampleKind.RESERVOIR,
+        scheme="hr",
+        label=label,
+    )
+
+
+class TestRegistration:
+    def test_register_and_get(self):
+        c = Catalog()
+        m = meta()
+        c.register(m)
+        assert c.get(m.key) is m
+
+    def test_duplicate_rejected(self):
+        c = Catalog()
+        c.register(meta())
+        with pytest.raises(ConfigurationError):
+            c.register(meta())
+
+    def test_replace(self):
+        c = Catalog()
+        c.register(meta(size=100))
+        c.register(meta(size=200), replace=True)
+        assert c.get(PartitionKey("d", 0, 0)).population_size == 200
+
+    def test_unknown_lookups(self):
+        c = Catalog()
+        with pytest.raises(DatasetNotFoundError):
+            c.get(PartitionKey("nope", 0, 0))
+        c.register(meta())
+        with pytest.raises(PartitionNotFoundError):
+            c.get(PartitionKey("d", 0, 99))
+
+    def test_forget(self):
+        c = Catalog()
+        m = meta()
+        c.register(m)
+        c.forget(m.key)
+        with pytest.raises(PartitionNotFoundError):
+            c.get(m.key)
+
+
+class TestQueries:
+    def test_datasets_sorted(self):
+        c = Catalog()
+        c.register(meta("zz"))
+        c.register(meta("aa"))
+        assert c.datasets() == ["aa", "zz"]
+
+    def test_partitions_ordered(self):
+        c = Catalog()
+        c.register(meta(seq=2))
+        c.register(meta(seq=0))
+        c.register(meta(seq=1))
+        assert [m.key.seq for m in c.partitions("d")] == [0, 1, 2]
+
+    def test_partitions_unknown_dataset(self):
+        with pytest.raises(DatasetNotFoundError):
+            Catalog().partitions("ghost")
+
+    def test_where_filter(self):
+        c = Catalog()
+        c.register(meta(seq=0, label="mon"))
+        c.register(meta(seq=1, label="tue"))
+        got = c.partitions("d", where=lambda m: m.label == "tue")
+        assert [m.key.seq for m in got] == [1]
+
+    def test_merge_labels(self):
+        c = Catalog()
+        c.register(meta(seq=0, label="mon"))
+        c.register(meta(seq=1, label="tue"))
+        c.register(meta(seq=2, label="wed"))
+        got = c.merge_labels("d", ["mon", "wed"])
+        assert [m.key.seq for m in got] == [0, 2]
+
+    def test_next_seq(self):
+        c = Catalog()
+        assert c.next_seq("d") == 0
+        c.register(meta(seq=0))
+        c.register(meta(seq=5))
+        assert c.next_seq("d") == 6
+        assert c.next_seq("d", stream=1) == 0
+
+    def test_total_population(self):
+        c = Catalog()
+        c.register(meta(seq=0, size=100))
+        c.register(meta(seq=1, size=250))
+        assert c.total_population("d") == 350
+
+
+class TestRollInOut:
+    def test_roll_out_hides_partition(self):
+        c = Catalog()
+        c.register(meta(seq=0))
+        c.register(meta(seq=1))
+        c.roll_out(PartitionKey("d", 0, 0))
+        active = [m.key.seq for m in c.partitions("d")]
+        assert active == [1]
+        everything = [m.key.seq for m in c.partitions("d",
+                                                      only_active=False)]
+        assert everything == [0, 1]
+
+    def test_roll_in_restores(self):
+        c = Catalog()
+        c.register(meta(seq=0))
+        c.roll_out(PartitionKey("d", 0, 0))
+        c.roll_in(PartitionKey("d", 0, 0))
+        assert [m.key.seq for m in c.partitions("d")] == [0]
+
+    def test_total_population_respects_activity(self):
+        c = Catalog()
+        c.register(meta(seq=0, size=100))
+        c.register(meta(seq=1, size=250))
+        c.roll_out(PartitionKey("d", 0, 1))
+        assert c.total_population("d") == 100
+        assert c.total_population("d", only_active=False) == 350
+
+
+class TestPersistence:
+    def test_round_trip(self):
+        c = Catalog()
+        c.register(meta("a", seq=0, label="mon"))
+        c.register(meta("a", seq=1))
+        c.register(meta("b", stream=2, seq=7, size=999))
+        c.roll_out(PartitionKey("a", 0, 1))
+        restored = Catalog.from_dict(c.to_dict())
+        assert restored.datasets() == ["a", "b"]
+        assert restored.get(PartitionKey("a", 0, 0)).label == "mon"
+        assert not restored.get(PartitionKey("a", 0, 1)).active
+        assert restored.get(PartitionKey("b", 2, 7)).population_size == 999
+
+    def test_meta_round_trip(self):
+        m = meta(label="x")
+        assert PartitionMeta.from_dict(m.to_dict()) == m

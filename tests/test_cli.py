@@ -1,0 +1,179 @@
+"""Tests for repro.cli (the ``python -m repro`` interface)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def values_file(tmp_path):
+    path = tmp_path / "values.txt"
+    path.write_text("\n".join(str(v) for v in range(10_000)))
+    return str(path)
+
+
+@pytest.fixture()
+def csv_file(tmp_path):
+    path = tmp_path / "table.csv"
+    lines = ["id,amount"] + [f"{i},{i * 2}" for i in range(500)]
+    path.write_text("\n".join(lines))
+    return str(path)
+
+
+@pytest.fixture()
+def wh_dir(tmp_path):
+    return str(tmp_path / "wh")
+
+
+class TestIngest:
+    def test_ingest_lines(self, values_file, wh_dir, capsys):
+        rc = main(["ingest", "--warehouse", wh_dir, "--dataset", "d",
+                   "--input", values_file, "--partitions", "4",
+                   "--bound", "128"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ingested 10000 values into 4 partition(s)" in out
+        assert os.path.exists(os.path.join(wh_dir, "catalog.json"))
+
+    def test_ingest_csv_column(self, csv_file, wh_dir, capsys):
+        rc = main(["ingest", "--warehouse", wh_dir, "--dataset", "t.amount",
+                   "--input", csv_file, "--column", "amount",
+                   "--bound", "64"])
+        assert rc == 0
+        assert "500" in capsys.readouterr().out
+
+    def test_ingest_missing_column(self, csv_file, wh_dir, capsys):
+        rc = main(["ingest", "--warehouse", wh_dir, "--dataset", "x",
+                   "--input", csv_file, "--column", "nope"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_ingest_empty_input(self, tmp_path, wh_dir, capsys):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("")
+        rc = main(["ingest", "--warehouse", wh_dir, "--dataset", "x",
+                   "--input", str(empty)])
+        assert rc == 1
+
+    def test_incremental_ingest(self, values_file, wh_dir, capsys):
+        main(["ingest", "--warehouse", wh_dir, "--dataset", "d",
+              "--input", values_file, "--bound", "128"])
+        rc = main(["ingest", "--warehouse", wh_dir, "--dataset", "d",
+                   "--input", values_file, "--bound", "128",
+                   "--label", "second"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "d/0/1" in out  # seq advanced
+
+
+class TestInfoAndQuery:
+    @pytest.fixture(autouse=True)
+    def loaded(self, values_file, wh_dir):
+        main(["ingest", "--warehouse", wh_dir, "--dataset", "d",
+              "--input", values_file, "--partitions", "2",
+              "--bound", "256", "--label", "load1"])
+
+    def test_info(self, wh_dir, capsys):
+        rc = main(["info", "--warehouse", wh_dir])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "d/0/0" in out and "d/0/1" in out
+        assert "load1" in out
+        assert "active" in out
+
+    def test_query_count(self, wh_dir, capsys):
+        rc = main(["query", "--warehouse", wh_dir, "--dataset", "d",
+                   "--agg", "count"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "count ~ 10000" in out
+
+    def test_query_avg(self, wh_dir, capsys):
+        rc = main(["query", "--warehouse", wh_dir, "--dataset", "d",
+                   "--agg", "avg"])
+        assert rc == 0
+        assert "avg ~" in capsys.readouterr().out
+
+    def test_query_quantile(self, wh_dir, capsys):
+        rc = main(["query", "--warehouse", wh_dir, "--dataset", "d",
+                   "--agg", "quantile", "--fraction", "0.5"])
+        assert rc == 0
+        assert "quantile(0.5)" in capsys.readouterr().out
+
+    def test_query_by_label(self, wh_dir, capsys):
+        rc = main(["query", "--warehouse", wh_dir, "--dataset", "d",
+                   "--agg", "count", "--labels", "load1"])
+        assert rc == 0
+
+    def test_query_unknown_dataset(self, wh_dir, capsys):
+        rc = main(["query", "--warehouse", wh_dir, "--dataset", "ghost",
+                   "--agg", "count"])
+        assert rc == 2
+
+
+class TestRollup:
+    def test_rollup_and_store(self, values_file, wh_dir, capsys):
+        for _ in range(4):
+            main(["ingest", "--warehouse", wh_dir, "--dataset", "d",
+                  "--input", values_file, "--bound", "128"])
+        rc = main(["rollup", "--warehouse", wh_dir, "--dataset", "d",
+                   "--window", "2", "--store-as", "d.rolled"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "w0" in out and "w1" in out
+        rc = main(["query", "--warehouse", wh_dir, "--dataset", "d.rolled",
+                   "--agg", "count"])
+        assert rc == 0
+        assert "count ~ 40000" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_fig05(self, capsys):
+        rc = main(["bench", "--figure", "fig05"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "max relative error" in out
+        assert "2.765" in out
+
+    def test_s33(self, capsys):
+        rc = main(["bench", "--figure", "s33", "--trials", "300"])
+        assert rc == 0
+        assert "non-uniformity demonstrated" in capsys.readouterr().out
+
+
+class TestAudit:
+    def test_clean_audit(self, values_file, wh_dir, capsys):
+        main(["ingest", "--warehouse", wh_dir, "--dataset", "d",
+              "--input", values_file, "--bound", "64"])
+        rc = main(["audit", "--warehouse", wh_dir])
+        assert rc == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_audit_detects_missing_sample(self, values_file, wh_dir,
+                                          capsys):
+        main(["ingest", "--warehouse", wh_dir, "--dataset", "d",
+              "--input", values_file, "--bound", "64"])
+        victim = next(f for f in os.listdir(wh_dir)
+                      if f.endswith(".sample.json"))
+        os.unlink(os.path.join(wh_dir, victim))
+        rc = main(["audit", "--warehouse", wh_dir])
+        assert rc == 1
+        assert "INCONSISTENT" in capsys.readouterr().out
+
+
+class TestModuleEntry:
+    def test_python_dash_m(self, values_file, wh_dir):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "ingest",
+             "--warehouse", wh_dir, "--dataset", "d",
+             "--input", values_file, "--bound", "64"],
+            capture_output=True, text=True, timeout=120)
+        assert result.returncode == 0, result.stderr
+        assert "ingested" in result.stdout

@@ -1,0 +1,94 @@
+"""Tests for repro.core.counting (deletion-capable concise variant)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.counting import CountingSampler
+from repro.core.footprint import FootprintModel
+from repro.errors import ConfigurationError, ProtocolError
+
+MODEL = FootprintModel(value_bytes=8, count_bytes=4)
+
+
+class TestConfiguration:
+    def test_footprint_too_small(self, rng):
+        with pytest.raises(ConfigurationError):
+            CountingSampler(footprint_bytes=4, rng=rng, model=MODEL)
+
+    def test_rate_decay_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            CountingSampler(footprint_bytes=96, rate_decay=1.5, rng=rng)
+
+
+class TestCountingSemantics:
+    def test_in_sample_values_count_deterministically(self, rng):
+        cs = CountingSampler(footprint_bytes=960, rng=rng, model=MODEL)
+        # rate starts at 1, so the first occurrence is admitted
+        for _ in range(7):
+            cs.feed("v")
+        assert cs.histogram.count("v") == 7
+
+    def test_exact_suffix_counts_after_admission(self, rng):
+        """Once admitted, counts are exact even after the rate decays."""
+        cs = CountingSampler(footprint_bytes=96, rng=rng, model=MODEL)
+        cs.feed("tracked")
+        # Flood with distinct values to force purges / rate decay.
+        cs.feed_many(range(3_000))
+        if "tracked" in cs.histogram:
+            before = cs.histogram.count("tracked")
+            for _ in range(5):
+                cs.feed("tracked")
+            assert cs.histogram.count("tracked") == before + 5
+
+    def test_footprint_bound(self, rng):
+        cs = CountingSampler(footprint_bytes=96, rng=rng, model=MODEL)
+        for v in range(5_000):
+            cs.feed(v)
+            assert cs.footprint_bytes <= 96
+
+
+class TestDeletions:
+    def test_delete_decrements(self, rng):
+        cs = CountingSampler(footprint_bytes=960, rng=rng, model=MODEL)
+        cs.feed("a")
+        cs.feed("a")
+        assert cs.delete("a") is True
+        assert cs.histogram.count("a") == 1
+
+    def test_delete_to_zero_evicts(self, rng):
+        cs = CountingSampler(footprint_bytes=960, rng=rng, model=MODEL)
+        cs.feed("a")
+        cs.delete("a")
+        assert "a" not in cs.histogram
+
+    def test_delete_unsampled_is_noop(self, rng):
+        cs = CountingSampler(footprint_bytes=960, rng=rng, model=MODEL)
+        assert cs.delete("ghost") is False
+        assert cs.deletions == 1
+
+    def test_insert_delete_roundtrip_counts(self, rng):
+        cs = CountingSampler(footprint_bytes=960, rng=rng, model=MODEL)
+        for _ in range(10):
+            cs.feed("x")
+        for _ in range(10):
+            cs.delete("x")
+        assert "x" not in cs.histogram
+        assert cs.seen == 10
+        assert cs.deletions == 10
+
+
+class TestProtocol:
+    def test_finalize_twice(self, rng):
+        cs = CountingSampler(footprint_bytes=96, rng=rng)
+        cs.finalize()
+        with pytest.raises(ProtocolError):
+            cs.finalize()
+
+    def test_operations_after_finalize(self, rng):
+        cs = CountingSampler(footprint_bytes=96, rng=rng)
+        cs.finalize()
+        with pytest.raises(ProtocolError):
+            cs.feed(1)
+        with pytest.raises(ProtocolError):
+            cs.delete(1)

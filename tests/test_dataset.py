@@ -1,0 +1,50 @@
+"""Tests for repro.warehouse.dataset (PartitionKey)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.warehouse.dataset import PartitionKey
+
+
+class TestPartitionKey:
+    def test_str_round_trip(self):
+        k = PartitionKey("orders.amount", 2, 5)
+        assert PartitionKey.parse(str(k)) == k
+
+    def test_defaults(self):
+        k = PartitionKey("d")
+        assert k.stream == 0
+        assert k.seq == 0
+
+    def test_ordering(self):
+        a = PartitionKey("d", 0, 1)
+        b = PartitionKey("d", 0, 2)
+        c = PartitionKey("d", 1, 0)
+        assert sorted([c, b, a]) == [a, b, c]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PartitionKey("")
+        with pytest.raises(ConfigurationError):
+            PartitionKey("a/b")
+        with pytest.raises(ConfigurationError):
+            PartitionKey("d", -1, 0)
+        with pytest.raises(ConfigurationError):
+            PartitionKey("d", 0, -1)
+
+    def test_parse_errors(self):
+        with pytest.raises(ConfigurationError):
+            PartitionKey.parse("no-slashes")
+        with pytest.raises(ConfigurationError):
+            PartitionKey.parse("d/x/y")
+
+    def test_hashable(self):
+        assert len({PartitionKey("d", 0, 0), PartitionKey("d", 0, 0)}) == 1
+
+    def test_filename_safe(self):
+        name = PartitionKey("sch:tab.col", 1, 2).filename()
+        assert "/" not in name
+        assert ":" not in name
+        assert name.endswith(".sample.json")

@@ -1,0 +1,201 @@
+"""Tests for repro.sampling.distributions."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import ALPHA
+from repro.errors import ConfigurationError
+from repro.rng import SplittableRng
+from repro.sampling.distributions import (AliasTable, CachedHypergeometric,
+                                          hypergeometric_logpmf_term,
+                                          hypergeometric_pmf,
+                                          sample_hypergeometric, zipf_pmf,
+                                          ZipfSampler)
+from repro.stats.uniformity import chi_square_pvalue
+
+
+class TestHypergeometricPmf:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            hypergeometric_pmf(-1, 5, 2)
+        with pytest.raises(ConfigurationError):
+            hypergeometric_pmf(5, 5, 11)
+
+    def test_normalization(self):
+        for n1, n2, k in [(5, 5, 4), (100, 50, 30), (3, 7, 9),
+                          (100_000, 50_000, 890), (1, 1, 2)]:
+            pmf = hypergeometric_pmf(n1, n2, k)
+            assert math.isclose(math.fsum(pmf), 1.0, rel_tol=1e-8)
+            assert len(pmf) == k + 1
+            assert all(p >= 0.0 for p in pmf)
+
+    def test_support(self):
+        """P(l) = 0 outside max(0, k-n2) <= l <= min(k, n1)."""
+        pmf = hypergeometric_pmf(5, 3, 6)
+        assert pmf[0] == pmf[1] == pmf[2] == 0.0  # l < k - n2 = 3
+        assert pmf[6] == 0.0                       # l > n1 = 5
+        assert all(p > 0.0 for p in pmf[3:6])
+
+    def test_matches_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        n1, n2, k = 40, 25, 18
+        ours = hypergeometric_pmf(n1, n2, k)
+        theirs = [scipy_stats.hypergeom.pmf(l, n1 + n2, n1, k)
+                  for l in range(k + 1)]
+        for o, t in zip(ours, theirs):
+            assert math.isclose(o, t, rel_tol=1e-9, abs_tol=1e-12)
+
+    def test_recursion_identity_eq3(self):
+        """Adjacent pmf values satisfy eq. (3) exactly."""
+        n1, n2, k = 30, 20, 12
+        pmf = hypergeometric_pmf(n1, n2, k)
+        for l in range(k):
+            if pmf[l] == 0.0:
+                continue
+            expected = pmf[l] * ((k - l) * (n1 - l)
+                                 / ((l + 1) * (n2 - k + l + 1)))
+            assert math.isclose(pmf[l + 1], expected, rel_tol=1e-9)
+
+    def test_mean(self):
+        """E[L] = k * n1 / (n1 + n2)."""
+        n1, n2, k = 60, 40, 25
+        pmf = hypergeometric_pmf(n1, n2, k)
+        mean = sum(l * p for l, p in enumerate(pmf))
+        assert math.isclose(mean, k * n1 / (n1 + n2), rel_tol=1e-9)
+
+    def test_logpmf_term_out_of_support(self):
+        assert hypergeometric_logpmf_term(5, 3, 6, 0) == float("-inf")
+        assert hypergeometric_logpmf_term(5, 3, 6, 7) == float("-inf")
+
+    @given(st.integers(min_value=0, max_value=40),
+           st.integers(min_value=0, max_value=40),
+           st.data())
+    @settings(max_examples=60)
+    def test_property_normalized(self, n1, n2, data):
+        if n1 + n2 == 0:
+            return
+        k = data.draw(st.integers(min_value=0, max_value=n1 + n2))
+        pmf = hypergeometric_pmf(n1, n2, k)
+        assert math.isclose(math.fsum(pmf), 1.0, rel_tol=1e-8)
+
+
+class TestSampleHypergeometric:
+    def test_unknown_method(self, rng):
+        with pytest.raises(ConfigurationError):
+            sample_hypergeometric(5, 5, 3, rng, method="bogus")
+
+    @pytest.mark.parametrize("method", ["inversion", "alias"])
+    def test_distribution(self, rng, method):
+        n1, n2, k, trials = 12, 8, 6, 20_000
+        pmf = hypergeometric_pmf(n1, n2, k)
+        counts = [0] * (k + 1)
+        for _ in range(trials):
+            counts[sample_hypergeometric(n1, n2, k, rng,
+                                         method=method)] += 1
+        observed, expected = [], []
+        for c, p in zip(counts, pmf):
+            if p * trials >= 5:
+                observed.append(c)
+                expected.append(p * trials)
+        pval = chi_square_pvalue(observed, expected)
+        assert pval > ALPHA, f"{method}: p={pval}"
+
+
+class TestAliasTable:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AliasTable([])
+        with pytest.raises(ConfigurationError):
+            AliasTable([0.0, 0.0])
+        with pytest.raises(ConfigurationError):
+            AliasTable([0.5, -0.1])
+
+    def test_len(self):
+        assert len(AliasTable([0.3, 0.7])) == 2
+
+    def test_degenerate_single(self, rng):
+        t = AliasTable([1.0])
+        assert all(t.sample(rng) == 0 for _ in range(50))
+
+    def test_point_mass(self, rng):
+        t = AliasTable([0.0, 1.0, 0.0])
+        assert all(t.sample(rng) == 1 for _ in range(100))
+
+    def test_distribution(self, rng):
+        pmf = [0.1, 0.2, 0.3, 0.25, 0.15]
+        t = AliasTable(pmf)
+        trials = 30_000
+        counts = [0] * len(pmf)
+        for _ in range(trials):
+            counts[t.sample(rng)] += 1
+        pval = chi_square_pvalue(counts, [p * trials for p in pmf])
+        assert pval > ALPHA
+
+    def test_unnormalized_input(self, rng):
+        """Weights are normalized internally."""
+        t = AliasTable([2.0, 6.0])  # 25% / 75%
+        trials = 20_000
+        ones = sum(t.sample(rng) == 1 for _ in range(trials))
+        assert abs(ones / trials - 0.75) < 0.02
+
+
+class TestCachedHypergeometric:
+    def test_cache_reuse(self, rng):
+        cache = CachedHypergeometric()
+        cache.sample(10, 10, 5, rng)
+        cache.sample(10, 10, 5, rng)
+        assert len(cache) == 1
+        cache.sample(20, 10, 5, rng)
+        assert len(cache) == 2
+
+    def test_distribution_through_cache(self, rng):
+        cache = CachedHypergeometric()
+        n1, n2, k, trials = 10, 6, 5, 20_000
+        pmf = hypergeometric_pmf(n1, n2, k)
+        counts = [0] * (k + 1)
+        for _ in range(trials):
+            counts[cache.sample(n1, n2, k, rng)] += 1
+        observed, expected = [], []
+        for c, p in zip(counts, pmf):
+            if p * trials >= 5:
+                observed.append(c)
+                expected.append(p * trials)
+        assert chi_square_pvalue(observed, expected) > ALPHA
+
+
+class TestZipf:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            zipf_pmf(0)
+        with pytest.raises(ConfigurationError):
+            zipf_pmf(10, -1.0)
+
+    def test_normalized_and_monotone(self):
+        pmf = zipf_pmf(100, 1.0)
+        assert math.isclose(math.fsum(pmf), 1.0, rel_tol=1e-9)
+        assert all(pmf[i] >= pmf[i + 1] for i in range(len(pmf) - 1))
+
+    def test_exponent_zero_is_uniform(self):
+        pmf = zipf_pmf(10, 0.0)
+        assert all(math.isclose(p, 0.1) for p in pmf)
+
+    def test_sampler_range(self, rng):
+        z = ZipfSampler(4000)
+        values = z.sample_many(2_000, rng)
+        assert all(1 <= v <= 4000 for v in values)
+        assert z.v_max == 4000
+        assert z.exponent == 1.0
+
+    def test_sampler_skew(self, rng):
+        """Value 1 should be by far the most frequent under exponent 1."""
+        z = ZipfSampler(1000)
+        values = z.sample_many(20_000, rng)
+        ones = values.count(1)
+        # P(1) = 1/H_1000 ~ 0.133.
+        assert abs(ones / len(values) - 1.0 / sum(1 / v for v in
+                                                  range(1, 1001))) < 0.02

@@ -1,0 +1,32 @@
+"""Execute every docstring example in the package.
+
+Keeps the documentation honest: each ``Examples`` block in the public
+API is run as a doctest by the main test suite, so README-grade snippets
+cannot rot.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False,
+                              optionflags=doctest.NORMALIZE_WHITESPACE)
+    assert results.failed == 0, \
+        f"{results.failed} doctest failure(s) in {module_name}"

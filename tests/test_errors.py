@@ -1,0 +1,57 @@
+"""Tests for repro.errors: hierarchy and catchability contracts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (CatalogError, ConfigurationError,
+                          DatasetNotFoundError, FootprintExceededError,
+                          IncompatibleSamplesError, MergeError,
+                          PartitionNotFoundError, ProtocolError,
+                          ReproError, StorageError)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        ConfigurationError, ProtocolError, MergeError,
+        IncompatibleSamplesError, CatalogError, PartitionNotFoundError,
+        DatasetNotFoundError, StorageError, FootprintExceededError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_configuration_is_value_error(self):
+        """Callers used to stdlib semantics can catch ValueError."""
+        assert issubclass(ConfigurationError, ValueError)
+
+    def test_protocol_is_runtime_error(self):
+        assert issubclass(ProtocolError, RuntimeError)
+
+    def test_incompatible_is_merge_and_value_error(self):
+        assert issubclass(IncompatibleSamplesError, MergeError)
+        assert issubclass(IncompatibleSamplesError, ValueError)
+
+    def test_not_found_are_catalog_and_key_errors(self):
+        assert issubclass(PartitionNotFoundError, CatalogError)
+        assert issubclass(DatasetNotFoundError, CatalogError)
+        assert issubclass(CatalogError, KeyError)
+
+    def test_storage_is_os_error(self):
+        assert issubclass(StorageError, OSError)
+
+
+class TestCatchability:
+    def test_library_errors_catchable_as_repro_error(self, rng):
+        """A single except ReproError covers user-facing failures."""
+        from repro.core.hybrid_bernoulli import AlgorithmHB
+        from repro.warehouse.storage import InMemoryStore
+        from repro.warehouse.dataset import PartitionKey
+
+        with pytest.raises(ReproError):
+            AlgorithmHB(0, bound_values=1, rng=rng)
+        with pytest.raises(ReproError):
+            InMemoryStore().get(PartitionKey("x", 0, 0))
+        sampler = AlgorithmHB(10, bound_values=4, rng=rng)
+        sampler.finalize()
+        with pytest.raises(ReproError):
+            sampler.finalize()

@@ -1,0 +1,168 @@
+"""Failure-injection tests: storage and serialization under adversity.
+
+A warehouse must fail loudly and cleanly — no silent truncation, no
+partially-visible writes, no acceptance of corrupt documents.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import stat
+
+import pytest
+
+from repro.core.footprint import FootprintModel
+from repro.core.histogram import CompactHistogram
+from repro.core.phases import SampleKind
+from repro.core.sample import WarehouseSample
+from repro.errors import ReproError, StorageError
+from repro.rng import SplittableRng
+from repro.warehouse.dataset import PartitionKey
+from repro.warehouse.storage import FileStore, sample_from_dict
+from repro.warehouse.warehouse import SampleWarehouse
+
+MODEL = FootprintModel(8, 4)
+
+
+def make_sample():
+    return WarehouseSample(
+        histogram=CompactHistogram.from_pairs([("a", 2), ("b", 1)]),
+        kind=SampleKind.RESERVOIR,
+        population_size=50,
+        bound_values=10,
+        scheme="hr",
+        model=MODEL,
+    )
+
+
+def _read_only(path) -> None:
+    os.chmod(path, stat.S_IRUSR | stat.S_IXUSR)
+
+
+def _writable(path) -> None:
+    os.chmod(path, stat.S_IRWXU)
+
+
+@pytest.mark.skipif(os.geteuid() == 0,
+                    reason="root bypasses permission bits")
+class TestPermissionFailures:
+    def test_unwritable_directory_put(self, tmp_path):
+        store = FileStore(str(tmp_path))
+        _read_only(tmp_path)
+        try:
+            with pytest.raises(StorageError):
+                store.put(PartitionKey("d", 0, 0), make_sample())
+        finally:
+            _writable(tmp_path)
+
+    def test_uncreatable_directory(self, tmp_path):
+        blocked = tmp_path / "blocked"
+        blocked.mkdir()
+        _read_only(blocked)
+        try:
+            with pytest.raises(StorageError):
+                FileStore(str(blocked / "store"))
+        finally:
+            _writable(blocked)
+
+
+class TestCorruption:
+    def test_truncated_json(self, tmp_path):
+        store = FileStore(str(tmp_path))
+        key = PartitionKey("d", 0, 0)
+        store.put(key, make_sample())
+        victim = next(tmp_path.glob("*.sample.json"))
+        victim.write_text(victim.read_text()[:20])
+        with pytest.raises(StorageError):
+            store.get(key)
+
+    def test_wrong_schema_document(self, tmp_path):
+        store = FileStore(str(tmp_path))
+        key = PartitionKey("d", 0, 0)
+        store.put(key, make_sample())
+        victim = next(tmp_path.glob("*.sample.json"))
+        victim.write_text(json.dumps({"key": str(key), "nonsense": 1}))
+        with pytest.raises(StorageError):
+            store.get(key)
+
+    def test_corrupt_gzip(self, tmp_path):
+        store = FileStore(str(tmp_path), compress=True)
+        key = PartitionKey("d", 0, 0)
+        store.put(key, make_sample())
+        victim = next(tmp_path.glob("*.sample.json.gz"))
+        victim.write_bytes(b"\x1f\x8bgarbage")
+        with pytest.raises(StorageError):
+            store.get(key)
+
+    def test_document_with_invalid_kind(self):
+        with pytest.raises(StorageError):
+            sample_from_dict({
+                "kind": "NOT_A_KIND",
+                "population_size": 1,
+                "bound_values": 1,
+                "rate": None,
+                "scheme": "hr",
+                "exceedance_p": 0.001,
+                "model": {"value_bytes": 8, "count_bytes": 4},
+                "histogram": [],
+            })
+
+    def test_document_with_inconsistent_counts(self):
+        """A sample claiming more elements than its population must be
+        rejected at deserialization (validation reruns)."""
+        with pytest.raises(ReproError):
+            sample_from_dict({
+                "kind": "RESERVOIR",
+                "population_size": 1,
+                "bound_values": 10,
+                "rate": None,
+                "scheme": "hr",
+                "exceedance_p": 0.001,
+                "model": {"value_bytes": 8, "count_bytes": 4},
+                "histogram": [["a", 5]],
+            })
+
+    def test_catalog_corruption_detected_on_load(self, tmp_path):
+        wh = SampleWarehouse(bound_values=16, rng=SplittableRng(1))
+        wh.ingest_batch("d", list(range(100)))
+        wh.save(str(tmp_path))
+        (tmp_path / "catalog.json").write_text("{ nope")
+        with pytest.raises(StorageError):
+            SampleWarehouse.load(str(tmp_path))
+
+
+class TestAtomicity:
+    def test_replace_leaves_old_on_simulated_crash(self, tmp_path,
+                                                   monkeypatch):
+        """If the rename step never happens (crash between temp write
+        and replace), the previous version stays intact."""
+        store = FileStore(str(tmp_path))
+        key = PartitionKey("d", 0, 0)
+        store.put(key, make_sample())
+        original = store.get(key)
+
+        def boom(src, dst):
+            raise OSError("simulated crash")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(StorageError):
+            store.put(key, make_sample())
+        monkeypatch.undo()
+        still = store.get(key)
+        assert still.histogram == original.histogram
+
+    def test_no_stray_temp_files_after_failures(self, tmp_path,
+                                                monkeypatch):
+        store = FileStore(str(tmp_path))
+        key = PartitionKey("d", 0, 0)
+
+        def boom(src, dst):
+            raise OSError("simulated crash")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(StorageError):
+            store.put(key, make_sample())
+        monkeypatch.undo()
+        assert not [n for n in os.listdir(tmp_path)
+                    if n.endswith(".tmp")]

@@ -1,0 +1,69 @@
+"""Tests for repro.core.footprint."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.footprint import DEFAULT_MODEL, FootprintModel
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_value_bytes_positive(self):
+        with pytest.raises(ConfigurationError):
+            FootprintModel(value_bytes=0)
+
+    def test_count_bytes_non_negative(self):
+        with pytest.raises(ConfigurationError):
+            FootprintModel(count_bytes=-1)
+
+    def test_count_bytes_cannot_exceed_value_bytes(self):
+        # Otherwise compact form could exceed the expanded bound.
+        with pytest.raises(ConfigurationError):
+            FootprintModel(value_bytes=4, count_bytes=8)
+
+
+class TestArithmetic:
+    def test_bag_footprint(self):
+        assert DEFAULT_MODEL.bag_footprint(10) == 80
+
+    def test_histogram_footprint(self):
+        m = FootprintModel(8, 4)
+        assert m.histogram_footprint(distinct=5, singletons=2) == \
+            5 * 8 + 3 * 4
+
+    def test_bound_values_round_trip(self):
+        m = FootprintModel(8, 4)
+        assert m.bound_values(65536) == 8192
+        assert m.footprint_for_values(8192) == 65536
+
+    def test_bound_values_floor(self):
+        assert FootprintModel(8, 4).bound_values(100) == 12
+
+    def test_bound_values_validation(self):
+        with pytest.raises(ConfigurationError):
+            FootprintModel(8, 4).bound_values(4)
+        with pytest.raises(ConfigurationError):
+            FootprintModel(8, 4).footprint_for_values(0)
+
+    def test_compact_never_beats_bound(self):
+        """For any split of n_F-or-fewer elements into singletons/pairs,
+        the compact footprint stays within the bound (the reason
+        count_bytes <= value_bytes is enforced)."""
+        m = FootprintModel(8, 4)
+        bound_values = 64
+        budget = m.footprint_for_values(bound_values)
+        for pairs in range(bound_values // 2 + 1):
+            singles = bound_values - 2 * pairs  # elements in pairs count 2x
+            footprint = m.histogram_footprint(singles + pairs, singles)
+            assert footprint <= budget
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_MODEL.value_bytes = 16
+
+
+class TestEquality:
+    def test_dataclass_equality(self):
+        assert FootprintModel(8, 4) == FootprintModel(8, 4)
+        assert FootprintModel(8, 4) != FootprintModel(8, 2)

@@ -1,0 +1,199 @@
+"""Tests for repro.core.histogram (compact (value, count) storage)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.footprint import FootprintModel
+from repro.core.histogram import CompactHistogram
+from repro.errors import ConfigurationError
+
+MODEL = FootprintModel(value_bytes=8, count_bytes=4)
+
+
+class TestBasics:
+    def test_empty(self):
+        h = CompactHistogram()
+        assert h.size == 0
+        assert h.distinct == 0
+        assert h.singletons == 0
+        assert len(h) == 0
+        assert h.expand() == []
+
+    def test_insert_tracks_counters(self):
+        h = CompactHistogram()
+        h.insert("a")
+        assert (h.size, h.distinct, h.singletons) == (1, 1, 1)
+        h.insert("a")
+        assert (h.size, h.distinct, h.singletons) == (2, 1, 0)
+        h.insert("b")
+        assert (h.size, h.distinct, h.singletons) == (3, 2, 1)
+
+    def test_from_values_and_contains(self):
+        h = CompactHistogram.from_values([1, 2, 2, 3])
+        assert 2 in h
+        assert 5 not in h
+        assert h.count(2) == 2
+        assert h.count(5) == 0
+
+    def test_from_pairs(self):
+        h = CompactHistogram.from_pairs([("x", 3), ("y", 1), ("x", 2)])
+        assert h.count("x") == 5
+        assert h.size == 6
+
+    def test_from_pairs_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            CompactHistogram.from_pairs([("x", 0)])
+
+    def test_equality(self):
+        a = CompactHistogram.from_values([1, 1, 2])
+        b = CompactHistogram.from_pairs([(1, 2), (2, 1)])
+        assert a == b
+        b.insert(3)
+        assert a != b
+
+    def test_copy_independent(self):
+        a = CompactHistogram.from_values([1, 2])
+        b = a.copy()
+        b.insert(3)
+        assert 3 not in a
+        assert a.size == 2
+
+
+class TestMutation:
+    def test_insert_count(self):
+        h = CompactHistogram()
+        h.insert_count("v", 5)
+        assert h.count("v") == 5
+        assert h.singletons == 0
+        h2 = CompactHistogram()
+        h2.insert_count("v", 1)
+        assert h2.singletons == 1
+
+    def test_insert_count_validation(self):
+        with pytest.raises(ConfigurationError):
+            CompactHistogram().insert_count("v", 0)
+
+    def test_remove(self):
+        h = CompactHistogram.from_values(["a", "a", "b"])
+        h.remove("a")
+        assert h.count("a") == 1
+        assert h.singletons == 2
+        h.remove("a")
+        assert "a" not in h
+        assert h.size == 1
+
+    def test_remove_validation(self):
+        h = CompactHistogram.from_values(["a"])
+        with pytest.raises(ConfigurationError):
+            h.remove("a", 2)
+        with pytest.raises(ConfigurationError):
+            h.remove("a", 0)
+        with pytest.raises(ConfigurationError):
+            h.remove("missing")
+
+    def test_set_count(self):
+        h = CompactHistogram.from_values(["a", "a"])
+        h.set_count("a", 5)
+        assert h.count("a") == 5
+        assert h.size == 5
+        h.set_count("a", 1)
+        assert h.singletons == 1
+        h.set_count("a", 0)
+        assert "a" not in h
+        assert h.size == 0
+
+    def test_set_count_validation(self):
+        with pytest.raises(ConfigurationError):
+            CompactHistogram().set_count("a", -1)
+
+
+class TestViewsAndConversions:
+    def test_expand_round_trip(self):
+        values = [1, 1, 2, 3, 3, 3]
+        h = CompactHistogram.from_values(values)
+        assert sorted(h.expand()) == sorted(values)
+        again = CompactHistogram.from_values(h.expand())
+        assert again == h
+
+    def test_sorted_pairs_stable(self):
+        h = CompactHistogram.from_values(["b", "a", "b"])
+        assert h.sorted_pairs() == [("a", 1), ("b", 2)]
+
+    def test_join(self):
+        a = CompactHistogram.from_values([1, 1, 2])
+        b = CompactHistogram.from_values([2, 3])
+        j = a.join(b)
+        assert dict(j.pairs()) == {1: 2, 2: 2, 3: 1}
+        # operands untouched
+        assert a.size == 3 and b.size == 2
+
+    def test_join_commutative(self):
+        a = CompactHistogram.from_values([1, 1, 2])
+        b = CompactHistogram.from_values([2, 3, 3, 3, 4])
+        assert a.join(b) == b.join(a)
+
+    def test_joined_footprint_matches_join(self):
+        a = CompactHistogram.from_values([1, 1, 2, 5])
+        b = CompactHistogram.from_values([2, 3, 3, 5, 6])
+        predicted = a.joined_footprint(b, MODEL)
+        actual = a.join(b).footprint(MODEL)
+        assert predicted == actual
+
+
+class TestFootprint:
+    def test_empty(self):
+        assert CompactHistogram().footprint(MODEL) == 0
+
+    def test_singletons_cost_value_bytes(self):
+        h = CompactHistogram.from_values([1, 2, 3])
+        assert h.footprint(MODEL) == 3 * 8
+
+    def test_pairs_cost_extra(self):
+        h = CompactHistogram.from_values([1, 1, 2])
+        assert h.footprint(MODEL) == (8 + 4) + 8
+
+    @given(st.lists(st.sampled_from("abcdefgh"), max_size=200))
+    @settings(max_examples=100)
+    def test_incremental_tracking_matches_recount(self, values):
+        """The O(1) footprint equals a from-scratch recount, always."""
+        h = CompactHistogram.from_values(values)
+        pairs = dict(h.pairs())
+        distinct = len(pairs)
+        singles = sum(1 for c in pairs.values() if c == 1)
+        assert h.distinct == distinct
+        assert h.singletons == singles
+        assert h.size == sum(pairs.values()) == len(values)
+        assert h.footprint(MODEL) == \
+            MODEL.histogram_footprint(distinct, singles)
+
+    @given(st.lists(st.tuples(st.sampled_from("abcd"),
+                              st.sampled_from(["insert", "remove",
+                                               "set3", "set0"])),
+                    max_size=100))
+    @settings(max_examples=100)
+    def test_mutation_sequence_invariants(self, ops):
+        """Random mutation sequences keep counters consistent."""
+        h = CompactHistogram()
+        shadow = {}
+        for value, op in ops:
+            if op == "insert":
+                h.insert(value)
+                shadow[value] = shadow.get(value, 0) + 1
+            elif op == "remove":
+                if shadow.get(value, 0) > 0:
+                    h.remove(value)
+                    shadow[value] -= 1
+                    if shadow[value] == 0:
+                        del shadow[value]
+            elif op == "set3":
+                h.set_count(value, 3)
+                shadow[value] = 3
+            else:  # set0
+                h.set_count(value, 0)
+                shadow.pop(value, None)
+        assert dict(h.pairs()) == shadow
+        assert h.size == sum(shadow.values())
+        assert h.singletons == sum(1 for c in shadow.values() if c == 1)

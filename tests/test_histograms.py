@@ -1,0 +1,138 @@
+"""Tests for repro.analytics.histograms (sample-based synopses)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytics.histograms import (equi_depth, equi_width, top_k)
+from repro.core.footprint import FootprintModel
+from repro.core.histogram import CompactHistogram
+from repro.core.hybrid_reservoir import AlgorithmHR
+from repro.core.phases import SampleKind
+from repro.core.sample import WarehouseSample
+from repro.errors import ConfigurationError
+
+MODEL = FootprintModel(8, 4)
+
+
+def exhaustive_sample(values):
+    return WarehouseSample(
+        histogram=CompactHistogram.from_values(values),
+        kind=SampleKind.EXHAUSTIVE,
+        population_size=len(values),
+        bound_values=max(1, len(values)),
+        model=MODEL,
+    )
+
+
+def hr_sample(values, bound, rng):
+    hr = AlgorithmHR(bound_values=bound, rng=rng, model=MODEL)
+    hr.feed_many(values)
+    return hr.finalize()
+
+
+class TestEquiDepth:
+    def test_validation(self):
+        s = exhaustive_sample([1, 2, 3])
+        with pytest.raises(ConfigurationError):
+            equi_depth(s, 0)
+
+    def test_empty_sample(self, rng):
+        empty = WarehouseSample(
+            histogram=CompactHistogram(), kind=SampleKind.RESERVOIR,
+            population_size=10, bound_values=4, model=MODEL)
+        with pytest.raises(ConfigurationError):
+            equi_depth(empty, 4)
+
+    def test_exhaustive_equal_depths(self):
+        s = exhaustive_sample(list(range(100)))
+        h = equi_depth(s, 4)
+        assert h.kind == "equi-depth"
+        assert len(h) == 4
+        for b in h.buckets:
+            assert b.estimated_count == pytest.approx(25.0)
+        assert h.total_count() == pytest.approx(100.0)
+
+    def test_total_matches_population_estimate(self, rng):
+        s = hr_sample(list(range(10_000)), 512, rng)
+        h = equi_depth(s, 8)
+        assert h.total_count() == pytest.approx(10_000.0, rel=1e-6)
+
+    def test_heavy_value_collapses_buckets(self):
+        s = exhaustive_sample([5] * 90 + list(range(10)))
+        h = equi_depth(s, 10)
+        # The run of 90 fives cannot be split: fewer buckets.
+        assert len(h) < 10
+        assert h.total_count() == pytest.approx(100.0)
+
+    def test_range_estimate(self, rng):
+        s = hr_sample(list(range(10_000)), 1024, rng)
+        h = equi_depth(s, 16)
+        est = h.estimate_range(2_500, 7_500)
+        assert abs(est - 5_000) / 5_000 < 0.15
+
+    def test_range_estimate_degenerate(self):
+        s = exhaustive_sample(list(range(10)))
+        h = equi_depth(s, 2)
+        assert h.estimate_range(5, 5) == 0.0
+        assert h.estimate_range(100, 200) == 0.0
+
+
+class TestEquiWidth:
+    def test_validation(self):
+        s = exhaustive_sample([1, 2])
+        with pytest.raises(ConfigurationError):
+            equi_width(s, -1)
+
+    def test_uniform_data_flat(self, rng):
+        s = hr_sample(list(range(10_000)), 1024, rng)
+        h = equi_width(s, 10)
+        assert len(h) == 10
+        counts = [b.estimated_count for b in h.buckets]
+        assert max(counts) < 2.0 * min(counts)
+        assert h.total_count() == pytest.approx(10_000.0, rel=1e-6)
+
+    def test_constant_value(self):
+        s = exhaustive_sample([7] * 50)
+        h = equi_width(s, 5)
+        assert len(h) == 1
+        assert h.buckets[0].estimated_count == 50.0
+
+    def test_bucket_edges_cover_range(self):
+        s = exhaustive_sample(list(range(100)))
+        h = equi_width(s, 4)
+        assert h.buckets[0].low == 0.0
+        assert h.buckets[-1].high == 99.0
+        # Contiguous edges.
+        for a, b in zip(h.buckets, h.buckets[1:]):
+            assert a.high == b.low
+
+    def test_skewed_data_shape(self, rng):
+        values = [1] * 900 + list(range(2, 102))
+        s = exhaustive_sample(values)
+        h = equi_width(s, 10)
+        assert h.buckets[0].estimated_count > h.buckets[-1].estimated_count
+
+
+class TestTopK:
+    def test_validation(self):
+        s = exhaustive_sample([1])
+        with pytest.raises(ConfigurationError):
+            top_k(s, 0)
+
+    def test_exhaustive_exact(self):
+        s = exhaustive_sample([1] * 5 + [2] * 3 + [3])
+        ranked = top_k(s, 2)
+        assert ranked == [(1, 5.0), (2, 3.0)]
+
+    def test_scaled_estimates(self, rng):
+        values = [42] * 5_000 + list(range(5_000))
+        s = hr_sample(values, 512, rng)
+        ranked = top_k(s, 1)
+        value, estimate = ranked[0]
+        assert value == 42
+        assert abs(estimate - 5_000) / 5_000 < 0.25
+
+    def test_k_larger_than_distinct(self):
+        s = exhaustive_sample([1, 2])
+        assert len(top_k(s, 10)) == 2

@@ -1,0 +1,150 @@
+"""Tests for repro.warehouse.ingest (batch division, stream policies)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.phases import SampleKind
+from repro.errors import ConfigurationError, ProtocolError
+from repro.rng import SplittableRng
+from repro.warehouse.dataset import PartitionKey
+from repro.warehouse.ingest import (CountPolicy, FractionPolicy,
+                                    StreamIngestor, split_batch)
+
+
+class TestSplitBatch:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            split_batch([1, 2], 0)
+
+    def test_even_split(self):
+        chunks = split_batch(list(range(10)), 5)
+        assert [len(c) for c in chunks] == [2] * 5
+
+    def test_remainder_spread(self):
+        chunks = split_batch(list(range(11)), 3)
+        assert [len(c) for c in chunks] == [4, 4, 3]
+
+    def test_more_partitions_than_values(self):
+        chunks = split_batch([1, 2], 5)
+        assert [len(c) for c in chunks] == [1, 1, 0, 0, 0]
+
+    def test_order_preserved(self):
+        chunks = split_batch(list(range(9)), 2)
+        assert list(chunks[0]) + list(chunks[1]) == list(range(9))
+
+    @given(st.lists(st.integers(), max_size=200),
+           st.integers(min_value=1, max_value=20))
+    @settings(max_examples=80)
+    def test_property_lossless(self, values, k):
+        chunks = split_batch(values, k)
+        assert len(chunks) == k
+        rejoined = [v for c in chunks for v in c]
+        assert rejoined == values
+        sizes = [len(c) for c in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestPolicies:
+    def test_count_policy(self):
+        p = CountPolicy(100)
+        assert p.expected_size() == 100
+        with pytest.raises(ConfigurationError):
+            CountPolicy(0)
+
+    def test_fraction_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            FractionPolicy(0.0)
+        with pytest.raises(ConfigurationError):
+            FractionPolicy(1.5)
+
+    def test_fraction_policy_has_no_expected_size(self):
+        assert FractionPolicy(0.5).expected_size() is None
+
+
+class _Collector:
+    def __init__(self):
+        self.items = []
+
+    def __call__(self, key, sample):
+        self.items.append((key, sample))
+
+
+class TestStreamIngestor:
+    def make(self, policy, scheme="hr", dataset="d", **kwargs):
+        sink = _Collector()
+        ing = StreamIngestor(dataset, scheme=scheme, bound_values=64,
+                             policy=policy, sink=sink,
+                             rng=SplittableRng(3), **kwargs)
+        return ing, sink
+
+    def test_count_policy_cuts(self):
+        ing, sink = self.make(CountPolicy(1000))
+        ing.feed_many(range(3_500))
+        keys = ing.close()
+        # 3 full partitions + 1 partial
+        assert len(keys) == 4
+        assert [k.seq for k in keys] == [0, 1, 2, 3]
+        sizes = [s.population_size for _k, s in sink.items]
+        assert sizes == [1000, 1000, 1000, 500]
+
+    def test_exact_boundary_no_empty_partition(self):
+        ing, sink = self.make(CountPolicy(500))
+        ing.feed_many(range(1000))
+        keys = ing.close()
+        assert len(keys) == 2
+        assert all(s.population_size == 500 for _k, s in sink.items)
+
+    def test_hb_scheme_with_count_policy(self):
+        ing, sink = self.make(CountPolicy(2000), scheme="hb")
+        ing.feed_many(range(4000))
+        ing.close()
+        kinds = {s.kind for _k, s in sink.items}
+        assert kinds <= {SampleKind.BERNOULLI, SampleKind.RESERVOIR,
+                         SampleKind.EXHAUSTIVE}
+
+    def test_hb_scheme_requires_count_policy(self):
+        with pytest.raises(ConfigurationError):
+            self.make(FractionPolicy(0.5), scheme="hb")
+
+    def test_fraction_policy_adaptive_cuts(self):
+        """Partitions close once the sample/parent ratio hits the floor:
+        with n_F = 64 and floor 1/16, each partition has ~1024 elements."""
+        ing, sink = self.make(FractionPolicy(1 / 16))
+        ing.feed_many(range(5_000))
+        ing.close()
+        sizes = [s.population_size for _k, s in sink.items[:-1]]
+        assert sizes, "no partitions finalized"
+        for size in sizes:
+            assert 900 <= size <= 1100
+
+    def test_stream_index_in_keys(self):
+        ing, _sink = self.make(CountPolicy(10), stream=7)
+        ing.feed_many(range(25))
+        keys = ing.close()
+        assert all(k.stream == 7 for k in keys)
+
+    def test_start_seq(self):
+        ing, _sink = self.make(CountPolicy(10), start_seq=5)
+        ing.feed_many(range(10))
+        assert ing.close() == [PartitionKey("d", 0, 5)]
+
+    def test_close_twice(self):
+        ing, _sink = self.make(CountPolicy(10))
+        ing.close()
+        with pytest.raises(ProtocolError):
+            ing.close()
+
+    def test_feed_after_close(self):
+        ing, _sink = self.make(CountPolicy(10))
+        ing.close()
+        with pytest.raises(ProtocolError):
+            ing.feed(1)
+
+    def test_emitted_property(self):
+        ing, _sink = self.make(CountPolicy(10))
+        ing.feed_many(range(20))
+        assert len(ing.emitted) == 2
+        assert ing.current_seen == 0

@@ -1,0 +1,156 @@
+"""End-to-end integration tests: the paper's Section 2 scenarios.
+
+Scenario A — classic warehousing: a bulk load parallel-sampled at
+ingestion time, followed by periodic smaller update batches, with
+analytics over the merged sample and roll-out of aged partitions.
+
+Scenario B — overwhelming stream: one logical stream split round-robin
+across "machines", sampled concurrently, samples merged on demand.
+
+Scenario C — persistence: samples staged to disk (as in the paper's
+experimental setup) and merged after reopening.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytics.aqp import ApproximateQueryEngine
+from repro.core.merge import merge_tree
+from repro.rng import SplittableRng
+from repro.stream.splitter import RoundRobinSplitter
+from repro.warehouse.dataset import PartitionKey
+from repro.warehouse.ingest import CountPolicy, FractionPolicy
+from repro.warehouse.rollup import temporal_rollup
+from repro.warehouse.storage import FileStore
+from repro.warehouse.warehouse import SampleWarehouse
+from repro.workloads.generators import UniformGenerator
+
+
+class TestScenarioBulkLoadPlusUpdates:
+    def test_end_to_end(self):
+        wh = SampleWarehouse(bound_values=512, scheme="hr",
+                             rng=SplittableRng(101))
+        gen = UniformGenerator(value_range=100_000)
+        data_rng = SplittableRng(55)
+
+        # Initial bulk load, parallel-sampled over 8 partitions.
+        initial = gen.generate(80_000, data_rng.spawn("bulk"))
+        wh.ingest_batch("fact.amount", initial, partitions=8,
+                        labels=[f"load-{i}" for i in range(8)])
+
+        # Periodic update batches (daily deltas).
+        for day in range(5):
+            delta = gen.generate(4_000, data_rng.spawn("day", day))
+            wh.ingest_batch("fact.amount", delta,
+                            labels=[f"day-{day}"])
+
+        total = wh.sample_of("fact.amount")
+        total.check_invariants()
+        assert total.population_size == 100_000
+
+        # Analytics over the merged sample.
+        engine = ApproximateQueryEngine(wh)
+        est = engine.count("fact.amount")
+        assert abs(est.value - 100_000) / 100_000 < 0.10
+
+        # Periodic deletion: roll out the oldest update day.
+        day0 = [k for k in wh.partition_keys("fact.amount")
+                if wh.catalog.get(k).label == "day-0"]
+        wh.roll_out(day0[0])
+        remaining = wh.sample_of("fact.amount")
+        assert remaining.population_size == 96_000
+
+    def test_weekly_rollup_on_top(self):
+        wh = SampleWarehouse(bound_values=128, rng=SplittableRng(7))
+        gen = UniformGenerator(1000)
+        data_rng = SplittableRng(70)
+        for day in range(14):
+            wh.ingest_batch("clicks", gen.generate(2_000,
+                                                   data_rng.spawn(day)),
+                            labels=[f"d{day}"])
+        weekly = temporal_rollup(wh, "clicks", window=7,
+                                 rng=SplittableRng(71))
+        assert {s.population_size for s in weekly.values()} == {14_000}
+        # Re-ingest rollups under a derived dataset for cataloged reuse.
+        for i, (name, sample) in enumerate(sorted(weekly.items())):
+            wh.ingest_sample(PartitionKey("clicks.weekly", 0, i), sample,
+                             label=name)
+        assert wh.sample_of("clicks.weekly").population_size == 28_000
+
+
+class TestScenarioSplitStream:
+    def test_round_robin_split_and_merge(self):
+        """One overwhelming stream -> 4 'machines' -> merged sample."""
+        machines = 4
+        wh = SampleWarehouse(bound_values=256, scheme="hr",
+                             rng=SplittableRng(202))
+        ingestors = [
+            wh.open_stream("events", policy=CountPolicy(5_000), stream=m)
+            for m in range(machines)
+        ]
+        splitter = RoundRobinSplitter([ing.feed for ing in ingestors])
+        gen = UniformGenerator(50_000)
+        splitter.feed_many(gen.generate(60_000, SplittableRng(77)))
+        for ing in ingestors:
+            ing.close()
+
+        merged = wh.sample_of("events")
+        merged.check_invariants()
+        assert merged.population_size == 60_000
+        # Every machine contributed partitions.
+        streams = {k.stream for k in wh.partition_keys("events")}
+        assert streams == set(range(machines))
+
+    def test_adaptive_partitioning_under_fluctuation(self):
+        """FractionPolicy cuts partitions by realized sampling fraction,
+        robust to arrival-rate fluctuations (Section 2)."""
+        wh = SampleWarehouse(bound_values=64, scheme="hr",
+                             rng=SplittableRng(303))
+        ing = wh.open_stream("ticks", policy=FractionPolicy(1 / 8))
+        gen = UniformGenerator(10_000)
+        ing.feed_many(gen.generate(10_000, SplittableRng(88)))
+        keys = ing.close()
+        assert len(keys) >= 2
+        for key in keys[:-1]:
+            meta = wh.catalog.get(key)
+            # Cut at ~bound/fraction = 512 parent elements.
+            assert 400 <= meta.population_size <= 640
+        merged = wh.sample_of("ticks")
+        assert merged.population_size == 10_000
+
+
+class TestScenarioPersistence:
+    def test_disk_staged_samples_merge_after_reopen(self, tmp_path):
+        """Per-partition samples staged on disk (like the paper's
+        temporary storage before merging), then merged cold."""
+        store = FileStore(str(tmp_path))
+        wh = SampleWarehouse(bound_values=128, rng=SplittableRng(404),
+                             store=store)
+        gen = UniformGenerator(5_000)
+        wh.ingest_batch("cold", gen.generate(30_000, SplittableRng(5)),
+                        partitions=6)
+        wh.save(str(tmp_path))
+
+        reopened = SampleWarehouse.load(str(tmp_path),
+                                        rng=SplittableRng(1),
+                                        bound_values=128)
+        samples = [reopened.sample_for(k)
+                   for k in reopened.partition_keys("cold")]
+        merged = merge_tree(samples, rng=SplittableRng(2))
+        merged.check_invariants()
+        assert merged.population_size == 30_000
+
+
+class TestCrossSchemeWarehouse:
+    @pytest.mark.parametrize("scheme", ["hb", "hr", "sb", "hb-mp"])
+    def test_every_scheme_end_to_end(self, scheme):
+        wh = SampleWarehouse(bound_values=128, scheme=scheme,
+                             sb_rate=0.01, rng=SplittableRng(500))
+        gen = UniformGenerator(2_000)
+        wh.ingest_batch("d", gen.generate(20_000, SplittableRng(6)),
+                        partitions=4)
+        merged = wh.sample_of("d")
+        assert merged.population_size == 20_000
+        if scheme != "sb":
+            merged.check_invariants()

@@ -1,0 +1,145 @@
+"""Tests for repro.warehouse.maintenance (deletion handling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import ALPHA
+from repro.core.hybrid_bernoulli import AlgorithmHB
+from repro.core.hybrid_reservoir import AlgorithmHR
+from repro.core.phases import SampleKind
+from repro.errors import ConfigurationError
+from repro.rng import SplittableRng
+from repro.stats.uniformity import inclusion_frequency_test
+from repro.warehouse.maintenance import (PartitionMaintainer,
+                                         apply_deletion, warehouse_delete)
+from repro.warehouse.warehouse import SampleWarehouse
+
+
+def exhaustive_of(values, rng, bound=10_000):
+    hr = AlgorithmHR(bound_values=bound, rng=rng)
+    hr.feed_many(values)
+    s = hr.finalize()
+    assert s.kind is SampleKind.EXHAUSTIVE
+    return s
+
+
+def reservoir_of(values, bound, rng):
+    hr = AlgorithmHR(bound_values=bound, rng=rng)
+    hr.feed_many(values)
+    s = hr.finalize()
+    assert s.kind is SampleKind.RESERVOIR
+    return s
+
+
+class TestApplyDeletion:
+    def test_exhaustive_exact(self, rng):
+        s = exhaustive_of([1, 1, 2], rng)
+        out = apply_deletion(s, 1, None, rng)
+        assert out.population_size == 2
+        assert out.histogram.count(1) == 1
+        # input untouched
+        assert s.histogram.count(1) == 2
+
+    def test_exhaustive_missing_value(self, rng):
+        s = exhaustive_of([1, 2], rng)
+        with pytest.raises(ConfigurationError):
+            apply_deletion(s, 99, None, rng)
+
+    def test_sampled_requires_parent_count(self, rng):
+        s = reservoir_of(list(range(10_000)), 64, rng)
+        with pytest.raises(ConfigurationError):
+            apply_deletion(s, 5, None, rng)
+
+    def test_inconsistent_parent_count(self, rng):
+        s = exhaustive_of([1, 1, 2], rng)
+        bern = AlgorithmHB(30_000, bound_values=64, rng=rng)
+        bern.feed_many([1] * 30_000)
+        del s
+        sampled = reservoir_of(list(range(10_000)), 64, rng.spawn("x"))
+        v = sampled.values()[0]
+        with pytest.raises(ConfigurationError):
+            apply_deletion(sampled, v, 0, rng)
+
+    def test_population_always_decrements(self, rng):
+        s = reservoir_of(list(range(10_000)), 64, rng)
+        out = apply_deletion(s, 123456, 1, rng)  # value not in sample
+        assert out.population_size == 9_999
+        assert out.size == s.size
+
+    def test_membership_coin_statistics(self, rng):
+        """P(sample shrinks) must equal c_S(v)/c_D(v)."""
+        trials = 2_000
+        shrunk = 0
+        for t in range(trials):
+            child = rng.spawn(t)
+            s = reservoir_of(list(range(1_000)), 100, child.spawn("s"))
+            v = s.values()[0]  # definitely in the sample, count 1
+            out = apply_deletion(s, v, 1, child.spawn("d"))
+            shrunk += out.size < s.size
+        # c_S = 1, c_D = 1 -> always shrinks.
+        assert shrunk == trials
+
+    def test_uniformity_preserved_after_deletions(self, rng):
+        """Sample of D minus deletions is uniform over the survivors."""
+        population = list(range(30))
+        deleted = {0, 1, 2}
+
+        def sample_fn(survivors, child):
+            # Build sample over the FULL population, then delete.
+            full = list(survivors) + sorted(deleted)
+            s = reservoir_of(full, 8, child.spawn("s"))
+            for i, v in enumerate(sorted(deleted)):
+                s = apply_deletion(s, v, 1, child.spawn("d", i))
+            out = s.values()
+            assert not (set(out) & deleted)
+            return out
+
+        survivors = [v for v in population if v not in deleted]
+        pval = inclusion_frequency_test(sample_fn, survivors,
+                                        trials=3_000, rng=rng)
+        assert pval > ALPHA
+
+
+class TestPartitionMaintainer:
+    def test_validation(self, rng):
+        s = reservoir_of(list(range(1_000)), 32, rng)
+        with pytest.raises(ConfigurationError):
+            PartitionMaintainer(s, rng=rng, refresh_fraction=0.0)
+
+    def test_attrition_triggers_refresh(self, rng):
+        s = reservoir_of(list(range(1_000)), 32, rng.spawn("s"))
+        m = PartitionMaintainer(s, rng=rng.spawn("m"),
+                                refresh_fraction=0.9)
+        # Delete sampled values until the flag trips.
+        steps = 0
+        while not m.needs_refresh and steps < 500:
+            values = m.sample.values()
+            if not values:
+                break
+            m.delete(values[0], parent_count=1)
+            steps += 1
+        assert m.needs_refresh
+        assert m.deletions_applied == steps
+
+    def test_exhaustive_never_needs_refresh(self, rng):
+        s = exhaustive_of(list(range(100)), rng)
+        m = PartitionMaintainer(s, rng=rng)
+        for v in range(50):
+            m.delete(v)
+        assert not m.needs_refresh
+        assert m.sample.population_size == 50
+
+
+class TestWarehouseDelete:
+    def test_in_place_update(self):
+        wh = SampleWarehouse(bound_values=64, rng=SplittableRng(13))
+        keys = wh.ingest_batch("d", list(range(10_000)), partitions=1)
+        key = keys[0]
+        sample = wh.sample_for(key)
+        victim = sample.values()[0]
+        warehouse_delete(wh, key, victim, parent_count=1)
+        updated = wh.sample_for(key)
+        assert updated.population_size == 9_999
+        assert wh.catalog.get(key).population_size == 9_999
+        assert wh.sample_of("d").population_size == 9_999

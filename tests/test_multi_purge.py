@@ -1,0 +1,75 @@
+"""Tests for repro.core.multi_purge (the Section 4.1 HB variant)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.multi_purge import MultiPurgeBernoulli
+from repro.core.phases import SampleKind
+from repro.errors import ConfigurationError, ProtocolError
+
+
+class TestConfiguration:
+    def test_population_positive(self, rng):
+        with pytest.raises(ConfigurationError):
+            MultiPurgeBernoulli(0, bound_values=16, rng=rng)
+
+    def test_exactly_one_bound(self, rng):
+        with pytest.raises(ConfigurationError):
+            MultiPurgeBernoulli(100, rng=rng)
+
+    def test_decay_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            MultiPurgeBernoulli(100, bound_values=16, purge_decay=1.0,
+                                rng=rng)
+
+
+class TestBehaviour:
+    def test_small_data_exhaustive(self, rng):
+        mp = MultiPurgeBernoulli(50, bound_values=1000, rng=rng)
+        mp.feed_many(list(range(50)))
+        s = mp.finalize()
+        assert s.kind is SampleKind.EXHAUSTIVE
+        assert s.scheme == "hb-mp"
+
+    def test_bound_always_holds(self, rng):
+        mp = MultiPurgeBernoulli(20_000, bound_values=64, rng=rng)
+        for v in range(20_000):
+            mp.feed(v)
+            assert mp.sample_size <= 64
+        s = mp.finalize()
+        assert s.size < 64
+        assert s.kind is SampleKind.BERNOULLI
+
+    def test_repurges_with_underdeclared_population(self, rng):
+        """Feeding more pressure than the initial q anticipated forces
+        extra purges and ever-smaller rates — the defining behaviour."""
+        mp = MultiPurgeBernoulli(2_000, bound_values=64, rng=rng,
+                                 exceedance_p=0.4)
+        mp.feed_many(list(range(2_000)))
+        assert mp.purge_count >= 1
+        assert mp.rate < 1.0
+        s = mp.finalize()
+        assert s.size <= 64
+
+    def test_rate_monotone_decreasing(self, rng):
+        mp = MultiPurgeBernoulli(50_000, bound_values=128, rng=rng)
+        rates = []
+        for v in range(50_000):
+            mp.feed(v)
+            rates.append(mp.rate)
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+
+class TestProtocol:
+    def test_overfeeding(self, rng):
+        mp = MultiPurgeBernoulli(10, bound_values=4, rng=rng)
+        mp.feed_many(list(range(20)))
+        with pytest.raises(ProtocolError):
+            mp.finalize()
+
+    def test_finalize_twice(self, rng):
+        mp = MultiPurgeBernoulli(10, bound_values=4, rng=rng)
+        mp.finalize()
+        with pytest.raises(ProtocolError):
+            mp.finalize()

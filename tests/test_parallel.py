@@ -1,0 +1,89 @@
+"""Tests for repro.warehouse.parallel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hybrid_bernoulli import AlgorithmHB
+from repro.core.hybrid_reservoir import AlgorithmHR
+from repro.core.multi_purge import MultiPurgeBernoulli
+from repro.core.stratified_bernoulli import AlgorithmSB
+from repro.errors import ConfigurationError
+from repro.rng import SplittableRng
+from repro.warehouse.parallel import (ProcessExecutor, SampleTask,
+                                      SerialExecutor, ThreadExecutor,
+                                      make_sampler, sample_partition)
+
+
+class TestMakeSampler:
+    def test_dispatch(self, rng):
+        assert isinstance(
+            make_sampler("hb", population_size=100, bound_values=10,
+                         exceedance_p=0.001, sb_rate=None, rng=rng),
+            AlgorithmHB)
+        assert isinstance(
+            make_sampler("hr", population_size=None, bound_values=10,
+                         exceedance_p=0.001, sb_rate=None, rng=rng),
+            AlgorithmHR)
+        assert isinstance(
+            make_sampler("sb", population_size=None, bound_values=10,
+                         exceedance_p=0.001, sb_rate=0.1, rng=rng),
+            AlgorithmSB)
+        assert isinstance(
+            make_sampler("hb-mp", population_size=100, bound_values=10,
+                         exceedance_p=0.001, sb_rate=None, rng=rng),
+            MultiPurgeBernoulli)
+
+    def test_hb_requires_population(self, rng):
+        with pytest.raises(ConfigurationError):
+            make_sampler("hb", population_size=None, bound_values=10,
+                         exceedance_p=0.001, sb_rate=None, rng=rng)
+
+    def test_sb_requires_rate(self, rng):
+        with pytest.raises(ConfigurationError):
+            make_sampler("sb", population_size=None, bound_values=10,
+                         exceedance_p=0.001, sb_rate=None, rng=rng)
+
+    def test_unknown_scheme(self, rng):
+        with pytest.raises(ConfigurationError):
+            make_sampler("nope", population_size=1, bound_values=1,
+                         exceedance_p=0.001, sb_rate=None, rng=rng)
+
+
+class TestSampleTask:
+    def test_scheme_validation(self):
+        with pytest.raises(ConfigurationError):
+            SampleTask(values=[1], scheme="nope", bound_values=8)
+
+    def test_sample_partition_deterministic(self):
+        task = SampleTask(values=list(range(5000)), scheme="hr",
+                          bound_values=32, seed=42)
+        a = sample_partition(task)
+        b = sample_partition(task)
+        assert a.histogram == b.histogram
+        assert a.size == 32
+
+
+class TestExecutors:
+    def square(self, x):
+        return x * x
+
+    def test_serial(self):
+        assert SerialExecutor().map(self.square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_thread(self):
+        assert ThreadExecutor(2).map(self.square, list(range(10))) == \
+            [x * x for x in range(10)]
+
+    def test_process_with_tasks(self):
+        tasks = [SampleTask(values=list(range(i * 1000, (i + 1) * 1000)),
+                            scheme="hr", bound_values=16, seed=i)
+                 for i in range(4)]
+        serial = SerialExecutor().map(sample_partition, tasks)
+        parallel = ProcessExecutor(2).map(sample_partition, tasks)
+        for a, b in zip(serial, parallel):
+            assert a.histogram == b.histogram
+
+    def test_order_preserved_under_parallelism(self):
+        out = ThreadExecutor(4).map(self.square, list(range(50)))
+        assert out == [x * x for x in range(50)]

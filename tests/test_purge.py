@@ -1,0 +1,227 @@
+"""Tests for repro.core.purge (Figures 3 and 4) and the Fenwick tree."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import ALPHA
+from repro.core.histogram import CompactHistogram
+from repro.core.purge import (FenwickTree, purge_bernoulli, purge_reservoir,
+                              purge_reservoir_concat)
+from repro.errors import ConfigurationError
+from repro.rng import SplittableRng
+from repro.stats.uniformity import (inclusion_frequency_test,
+                                    subset_frequency_test)
+
+
+class TestFenwickTree:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FenwickTree(-1)
+        t = FenwickTree(3)
+        with pytest.raises(ConfigurationError):
+            t.add(3, 1)
+        with pytest.raises(ConfigurationError):
+            t.find_by_rank(1)  # empty
+
+    def test_add_and_prefix_sum(self):
+        t = FenwickTree(5)
+        t.add(0, 3)
+        t.add(2, 2)
+        t.add(4, 1)
+        assert t.total == 6
+        assert t.prefix_sum(0) == 3
+        assert t.prefix_sum(1) == 3
+        assert t.prefix_sum(2) == 5
+        assert t.prefix_sum(4) == 6
+
+    def test_find_by_rank(self):
+        t = FenwickTree(3)
+        t.add(0, 3)
+        t.add(2, 2)
+        # counts = [3, 0, 2]; ranks 1..3 -> 0, ranks 4..5 -> 2
+        assert [t.find_by_rank(r) for r in range(1, 6)] == [0, 0, 0, 2, 2]
+
+    def test_counts_materialization(self):
+        t = FenwickTree(4)
+        t.add(1, 2)
+        t.add(3, 5)
+        assert t.counts() == [0, 2, 0, 5]
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=9),
+                              st.integers(min_value=1, max_value=5)),
+                    max_size=60))
+    @settings(max_examples=80)
+    def test_matches_linear_scan(self, updates):
+        t = FenwickTree(10)
+        shadow = [0] * 10
+        for idx, delta in updates:
+            t.add(idx, delta)
+            shadow[idx] += delta
+        assert t.counts() == shadow
+        assert t.total == sum(shadow)
+        for rank in range(1, sum(shadow) + 1):
+            # linear-scan reference for find_by_rank
+            acc = 0
+            for i, c in enumerate(shadow):
+                acc += c
+                if acc >= rank:
+                    expected = i
+                    break
+            assert t.find_by_rank(rank) == expected
+
+
+class TestPurgeBernoulli:
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            purge_bernoulli(CompactHistogram(), 1.5, rng)
+
+    def test_rate_edges(self, rng):
+        h = CompactHistogram.from_values([1, 1, 2])
+        assert purge_bernoulli(h, 0.0, rng).size == 0
+        full = purge_bernoulli(h, 1.0, rng)
+        assert full == h
+        assert full is not h  # a copy, input untouched
+
+    def test_input_untouched(self, rng):
+        h = CompactHistogram.from_values(list(range(100)) * 2)
+        before = dict(h.pairs())
+        purge_bernoulli(h, 0.3, rng)
+        assert dict(h.pairs()) == before
+
+    def test_counts_within_originals(self, rng):
+        h = CompactHistogram.from_pairs([("a", 10), ("b", 1), ("c", 5)])
+        out = purge_bernoulli(h, 0.5, rng)
+        for v, n in out.pairs():
+            assert n <= h.count(v)
+
+    def test_expected_size(self, rng):
+        h = CompactHistogram.from_pairs([(i, 7) for i in range(100)])
+        q, trials = 0.3, 200
+        sizes = [purge_bernoulli(h, q, rng.spawn(t)).size
+                 for t in range(trials)]
+        mean = sum(sizes) / trials
+        n = h.size
+        assert abs(mean - n * q) < 5 * math.sqrt(n * q * (1 - q) / trials)
+
+    def test_per_element_uniformity(self, rng):
+        """Every element (occurrence) survives equally often."""
+        h = CompactHistogram.from_values(list("aabbbc"))
+
+        def sample_fn(values, child):
+            # use distinct-value histogram for attribution
+            hist = CompactHistogram.from_values(values)
+            return purge_bernoulli(hist, 0.4, child).expand()
+
+        pval = inclusion_frequency_test(sample_fn, list(range(12)),
+                                        trials=3_000, rng=rng)
+        assert pval > ALPHA
+        del h
+
+
+class TestPurgeReservoir:
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            purge_reservoir(CompactHistogram(), -1, rng)
+
+    def test_size_zero(self, rng):
+        h = CompactHistogram.from_values([1, 2])
+        assert purge_reservoir(h, 0, rng).size == 0
+
+    def test_oversize_returns_copy(self, rng):
+        h = CompactHistogram.from_values([1, 1, 2])
+        out = purge_reservoir(h, 10, rng)
+        assert out == h
+        assert out is not h
+
+    def test_exact_size(self, rng):
+        h = CompactHistogram.from_pairs([(i, 5) for i in range(50)])
+        for m in (1, 10, 100, 249):
+            assert purge_reservoir(h, m, rng).size == m
+
+    def test_counts_within_originals(self, rng):
+        h = CompactHistogram.from_pairs([("a", 10), ("b", 2)])
+        out = purge_reservoir(h, 5, rng)
+        assert out.size == 5
+        for v, n in out.pairs():
+            assert n <= h.count(v)
+
+    def test_input_untouched(self, rng):
+        h = CompactHistogram.from_pairs([("a", 10), ("b", 2)])
+        before = dict(h.pairs())
+        purge_reservoir(h, 3, rng)
+        assert dict(h.pairs()) == before
+
+    def test_subset_uniformity(self, rng):
+        """purgeReservoir is an SRS of the bag: all k-subsets equally
+        likely (distinct-valued bag, so subsets are identifiable)."""
+        def sample_fn(values, child):
+            hist = CompactHistogram.from_values(values)
+            return purge_reservoir(hist, 2, child).expand()
+
+        pval = subset_frequency_test(sample_fn, list(range(6)), size=2,
+                                     trials=6_000, rng=rng)
+        assert pval > ALPHA
+
+    def test_duplicate_occurrences_uniform(self, rng):
+        """With duplicated values, expected kept count per value is
+        proportional to its multiplicity."""
+        h = CompactHistogram.from_pairs([("a", 30), ("b", 10)])
+        trials, m = 2_000, 4
+        total_a = 0
+        for t in range(trials):
+            out = purge_reservoir(h, m, rng.spawn(t))
+            total_a += out.count("a")
+        mean_a = total_a / trials
+        assert abs(mean_a - m * 30 / 40) < 0.1
+
+    @given(st.lists(st.tuples(st.sampled_from("abcdef"),
+                              st.integers(min_value=1, max_value=9)),
+                    min_size=1, max_size=10),
+           st.integers(min_value=0, max_value=60))
+    @settings(max_examples=80)
+    def test_property_size_and_containment(self, pairs, m):
+        rng = SplittableRng(hash((tuple(pairs), m)) & 0xFFFFF)
+        h = CompactHistogram.from_pairs(pairs)
+        out = purge_reservoir(h, m, rng)
+        assert out.size == min(m, h.size)
+        for v, n in out.pairs():
+            assert n <= h.count(v)
+
+
+class TestPurgeReservoirConcat:
+    def test_size_zero(self, rng):
+        a = CompactHistogram.from_values([1])
+        b = CompactHistogram.from_values([2])
+        assert purge_reservoir_concat(a, b, 0, rng).size == 0
+
+    def test_oversize_joins(self, rng):
+        a = CompactHistogram.from_values([1, 2])
+        b = CompactHistogram.from_values([2, 3])
+        out = purge_reservoir_concat(a, b, 10, rng)
+        assert out == a.join(b)
+
+    def test_exact_size_and_coalescing(self, rng):
+        a = CompactHistogram.from_pairs([("x", 10)])
+        b = CompactHistogram.from_pairs([("x", 10), ("y", 5)])
+        out = purge_reservoir_concat(a, b, 12, rng)
+        assert out.size == 12
+        assert out.count("x") <= 20
+        assert out.count("y") <= 5
+
+    def test_subset_uniformity_across_inputs(self, rng):
+        """SRS over the concatenated bag: inclusion frequencies even out
+        across both inputs."""
+        def sample_fn(values, child):
+            mid = len(values) // 2
+            a = CompactHistogram.from_values(values[:mid])
+            b = CompactHistogram.from_values(values[mid:])
+            return purge_reservoir_concat(a, b, 4, child).expand()
+
+        pval = inclusion_frequency_test(sample_fn, list(range(16)),
+                                        trials=4_000, rng=rng)
+        assert pval > ALPHA

@@ -1,0 +1,126 @@
+"""Tests for repro.sampling.reservoir."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import ALPHA
+from repro.errors import ConfigurationError, ProtocolError
+from repro.rng import SplittableRng
+from repro.sampling.reservoir import ReservoirSampler, reservoir_subsample
+from repro.stats.uniformity import (inclusion_frequency_test,
+                                    subset_frequency_test)
+
+
+class TestBasics:
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            ReservoirSampler(0, rng)
+
+    def test_short_stream_keeps_everything(self, rng):
+        r = ReservoirSampler(10, rng)
+        r.feed_many(range(5))
+        assert sorted(r.sample) == [0, 1, 2, 3, 4]
+
+    def test_exact_size(self, rng):
+        r = ReservoirSampler(10, rng)
+        r.feed_many(range(10_000))
+        assert len(r) == 10
+        assert r.seen == 10_000
+
+    def test_sample_subset_of_stream(self, rng):
+        r = ReservoirSampler(16, rng)
+        r.feed_many(range(1000))
+        assert set(r.sample) <= set(range(1000))
+        assert len(set(r.sample)) == 16  # distinct inputs stay distinct
+
+    def test_feed_returns_insertion_flag(self, rng):
+        r = ReservoirSampler(3, rng)
+        assert r.feed("a") is True
+        assert r.feed("b") is True
+        assert r.feed("c") is True
+
+    def test_finalize_closes(self, rng):
+        r = ReservoirSampler(2, rng)
+        r.feed(1)
+        r.finalize()
+        with pytest.raises(ProtocolError):
+            r.feed(2)
+
+    def test_iterator_fallback_equivalent_sizes(self, rng):
+        r = ReservoirSampler(8, rng)
+        r.feed_many(v for v in range(5000))
+        assert len(r) == 8
+        assert r.seen == 5000
+
+    def test_initial_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            ReservoirSampler(2, rng, initial=[1, 2, 3])
+        with pytest.raises(ConfigurationError):
+            ReservoirSampler(5, rng, initial=[1, 2, 3], start_index=2)
+
+    def test_convenience_function(self, rng):
+        out = reservoir_subsample(list(range(100)), 7, rng)
+        assert len(out) == 7
+
+
+class TestUniformity:
+    def test_inclusion_frequencies(self, rng):
+        def sample_fn(values, child):
+            return reservoir_subsample(values, 4, child)
+
+        pval = inclusion_frequency_test(sample_fn, list(range(20)),
+                                        trials=4_000, rng=rng)
+        assert pval > ALPHA
+
+    def test_subset_frequencies(self, rng):
+        """The strong uniformity property: every k-subset equally likely."""
+        def sample_fn(values, child):
+            return reservoir_subsample(values, 2, child)
+
+        pval = subset_frequency_test(sample_fn, list(range(6)), size=2,
+                                     trials=6_000, rng=rng)
+        assert pval > ALPHA
+
+    def test_continuation_is_uniform(self, rng):
+        """Resuming with start_index behaves like one long stream."""
+        population = list(range(18))
+
+        def sample_fn(values, child):
+            first, second = values[:9], values[9:]
+            r1 = ReservoirSampler(4, child)
+            r1.feed_many(first)
+            r2 = ReservoirSampler(4, child, initial=r1.finalize(),
+                                  start_index=len(first))
+            r2.feed_many(second)
+            return r2.finalize()
+
+        pval = inclusion_frequency_test(sample_fn, population,
+                                        trials=4_000, rng=rng)
+        assert pval > ALPHA
+
+
+class TestProperties:
+    @given(st.integers(min_value=1, max_value=50),
+           st.integers(min_value=0, max_value=500))
+    @settings(max_examples=60)
+    def test_size_invariant(self, capacity, stream_len):
+        rng = SplittableRng(hash((capacity, stream_len)) & 0xFFFF)
+        r = ReservoirSampler(capacity, rng)
+        r.feed_many(list(range(stream_len)))
+        assert len(r) == min(capacity, stream_len)
+        assert r.seen == stream_len
+
+    @given(st.integers(min_value=1, max_value=20),
+           st.lists(st.integers(), min_size=0, max_size=200))
+    @settings(max_examples=60)
+    def test_sample_multiset_subset(self, capacity, values):
+        rng = SplittableRng(len(values) * 31 + capacity)
+        r = ReservoirSampler(capacity, rng)
+        r.feed_many(values)
+        remaining = list(values)
+        for v in r.sample:
+            assert v in remaining
+            remaining.remove(v)

@@ -1,0 +1,99 @@
+"""Tests for repro.workloads.retail and discovery end-to-end on it."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytics.metadata import column_profile, discover_candidates
+from repro.errors import ConfigurationError
+from repro.rng import SplittableRng
+from repro.warehouse.warehouse import SampleWarehouse
+from repro.workloads.retail import RetailWorkload
+
+
+class TestGeneration:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetailWorkload(customers=0)
+        with pytest.raises(ConfigurationError):
+            RetailWorkload(activity_skew=-1.0)
+
+    def test_shapes(self):
+        w = RetailWorkload(customers=100, orders=300, lineitems=600,
+                           products=50)
+        cols = w.generate(SplittableRng(1))
+        assert len(cols["customers.id"]) == 100
+        assert len(cols["orders.id"]) == 300
+        assert len(cols["orders.customer_id"]) == 300
+        assert len(cols["lineitem.order_id"]) == 600
+        assert len(cols["lineitem.quantity"]) == 600
+        assert len(cols["products.price"]) == 50
+
+    def test_keys_are_unique(self):
+        w = RetailWorkload(customers=500, orders=700, lineitems=100,
+                           products=10)
+        cols = w.generate(SplittableRng(2))
+        assert len(set(cols["customers.id"])) == 500
+        assert len(set(cols["orders.id"])) == 700
+
+    def test_referential_integrity(self):
+        w = RetailWorkload(customers=200, orders=400, lineitems=800,
+                           products=20)
+        cols = w.generate(SplittableRng(3))
+        customers = set(cols["customers.id"])
+        orders = set(cols["orders.id"])
+        assert set(cols["orders.customer_id"]) <= customers
+        assert set(cols["lineitem.order_id"]) <= orders
+
+    def test_disjoint_key_domains(self):
+        w = RetailWorkload(customers=200, orders=400, lineitems=100,
+                           products=500)
+        cols = w.generate(SplittableRng(4))
+        assert not set(cols["customers.id"]) & set(cols["orders.id"])
+        assert not set(cols["customers.id"]) & set(cols["products.price"])
+
+    def test_activity_skew(self):
+        """With skew 1, the busiest customer places far more orders
+        than the median customer."""
+        w = RetailWorkload(customers=500, orders=20_000, lineitems=100,
+                           products=10, activity_skew=1.0)
+        cols = w.generate(SplittableRng(5))
+        counts = {}
+        for c in cols["orders.customer_id"]:
+            counts[c] = counts.get(c, 0) + 1
+        ordered = sorted(counts.values(), reverse=True)
+        assert ordered[0] > 10 * ordered[len(ordered) // 2]
+
+    def test_deterministic(self):
+        w = RetailWorkload(customers=50, orders=100, lineitems=100,
+                           products=10)
+        a = w.generate(SplittableRng(6))
+        b = w.generate(SplittableRng(6))
+        assert a == b
+
+
+class TestDiscoveryEndToEnd:
+    def test_fk_relationships_discovered(self):
+        """The full metadata-discovery loop finds exactly the schema's
+        true foreign keys at the top of the ranking."""
+        w = RetailWorkload(customers=5_000, orders=20_000,
+                           lineitems=40_000, products=2_000)
+        wh = SampleWarehouse(bound_values=1024, rng=SplittableRng(31))
+        w.ingest_into(wh, SplittableRng(99), partitions=2)
+
+        candidates = discover_candidates(wh, top=2)
+        found = {frozenset((c.left, c.right)) for c in candidates}
+        expected = {frozenset(pair) for pair in w.foreign_keys()}
+        assert found == expected
+
+    def test_key_columns_profiled_as_keys(self):
+        w = RetailWorkload(customers=5_000, orders=20_000,
+                           lineitems=10_000, products=1_000)
+        wh = SampleWarehouse(bound_values=1024, rng=SplittableRng(32))
+        w.ingest_into(wh, SplittableRng(98), partitions=2)
+        for name in w.key_columns():
+            profile = column_profile(name, wh.sample_of(name))
+            assert profile.looks_like_key(threshold=0.8), name
+        fk_profile = column_profile("orders.customer_id",
+                                    wh.sample_of("orders.customer_id"))
+        assert not fk_profile.looks_like_key(threshold=0.8)

@@ -1,0 +1,156 @@
+"""Tests for repro.rng: seed derivation and discrete variates."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rng import DEFAULT_SEED, SplittableRng, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", 1) == derive_seed(42, "a", 1)
+
+    def test_label_sensitivity(self):
+        assert derive_seed(42, "a", 1) != derive_seed(42, "a", 2)
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_master_sensitivity(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_order_sensitivity(self):
+        assert derive_seed(42, "a", "b") != derive_seed(42, "b", "a")
+
+    def test_64_bit_range(self):
+        seed = derive_seed(7, "anything")
+        assert 0 <= seed < 2 ** 64
+
+    @given(st.integers(min_value=0, max_value=2**63),
+           st.lists(st.integers(), max_size=4))
+    @settings(max_examples=50)
+    def test_stable_under_reconstruction(self, master, labels):
+        assert derive_seed(master, *labels) == derive_seed(master, *labels)
+
+
+class TestSpawn:
+    def test_children_independent_of_draw_order(self):
+        parent = SplittableRng(5)
+        a1 = parent.spawn("a").random()
+        parent.random()  # perturb parent state
+        a2 = SplittableRng(5).spawn("a").random()
+        assert a1 == a2  # spawning depends only on seed + labels
+
+    def test_spawn_many_distinct(self):
+        children = SplittableRng(1).spawn_many(16, "workers")
+        seeds = {c.seed_value for c in children}
+        assert len(seeds) == 16
+
+    def test_seed_value_roundtrip(self):
+        rng = SplittableRng(123)
+        assert rng.seed_value == 123
+        assert SplittableRng(rng.seed_value).random() == \
+            SplittableRng(123).random()
+
+    def test_default_seed(self):
+        assert SplittableRng().seed_value == DEFAULT_SEED
+
+
+class TestBernoulli:
+    def test_edges(self, rng):
+        assert rng.bernoulli(0.0) is False
+        assert rng.bernoulli(1.0) is True
+
+    def test_mean(self, rng):
+        trials = 20_000
+        hits = sum(rng.bernoulli(0.3) for _ in range(trials))
+        assert abs(hits / trials - 0.3) < 0.02
+
+
+class TestGeometric:
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            rng.geometric(0.0)
+        with pytest.raises(ValueError):
+            rng.geometric(1.5)
+
+    def test_p_one(self, rng):
+        assert rng.geometric(1.0) == 0
+
+    def test_mean(self, rng):
+        p = 0.2
+        trials = 20_000
+        mean = sum(rng.geometric(p) for _ in range(trials)) / trials
+        expected = (1 - p) / p  # failures before first success
+        assert abs(mean - expected) < 0.15
+
+    def test_non_negative(self, rng):
+        assert all(rng.geometric(0.01) >= 0 for _ in range(1000))
+
+
+class TestBinomial:
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            rng.binomial(-1, 0.5)
+        with pytest.raises(ValueError):
+            rng.binomial(10, 1.5)
+
+    def test_edges(self, rng):
+        assert rng.binomial(0, 0.5) == 0
+        assert rng.binomial(10, 0.0) == 0
+        assert rng.binomial(10, 1.0) == 10
+
+    def test_range(self, rng):
+        for _ in range(500):
+            x = rng.binomial(20, 0.3)
+            assert 0 <= x <= 20
+
+    @pytest.mark.parametrize("n,p", [(10, 0.5), (100, 0.03), (5000, 0.2),
+                                     (100_000, 0.01), (50, 0.9)])
+    def test_moments(self, rng, n, p):
+        trials = 3_000
+        draws = [rng.binomial(n, p) for _ in range(trials)]
+        mean = sum(draws) / trials
+        expected = n * p
+        sd = math.sqrt(n * p * (1 - p))
+        # Mean within 5 standard errors.
+        assert abs(mean - expected) < 5 * sd / math.sqrt(trials), \
+            f"binomial({n},{p}) mean {mean} vs {expected}"
+
+    def test_matches_scipy_distribution(self, rng):
+        """Chi-square the small-n sampler against the exact pmf."""
+        scipy_stats = pytest.importorskip("scipy.stats")
+        n, p, trials = 12, 0.35, 20_000
+        counts = [0] * (n + 1)
+        for _ in range(trials):
+            counts[rng.binomial(n, p)] += 1
+        expected = [trials * scipy_stats.binom.pmf(k, n, p)
+                    for k in range(n + 1)]
+        # Collapse tiny-expectation tails.
+        obs, exp = [], []
+        acc_o = acc_e = 0.0
+        for o, e in zip(counts, expected):
+            acc_o += o
+            acc_e += e
+            if acc_e >= 5:
+                obs.append(acc_o)
+                exp.append(acc_e)
+                acc_o = acc_e = 0.0
+        obs[-1] += acc_o
+        exp[-1] += acc_e
+        stat = sum((o - e) ** 2 / e for o, e in zip(obs, exp))
+        pval = scipy_stats.chi2.sf(stat, len(obs) - 1)
+        assert pval > 1e-4
+
+    def test_large_n_mode_inversion_distribution(self, rng):
+        """The mode-centered inversion path is also exact."""
+        scipy_stats = pytest.importorskip("scipy.stats")
+        n, p, trials = 2_000, 0.1, 5_000  # n*p = 200 >= 30 -> mode path
+        draws = [rng.binomial(n, p) for _ in range(trials)]
+        # Kolmogorov-Smirnov against the binomial CDF.
+        stat, pval = scipy_stats.kstest(
+            draws, lambda x: scipy_stats.binom.cdf(x, n, p))
+        assert pval > 1e-4

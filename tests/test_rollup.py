@@ -1,0 +1,71 @@
+"""Tests for repro.warehouse.rollup (temporal rollups)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rng import SplittableRng
+from repro.warehouse.dataset import PartitionKey
+from repro.warehouse.rollup import group_by_window, temporal_rollup
+from repro.warehouse.warehouse import SampleWarehouse
+
+
+def daily_warehouse(days=14, per_day=1000, seed=4):
+    wh = SampleWarehouse(bound_values=64, rng=SplittableRng(seed))
+    for day in range(days):
+        values = list(range(day * per_day, (day + 1) * per_day))
+        wh.ingest_batch("events", values, labels=[f"day-{day}"])
+    return wh
+
+
+class TestGroupByWindow:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            group_by_window([], 0)
+
+    def test_grouping(self):
+        keys = [PartitionKey("d", 0, i) for i in range(7)]
+        groups = group_by_window(keys, 3)
+        assert [len(g) for g in groups] == [3, 3, 1]
+        assert groups[0][0].seq == 0
+        assert groups[2][0].seq == 6
+
+
+class TestTemporalRollup:
+    def test_window_rollup(self):
+        wh = daily_warehouse(days=14)
+        weekly = temporal_rollup(wh, "events", window=7,
+                                 rng=SplittableRng(9))
+        assert sorted(weekly) == ["w0", "w1"]
+        for sample in weekly.values():
+            sample.check_invariants()
+            assert sample.population_size == 7_000
+
+    def test_group_fn_rollup(self):
+        wh = daily_warehouse(days=10)
+        by_parity = temporal_rollup(
+            wh, "events",
+            group_fn=lambda k: "even" if k.seq % 2 == 0 else "odd",
+            rng=SplittableRng(9))
+        assert sorted(by_parity) == ["even", "odd"]
+        assert by_parity["even"].population_size == 5_000
+
+    def test_exactly_one_grouping(self):
+        wh = daily_warehouse(days=2)
+        with pytest.raises(ConfigurationError):
+            temporal_rollup(wh, "events")
+        with pytest.raises(ConfigurationError):
+            temporal_rollup(wh, "events", window=2,
+                            group_fn=lambda k: "x")
+
+    def test_empty_dataset(self):
+        wh = SampleWarehouse(bound_values=16, rng=SplittableRng(1))
+        with pytest.raises(Exception):
+            temporal_rollup(wh, "missing", window=2)
+
+    def test_warehouse_unmodified(self):
+        wh = daily_warehouse(days=4)
+        before = len(wh.partition_keys("events"))
+        temporal_rollup(wh, "events", window=2, rng=SplittableRng(9))
+        assert len(wh.partition_keys("events")) == before

@@ -1,0 +1,213 @@
+"""Tests for repro.sampling.skip: skip generation correctness."""
+
+from __future__ import annotations
+
+import pytest
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.sampling.skip import (ALGORITHM_X_THRESHOLD, SkipGenerator,
+                                 VitterZSkips, skip, skip_inversion)
+from repro.stats.uniformity import chi_square_pvalue
+
+
+def exact_skip_pmf(t: int, k: int, s: int) -> float:
+    """Analytic skip pmf: P(S = s) after t records, reservoir size k."""
+    return math.exp(math.log(k) - math.log(t + s + 1)
+                    + math.lgamma(t + s - k + 1) - math.lgamma(t - k + 1)
+                    + math.lgamma(t + 1) - math.lgamma(t + s + 1))
+
+
+def chi_square_vs_exact(draws, t, k):
+    """Bin empirical skips against the analytic pmf; return p-value."""
+    trials = len(draws)
+    counts = {}
+    for s in draws:
+        counts[s] = counts.get(s, 0) + 1
+    obs, exp = [], []
+    acc_o = acc_e = 0.0
+    s = 0
+    while sum(exp) < trials * 0.999 and s <= 50 * t:
+        acc_o += counts.get(s, 0)
+        acc_e += trials * exact_skip_pmf(t, k, s)
+        if acc_e >= 25:
+            obs.append(acc_o)
+            exp.append(acc_e)
+            acc_o = acc_e = 0.0
+        s += 1
+    tail_obs = trials - sum(obs)
+    tail_exp = trials - sum(exp)
+    if tail_exp > 1:
+        obs.append(tail_obs)
+        exp.append(tail_exp)
+    return chi_square_pvalue(obs, exp)
+
+
+class TestSkipInversion:
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            skip_inversion(10, 0, rng)
+
+    def test_filling_phase_returns_zero(self, rng):
+        assert skip_inversion(3, 5, rng) == 0
+
+    def test_non_negative(self, rng):
+        assert all(skip_inversion(100, 10, rng) >= 0 for _ in range(500))
+
+    def test_inclusion_probability(self, rng):
+        """P(skip == 0) must equal k / (t + 1)."""
+        t, k, trials = 40, 10, 40_000
+        zero = sum(skip_inversion(t, k, rng) == 0 for _ in range(trials))
+        expected = k / (t + 1)
+        assert abs(zero / trials - expected) < 0.01
+
+    def test_mean_skip(self, rng):
+        """E[skip] = (t + 1)/(k - 1) - 1 for the reservoir skip law...
+        checked empirically against a direct coin-flip simulation."""
+        t, k, trials = 50, 8, 20_000
+        # Direct simulation: flip k/n coins until an inclusion.
+        def direct():
+            n = t
+            s = 0
+            while True:
+                n += 1
+                if rng.random() < k / n:
+                    return s
+                s += 1
+
+        mean_direct = sum(direct() for _ in range(trials)) / trials
+        mean_skip = sum(skip_inversion(t, k, rng)
+                        for _ in range(trials)) / trials
+        assert abs(mean_skip - mean_direct) < 0.35 * max(1.0, mean_direct)
+
+
+class TestPaperSkipInterface:
+    def test_filling_distance_one(self, rng):
+        assert skip(0, 5, rng) == 1
+        assert skip(4, 5, rng) == 1
+
+    def test_post_fill_distance_at_least_one(self, rng):
+        assert all(skip(100, 5, rng) >= 1 for _ in range(200))
+
+
+class TestSkipGenerator:
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            SkipGenerator(0, rng)
+
+    def test_capacity_property(self, rng):
+        assert SkipGenerator(7, rng).capacity == 7
+
+    def test_filling_phase(self, rng):
+        gen = SkipGenerator(4, rng)
+        assert gen.next_skip(0) == 1
+        assert gen.next_skip(3) == 1
+
+    def test_x_regime_matches_inclusion_probability(self, rng):
+        k, t, trials = 10, 50, 30_000  # below the X threshold
+        gen = SkipGenerator(k, rng)
+        ones = sum(gen.next_skip(t) == 1 for _ in range(trials))
+        expected = k / (t + 1)
+        assert abs(ones / trials - expected) < 0.01
+
+    def test_l_regime_produces_uniform_reservoir(self, rng):
+        """Above the threshold, Algorithm-L skips still give a uniform
+        simple random sample: inclusion counts per element even out."""
+        k = 4
+        n = ALGORITHM_X_THRESHOLD * k * 3  # well past the switch
+        trials = 3_000
+        counts = [0] * n
+        for trial in range(trials):
+            child = rng.spawn("trial", trial)
+            gen = SkipGenerator(k, child)
+            reservoir = []
+            t = 0
+            next_insert = 1
+            while next_insert <= n:
+                value = next_insert - 1
+                if len(reservoir) < k:
+                    reservoir.append(value)
+                else:
+                    reservoir[child.randrange(k)] = value
+                t = next_insert
+                next_insert = t + gen.next_skip(t)
+            for v in reservoir:
+                counts[v] += 1
+        expected = trials * k / n
+        # Every element's inclusion count within 6 sigma of expectation.
+        sigma = (expected * (1 - k / n)) ** 0.5
+        for i, c in enumerate(counts):
+            assert abs(c - expected) < 6 * sigma + 5, \
+                f"element {i}: {c} vs {expected}"
+
+    def test_reset_clears_state(self, rng):
+        gen = SkipGenerator(4, rng)
+        gen.next_skip(ALGORITHM_X_THRESHOLD * 4 + 10)
+        assert gen._w is not None
+        gen.reset()
+        assert gen._w is None
+
+
+class TestExactSkipDistributions:
+    """Every generator's skips must match the analytic pmf."""
+
+    T, K, TRIALS = 400, 10, 15_000  # T >= 22*K: the fast paths engage
+
+    def test_inversion_matches_exact_pmf(self, rng):
+        draws = [skip_inversion(self.T, self.K, rng.spawn(i))
+                 for i in range(self.TRIALS)]
+        assert chi_square_vs_exact(draws, self.T, self.K) > 1e-4
+
+    def test_vitter_z_matches_exact_pmf(self, rng):
+        draws = [VitterZSkips(self.K, rng.spawn(i)).next_skip(self.T) - 1
+                 for i in range(self.TRIALS)]
+        assert chi_square_vs_exact(draws, self.T, self.K) > 1e-4
+
+
+class TestVitterZ:
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            VitterZSkips(0, rng)
+
+    def test_filling_phase(self, rng):
+        gen = VitterZSkips(4, rng)
+        assert gen.next_skip(0) == 1
+        assert gen.next_skip(3) == 1
+
+    def test_x_regime_below_threshold(self, rng):
+        """Below 22k, inversion is used: inclusion prob k/(t+1)."""
+        k, t, trials = 10, 50, 20_000
+        gen = VitterZSkips(k, rng)
+        ones = sum(gen.next_skip(t) == 1 for _ in range(trials))
+        assert abs(ones / trials - k / (t + 1)) < 0.01
+
+    def test_non_negative_distances(self, rng):
+        gen = VitterZSkips(5, rng)
+        assert all(gen.next_skip(500) >= 1 for _ in range(500))
+
+    def test_drives_uniform_reservoir(self, rng):
+        """End-to-end: a reservoir driven by Z skips is uniform."""
+        k, n, trials = 4, 300, 2_000
+        counts = [0] * n
+        for trial in range(trials):
+            child = rng.spawn("zres", trial)
+            gen = VitterZSkips(k, child)
+            reservoir = []
+            t = 0
+            next_insert = 1
+            while next_insert <= n:
+                value = next_insert - 1
+                if len(reservoir) < k:
+                    reservoir.append(value)
+                else:
+                    reservoir[child.randrange(k)] = value
+                t = next_insert
+                next_insert = t + gen.next_skip(t)
+            for v in reservoir:
+                counts[v] += 1
+        expected = trials * k / n
+        sigma = (expected * (1 - k / n)) ** 0.5
+        for i, c in enumerate(counts):
+            assert abs(c - expected) < 6 * sigma + 5, \
+                f"element {i}: {c} vs {expected}"

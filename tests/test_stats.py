@@ -1,0 +1,151 @@
+"""Tests for repro.stats (uniformity machinery and summaries)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rng import SplittableRng
+from repro.sampling.reservoir import reservoir_subsample
+from repro.stats.summaries import (coefficient_of_variation, mean,
+                                   relative_error, sem, stdev)
+from repro.stats.uniformity import (chi_square_pvalue,
+                                    concise_nonuniformity_demo,
+                                    inclusion_frequency_test,
+                                    regularized_gamma_q,
+                                    subset_frequency_test)
+
+
+class TestSummaries:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        with pytest.raises(ConfigurationError):
+            mean([])
+
+    def test_stdev(self):
+        assert stdev([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == \
+            pytest.approx(2.138, rel=1e-3)
+        assert stdev([5.0]) == 0.0
+        with pytest.raises(ConfigurationError):
+            stdev([])
+
+    def test_sem(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        assert sem(xs) == pytest.approx(stdev(xs) / 2.0)
+
+    def test_relative_error(self):
+        assert relative_error(110.0, 100.0) == pytest.approx(0.1)
+        assert relative_error(5.0, 0.0) == 5.0
+
+    def test_cv(self):
+        assert coefficient_of_variation([10.0, 10.0]) == 0.0
+        assert coefficient_of_variation([0.0, 0.0]) == 0.0
+        assert coefficient_of_variation([5.0, 15.0]) > 0.0
+
+
+class TestGammaQ:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            regularized_gamma_q(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            regularized_gamma_q(1.0, -1.0)
+
+    def test_edges(self):
+        assert regularized_gamma_q(2.0, 0.0) == 1.0
+
+    def test_exponential_case(self):
+        """Q(1, x) = exp(-x)."""
+        for x in (0.1, 1.0, 3.0, 10.0):
+            assert math.isclose(regularized_gamma_q(1.0, x),
+                                math.exp(-x), rel_tol=1e-10)
+
+    def test_matches_scipy(self):
+        scipy_special = pytest.importorskip("scipy.special")
+        for a, x in [(0.5, 0.3), (5.0, 4.0), (50.0, 60.0), (2.5, 0.01)]:
+            assert math.isclose(regularized_gamma_q(a, x),
+                                scipy_special.gammaincc(a, x),
+                                rel_tol=1e-9, abs_tol=1e-14)
+
+
+class TestChiSquare:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            chi_square_pvalue([1.0], [1.0])
+        with pytest.raises(ConfigurationError):
+            chi_square_pvalue([1.0, 2.0], [1.0])
+        with pytest.raises(ConfigurationError):
+            chi_square_pvalue([1.0, 2.0], [0.0, 3.0])
+
+    def test_perfect_fit(self):
+        assert chi_square_pvalue([10.0, 10.0], [10.0, 10.0]) == \
+            pytest.approx(1.0)
+
+    def test_terrible_fit(self):
+        assert chi_square_pvalue([100.0, 0.0], [50.0, 50.0]) < 1e-10
+
+    def test_matches_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        observed = [48.0, 52.0, 61.0, 39.0]
+        expected = [50.0] * 4
+        ours = chi_square_pvalue(observed, expected)
+        stat, theirs = scipy_stats.chisquare(observed, expected)
+        assert math.isclose(ours, theirs, rel_tol=1e-8)
+
+
+class TestUniformityHarness:
+    def test_inclusion_requires_distinct(self, rng):
+        with pytest.raises(ConfigurationError):
+            inclusion_frequency_test(lambda v, r: v, [1, 1, 2], 10, rng)
+
+    def test_inclusion_detects_bias(self, rng):
+        """A deliberately biased sampler must be rejected."""
+        def biased(values, child):
+            # Always keep the first element, sample the rest fairly.
+            rest = reservoir_subsample(values[1:], 2, child)
+            return [values[0]] + rest
+
+        pval = inclusion_frequency_test(biased, list(range(10)),
+                                        trials=2_000, rng=rng)
+        assert pval < 1e-6
+
+    def test_inclusion_accepts_uniform(self, rng):
+        def uniform(values, child):
+            return reservoir_subsample(values, 3, child)
+
+        pval = inclusion_frequency_test(uniform, list(range(10)),
+                                        trials=3_000, rng=rng)
+        assert pval > 1e-4
+
+    def test_subset_requires_enough_trials(self, rng):
+        def uniform(values, child):
+            return reservoir_subsample(values, 2, child)
+
+        with pytest.raises(ConfigurationError):
+            subset_frequency_test(uniform, list(range(6)), size=2,
+                                  trials=10, rng=rng)
+
+    def test_subset_detects_nonuniform_scheme(self, rng):
+        """A scheme uniform element-wise but not subset-wise: sample two
+        *adjacent* elements (cyclically).  Inclusion frequencies are
+        perfectly even, but most 2-subsets never occur."""
+        def adjacent(values, child):
+            i = child.randrange(len(values))
+            return [values[i], values[(i + 1) % len(values)]]
+
+        # Element-level test cannot see the problem...
+        pe = inclusion_frequency_test(adjacent, list(range(6)),
+                                      trials=3_000, rng=rng.spawn("incl"))
+        assert pe > 1e-4
+        # ...the subset-level test nails it.
+        ps = subset_frequency_test(adjacent, list(range(6)), size=2,
+                                   trials=3_000, rng=rng.spawn("sub"))
+        assert ps < 1e-10
+
+
+class TestConciseDemo:
+    def test_counts_sum_to_trials(self, rng):
+        counts = concise_nonuniformity_demo(500, rng)
+        assert sum(counts.values()) == 500
+        assert counts["H3"] == 0

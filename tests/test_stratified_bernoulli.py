@@ -1,0 +1,82 @@
+"""Tests for repro.core.stratified_bernoulli (Algorithm SB)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from conftest import ALPHA
+from repro.core.phases import SampleKind
+from repro.core.stratified_bernoulli import AlgorithmSB
+from repro.errors import ConfigurationError, ProtocolError
+from repro.stats.uniformity import inclusion_frequency_test
+
+
+class TestConfiguration:
+    def test_rate_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            AlgorithmSB(0.0, rng=rng)
+        with pytest.raises(ConfigurationError):
+            AlgorithmSB(1.5, rng=rng)
+
+    def test_nominal_bound_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            AlgorithmSB(0.5, nominal_bound=0, rng=rng)
+
+
+class TestSampling:
+    def test_produces_bernoulli_sample(self, rng):
+        sb = AlgorithmSB(0.1, rng=rng)
+        sb.feed_many(list(range(10_000)))
+        s = sb.finalize()
+        assert s.kind is SampleKind.BERNOULLI
+        assert s.rate == 0.1
+        assert s.scheme == "sb"
+        assert s.population_size == 10_000
+
+    def test_size_near_expectation(self, rng):
+        n, q = 20_000, 0.05
+        sb = AlgorithmSB(q, rng=rng)
+        sb.feed_many(list(range(n)))
+        size = sb.finalize().size
+        assert abs(size - n * q) < 5 * math.sqrt(n * q * (1 - q))
+
+    def test_no_bound_enforced(self, rng):
+        """SB deliberately has no footprint control."""
+        sb = AlgorithmSB(1.0, nominal_bound=10, rng=rng)
+        sb.feed_many(list(range(100)))
+        s = sb.finalize()
+        assert s.size == 100  # far beyond the nominal bound
+
+    def test_per_element_feed(self, rng):
+        sb = AlgorithmSB(0.5, rng=rng)
+        for v in range(100):
+            sb.feed(v)
+        assert sb.seen == 100
+        assert 20 < sb.sample_size < 80
+
+    def test_uniformity(self, rng):
+        def sample_fn(values, child):
+            sb = AlgorithmSB(0.3, rng=child)
+            sb.feed_many(values)
+            return sb.finalize().values()
+
+        pval = inclusion_frequency_test(sample_fn, list(range(30)),
+                                        trials=3_000, rng=rng)
+        assert pval > ALPHA
+
+
+class TestProtocol:
+    def test_finalize_twice(self, rng):
+        sb = AlgorithmSB(0.5, rng=rng)
+        sb.feed(1)
+        sb.finalize()
+        with pytest.raises(ProtocolError):
+            sb.finalize()
+
+    def test_feed_after_finalize(self, rng):
+        sb = AlgorithmSB(0.5, rng=rng)
+        sb.finalize()
+        with pytest.raises(ProtocolError):
+            sb.feed(1)

@@ -1,0 +1,101 @@
+"""Tests for repro.stream (sources and splitters)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rng import SplittableRng
+from repro.stream.source import FluctuatingStream, chunk_stream
+from repro.stream.splitter import RoundRobinSplitter, hash_split
+
+
+class TestFluctuatingStream:
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            FluctuatingStream(lambda i: i, base_rate=0.0, rng=rng)
+        with pytest.raises(ConfigurationError):
+            FluctuatingStream(lambda i: i, amplitude=1.0, rng=rng)
+        with pytest.raises(ConfigurationError):
+            FluctuatingStream(lambda i: i, period=0.0, rng=rng)
+
+    def test_clock_monotone(self, rng):
+        s = FluctuatingStream(lambda i: i, base_rate=5.0, rng=rng)
+        times = [t for t, _v in s.take(200)]
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+    def test_values_follow_index(self, rng):
+        s = FluctuatingStream(lambda i: i * 2, rng=rng)
+        values = [v for _t, v in s.take(5)]
+        assert values == [0, 2, 4, 6, 8]
+
+    def test_rate_bounds(self, rng):
+        s = FluctuatingStream(lambda i: i, base_rate=10.0, amplitude=0.5,
+                              rng=rng)
+        for t in (0.0, 100.0, 250.0, 999.0):
+            assert 5.0 - 1e-9 <= s.rate_at(t) <= 15.0 + 1e-9
+
+    def test_rate_actually_fluctuates(self, rng):
+        s = FluctuatingStream(lambda i: i, base_rate=10.0, amplitude=0.9,
+                              period=100.0, rng=rng)
+        rates = [s.rate_at(t) for t in range(0, 100, 5)]
+        assert max(rates) > 1.5 * min(rates)
+
+
+class TestChunkStream:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            list(chunk_stream([1], 0))
+
+    def test_chunks(self):
+        assert list(chunk_stream(range(5), 2)) == [[0, 1], [2, 3], [4]]
+
+    def test_exact_multiple(self):
+        assert list(chunk_stream(range(4), 2)) == [[0, 1], [2, 3]]
+
+    def test_empty(self):
+        assert list(chunk_stream([], 3)) == []
+
+
+class TestRoundRobinSplitter:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RoundRobinSplitter([])
+
+    def test_rotation(self):
+        outs = [[], [], []]
+        split = RoundRobinSplitter([o.append for o in outs])
+        split.feed_many(range(7))
+        assert outs == [[0, 3, 6], [1, 4], [2, 5]]
+        assert split.delivered == 7
+
+    def test_disjoint_union(self):
+        outs = [[], [], [], []]
+        split = RoundRobinSplitter([o.append for o in outs])
+        split.feed_many(range(1000))
+        merged = sorted(v for o in outs for v in o)
+        assert merged == list(range(1000))
+
+
+class TestHashSplit:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            hash_split([1], 0)
+
+    def test_lossless(self):
+        values = list(range(100)) * 2
+        buckets = hash_split(values, 4)
+        assert sorted(v for b in buckets for v in b) == sorted(values)
+
+    def test_equal_values_colocated(self):
+        buckets = hash_split([5] * 10 + [9] * 10, 3)
+        for b in buckets:
+            assert set(b) <= {5} or set(b) <= {9}
+
+    def test_custom_key(self):
+        buckets = hash_split(["aa", "ab", "ba"], 2,
+                             key=lambda s: s[0])
+        # Values sharing a first letter land together.
+        for b in buckets:
+            firsts = {s[0] for s in b}
+            assert len(firsts) <= 2

@@ -1,0 +1,96 @@
+"""Tests for repro.sampling.systematic."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import ALPHA
+from repro.core.phases import SampleKind
+from repro.errors import ConfigurationError, ProtocolError
+from repro.rng import SplittableRng
+from repro.sampling.systematic import SystematicSampler
+from repro.stats.uniformity import (inclusion_frequency_test,
+                                    subset_frequency_test)
+
+
+class TestBasics:
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            SystematicSampler(0, rng)
+
+    def test_step_one_takes_everything(self, rng):
+        s = SystematicSampler(1, rng)
+        s.feed_many(range(10))
+        assert s.sample == list(range(10))
+
+    def test_size_tightly_controlled(self, rng):
+        for seed in range(10):
+            s = SystematicSampler(10, SplittableRng(seed))
+            s.feed_many(range(105))
+            assert len(s.sample) in (10, 11)
+
+    def test_fixed_stride(self, rng):
+        s = SystematicSampler(7, rng)
+        s.feed_many(range(100))
+        taken = s.sample
+        diffs = {b - a for a, b in zip(taken, taken[1:])}
+        assert diffs == {7}
+        assert taken[0] == s.start
+
+    def test_feed_equivalent_to_feed_many(self):
+        a = SystematicSampler(5, SplittableRng(3))
+        for v in range(53):
+            a.feed(v)
+        b = SystematicSampler(5, SplittableRng(3))
+        b.feed_many(list(range(53)))
+        assert a.sample == b.sample
+
+    def test_feed_many_across_batches(self):
+        a = SystematicSampler(5, SplittableRng(4))
+        a.feed_many(list(range(23)))
+        a.feed_many(list(range(23, 53)))
+        b = SystematicSampler(5, SplittableRng(4))
+        b.feed_many(list(range(53)))
+        assert a.sample == b.sample
+
+    def test_finalize_closes(self, rng):
+        s = SystematicSampler(2, rng)
+        s.finalize()
+        with pytest.raises(ProtocolError):
+            s.feed(1)
+
+
+class TestStatistics:
+    def test_first_order_uniform(self, rng):
+        """Each element included with probability exactly 1/step."""
+        def sample_fn(values, child):
+            s = SystematicSampler(4, child)
+            s.feed_many(values)
+            return s.finalize()
+
+        pval = inclusion_frequency_test(sample_fn, list(range(20)),
+                                        trials=4_000, rng=rng)
+        assert pval > ALPHA
+
+    def test_not_second_order_uniform(self, rng):
+        """The design caveat: subsets are NOT equally likely (elements a
+        step apart always co-occur) — the subset test must reject."""
+        def sample_fn(values, child):
+            s = SystematicSampler(3, child)
+            s.feed_many(values)
+            return s.finalize()
+
+        pval = subset_frequency_test(sample_fn, list(range(6)), size=2,
+                                     trials=3_000, rng=rng)
+        assert pval < 1e-10
+
+
+class TestToSample:
+    def test_warehouse_packaging(self, rng):
+        s = SystematicSampler(10, rng)
+        s.feed_many(range(1000))
+        ws = s.to_sample()
+        assert ws.kind is SampleKind.RESERVOIR
+        assert ws.scheme == "systematic"
+        assert ws.population_size == 1000
+        assert ws.size == 100

@@ -1,0 +1,118 @@
+"""Tests for repro.warehouse.views (materialized sample views)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rng import SplittableRng
+from repro.warehouse.maintenance import warehouse_delete
+from repro.warehouse.views import ViewManager
+from repro.warehouse.warehouse import SampleWarehouse
+
+
+@pytest.fixture()
+def warehouse():
+    wh = SampleWarehouse(bound_values=64, rng=SplittableRng(17))
+    wh.ingest_batch("d", list(range(10_000)), partitions=4,
+                    labels=["a", "a", "b", "b"])
+    return wh
+
+
+class TestLifecycle:
+    def test_materialize_and_get(self, warehouse):
+        views = ViewManager(warehouse)
+        v = views.materialize("all", "d")
+        assert v.sample.population_size == 10_000
+        assert len(v.partition_keys) == 4
+        assert views.get("all") is v
+        assert views.names() == ["all"]
+
+    def test_duplicate_name(self, warehouse):
+        views = ViewManager(warehouse)
+        views.materialize("all", "d")
+        with pytest.raises(ConfigurationError):
+            views.materialize("all", "d")
+        views.materialize("all", "d", replace=True)  # ok
+
+    def test_label_scoped_view(self, warehouse):
+        views = ViewManager(warehouse)
+        v = views.materialize("slice-a", "d", labels=["a"])
+        assert v.sample.population_size == 5_000
+        assert len(v.partition_keys) == 2
+
+    def test_empty_selection(self, warehouse):
+        views = ViewManager(warehouse)
+        with pytest.raises(ConfigurationError):
+            views.materialize("nothing", "d", labels=["ghost"])
+
+    def test_drop(self, warehouse):
+        views = ViewManager(warehouse)
+        views.materialize("all", "d")
+        views.drop("all")
+        with pytest.raises(ConfigurationError):
+            views.get("all")
+        with pytest.raises(ConfigurationError):
+            views.drop("all")
+
+
+class TestStaleness:
+    def test_fresh_view_not_stale(self, warehouse):
+        views = ViewManager(warehouse)
+        views.materialize("all", "d")
+        assert not views.is_stale("all")
+        assert views.stale_views() == []
+
+    def test_new_partition_stales_view(self, warehouse):
+        views = ViewManager(warehouse)
+        views.materialize("all", "d")
+        warehouse.ingest_batch("d", list(range(1000)))
+        assert views.is_stale("all")
+
+    def test_roll_out_stales_view(self, warehouse):
+        views = ViewManager(warehouse)
+        views.materialize("all", "d")
+        warehouse.roll_out(warehouse.partition_keys("d")[0])
+        assert views.is_stale("all")
+
+    def test_deletion_stales_view(self, warehouse):
+        views = ViewManager(warehouse)
+        views.materialize("all", "d")
+        key = warehouse.partition_keys("d")[0]
+        victim = warehouse.sample_for(key).values()[0]
+        warehouse_delete(warehouse, key, victim, parent_count=1)
+        assert views.is_stale("all")
+
+    def test_label_view_unaffected_by_other_labels(self, warehouse):
+        views = ViewManager(warehouse)
+        views.materialize("slice-a", "d", labels=["a"])
+        warehouse.ingest_batch("d", list(range(500)), labels=["c"])
+        assert not views.is_stale("slice-a")
+
+
+class TestRefresh:
+    def test_refresh_updates_snapshot(self, warehouse):
+        views = ViewManager(warehouse)
+        views.materialize("all", "d")
+        warehouse.ingest_batch("d", list(range(2_000)))
+        refreshed = views.refresh("all")
+        assert refreshed.sample.population_size == 12_000
+        assert refreshed.refresh_count == 1
+        assert not views.is_stale("all")
+
+    def test_refresh_stale_batch(self, warehouse):
+        views = ViewManager(warehouse)
+        views.materialize("all", "d")
+        views.materialize("slice-a", "d", labels=["a"])
+        warehouse.ingest_batch("d", list(range(100)), labels=["a"])
+        refreshed = views.refresh_stale()
+        assert set(refreshed) == {"all", "slice-a"}
+        assert views.stale_views() == []
+
+    def test_refresh_with_nothing_left(self, warehouse):
+        views = ViewManager(warehouse)
+        views.materialize("slice-b", "d", labels=["b"])
+        for key in list(warehouse.partition_keys("d"))[2:]:
+            warehouse.roll_out(key)
+        with pytest.raises(ConfigurationError):
+            views.refresh("slice-b")

@@ -1,0 +1,161 @@
+"""Tests for repro.sampling.weighted (biased sampling designs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.rng import SplittableRng
+from repro.sampling.weighted import (WeightedBernoulliSampler,
+                                     WeightedReservoirSampler,
+                                     merge_weighted)
+
+
+class TestWeightedReservoir:
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            WeightedReservoirSampler(0, rng)
+        s = WeightedReservoirSampler(2, rng)
+        with pytest.raises(ConfigurationError):
+            s.feed("x", weight=0.0)
+
+    def test_fixed_size(self, rng):
+        s = WeightedReservoirSampler(16, rng)
+        s.feed_many((v, 1.0) for v in range(1000))
+        assert len(s.values()) == 16
+        assert s.seen == 1000
+        assert s.total_weight == pytest.approx(1000.0)
+
+    def test_short_stream_keeps_everything(self, rng):
+        s = WeightedReservoirSampler(10, rng)
+        s.feed_many((v, 2.0) for v in range(4))
+        assert sorted(s.values()) == [0, 1, 2, 3]
+
+    def test_heavy_element_nearly_always_kept(self, rng):
+        hits = 0
+        trials = 300
+        for t in range(trials):
+            s = WeightedReservoirSampler(5, rng.spawn(t))
+            for v in range(200):
+                s.feed(v, weight=10_000.0 if v == 42 else 1.0)
+            hits += 42 in s.values()
+        assert hits > 0.95 * trials
+
+    def test_unit_weights_reduce_to_uniform(self, rng):
+        """All weights 1 -> inclusion probability k/n for everyone."""
+        n, k, trials = 40, 4, 3_000
+        counts = [0] * n
+        for t in range(trials):
+            s = WeightedReservoirSampler(k, rng.spawn(t))
+            for v in range(n):
+                s.feed(v, 1.0)
+            for v in s.values():
+                counts[v] += 1
+        expected = trials * k / n
+        for c in counts:
+            assert abs(c - expected) < 6 * (expected ** 0.5) + 5
+
+    def test_selection_proportional_to_weight(self, rng):
+        """With capacity 1, selection probability is w_i / W exactly."""
+        weights = {0: 1.0, 1: 2.0, 2: 7.0}
+        trials = 6_000
+        counts = {v: 0 for v in weights}
+        for t in range(trials):
+            s = WeightedReservoirSampler(1, rng.spawn(t))
+            for v, w in weights.items():
+                s.feed(v, w)
+            counts[s.values()[0]] += 1
+        total = sum(weights.values())
+        for v, w in weights.items():
+            assert abs(counts[v] / trials - w / total) < 0.03
+
+    def test_finalize_closes(self, rng):
+        s = WeightedReservoirSampler(2, rng)
+        s.finalize()
+        with pytest.raises(ProtocolError):
+            s.feed("x", 1.0)
+
+
+class TestMergeWeighted:
+    def test_merged_size(self, rng):
+        a = WeightedReservoirSampler(8, rng.spawn("a"))
+        b = WeightedReservoirSampler(8, rng.spawn("b"))
+        a.feed_many((v, 1.0) for v in range(100))
+        b.feed_many((v, 1.0) for v in range(100, 200))
+        merged = merge_weighted(a, b)
+        assert len(merged) == 8
+        assert set(merged) <= set(range(200))
+
+    def test_capacity_validation(self, rng):
+        a = WeightedReservoirSampler(4, rng.spawn("a"))
+        b = WeightedReservoirSampler(4, rng.spawn("b"))
+        with pytest.raises(ConfigurationError):
+            merge_weighted(a, b, capacity=0)
+
+    def test_merge_matches_single_pass_distribution(self, rng):
+        """Merging two A-Res halves = A-Res over the whole stream:
+        per-element inclusion frequencies agree."""
+        n, k, trials = 30, 3, 2_500
+        counts_merged = [0] * n
+        counts_single = [0] * n
+        for t in range(trials):
+            child = rng.spawn(t)
+            a = WeightedReservoirSampler(k, child.spawn("a"))
+            b = WeightedReservoirSampler(k, child.spawn("b"))
+            for v in range(n // 2):
+                a.feed(v, 1.0 + v % 3)
+            for v in range(n // 2, n):
+                b.feed(v, 1.0 + v % 3)
+            for v in merge_weighted(a, b):
+                counts_merged[v] += 1
+            s = WeightedReservoirSampler(k, child.spawn("s"))
+            for v in range(n):
+                s.feed(v, 1.0 + v % 3)
+            for v in s.values():
+                counts_single[v] += 1
+        for v in range(n):
+            diff = abs(counts_merged[v] - counts_single[v])
+            assert diff < 6 * (max(counts_single[v], 20) ** 0.5) + 10
+
+
+class TestWeightedBernoulli:
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            WeightedBernoulliSampler(0.0, rng)
+        s = WeightedBernoulliSampler(10.0, rng)
+        with pytest.raises(ConfigurationError):
+            s.feed("x", -1.0)
+
+    def test_heavy_always_included(self, rng):
+        s = WeightedBernoulliSampler(10.0, rng)
+        assert s.feed("heavy", weight=15.0) is True
+
+    def test_inclusion_proportional(self, rng):
+        s = WeightedBernoulliSampler(100.0, rng)
+        trials = 20_000
+        included = sum(s.feed(i, weight=25.0) for i in range(trials))
+        assert abs(included / trials - 0.25) < 0.02
+
+    def test_thin_to(self, rng):
+        s = WeightedBernoulliSampler(10.0, rng)
+        s.feed_many((v, 5.0) for v in range(10_000))
+        before = len(s.sample)
+        s.thin_to(20.0)
+        # Survival ratio = (5/20)/(5/10) = 0.5.
+        assert abs(len(s.sample) / before - 0.5) < 0.1
+        with pytest.raises(ConfigurationError):
+            s.thin_to(5.0)
+
+    def test_total_weight_estimate(self, rng):
+        s = WeightedBernoulliSampler(50.0, rng)
+        weights = [float(1 + i % 100) for i in range(20_000)]
+        s.feed_many(zip(range(20_000), weights))
+        truth = sum(weights)
+        est = s.estimate_total_weight()
+        assert abs(est - truth) / truth < 0.05
+
+    def test_finalize_closes(self, rng):
+        s = WeightedBernoulliSampler(1.0, rng)
+        s.finalize()
+        with pytest.raises(ProtocolError):
+            s.feed("x", 1.0)

@@ -1,0 +1,128 @@
+"""Tests for repro.workloads (generators and the Section 5 grid)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rng import SplittableRng
+from repro.workloads.generators import (UniformGenerator, UniqueGenerator,
+                                        ZipfGenerator, make_generator)
+from repro.workloads.scenarios import (PAPER_PARTITION_COUNTS,
+                                       PAPER_POPULATION_SIZES, Scenario,
+                                       paper_scenarios)
+
+
+class TestUniqueGenerator:
+    def test_permutation(self, rng):
+        values = UniqueGenerator().generate(1000, rng)
+        assert sorted(values) == list(range(1, 1001))
+
+    def test_shuffled(self, rng):
+        values = UniqueGenerator().generate(1000, rng)
+        assert values != sorted(values)
+
+    def test_deterministic(self):
+        a = UniqueGenerator().generate(100, SplittableRng(5))
+        b = UniqueGenerator().generate(100, SplittableRng(5))
+        assert a == b
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            UniqueGenerator().generate(-1, rng)
+
+
+class TestUniformGenerator:
+    def test_range(self, rng):
+        values = UniformGenerator().generate(5000, rng)
+        assert all(1 <= v <= 1_000_000 for v in values)
+
+    def test_custom_range(self, rng):
+        values = UniformGenerator(value_range=10).generate(5000, rng)
+        assert set(values) <= set(range(1, 11))
+        assert len(set(values)) == 10  # all hit with 5000 draws
+
+    def test_stream_matches_count(self, rng):
+        assert len(list(UniformGenerator().stream(123, rng))) == 123
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            UniformGenerator(value_range=0)
+
+
+class TestZipfGenerator:
+    def test_range(self, rng):
+        values = ZipfGenerator().generate(5000, rng)
+        assert all(1 <= v <= 4000 for v in values)
+
+    def test_skew(self, rng):
+        values = ZipfGenerator().generate(30_000, rng)
+        counts = {}
+        for v in values:
+            counts[v] = counts.get(v, 0) + 1
+        # Value 1 is the most frequent under exponent 1.
+        assert max(counts, key=counts.get) == 1
+
+    def test_few_distinct_values(self, rng):
+        """The paper's Zipf workload: few distinct values, so samples
+        stay exhaustive (footnote to Figures 15-16)."""
+        values = ZipfGenerator().generate(100_000, rng)
+        assert len(set(values)) <= 4000
+
+
+class TestMakeGenerator:
+    def test_dispatch(self):
+        assert make_generator("unique").name == "unique"
+        assert make_generator("uniform").name == "uniform"
+        assert make_generator("zipfian").name == "zipfian"
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            make_generator("normal")
+
+
+class TestScenario:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Scenario("bogus", 100, 1)
+        with pytest.raises(ConfigurationError):
+            Scenario("unique", 0, 1)
+        with pytest.raises(ConfigurationError):
+            Scenario("unique", 10, 20)
+
+    def test_partition_values(self):
+        s = Scenario("unique", 1000, 4)
+        chunks = s.partition_values(SplittableRng(1))
+        assert len(chunks) == 4
+        assert sum(len(c) for c in chunks) == 1000
+
+    def test_label(self):
+        assert Scenario("unique", 2 ** 20, 64).label() == "unique/2^20/64p"
+        assert Scenario("uniform", 1000, 2).label() == "uniform/1000/2p"
+
+    def test_partition_size(self):
+        assert Scenario("unique", 1000, 4).partition_size == 250
+
+
+class TestPaperGrid:
+    def test_full_grid_is_198(self):
+        assert sum(1 for _ in paper_scenarios()) == 198
+
+    def test_grid_composition(self):
+        assert len(PAPER_POPULATION_SIZES) == 6
+        assert len(PAPER_PARTITION_COUNTS) == 11
+        assert PAPER_POPULATION_SIZES[0] == 2 ** 20
+        assert PAPER_POPULATION_SIZES[-1] == 2 ** 26
+        assert PAPER_PARTITION_COUNTS == (1, 2, 4, 8, 16, 32, 64, 128,
+                                          256, 512, 1024)
+
+    def test_max_population_filter(self):
+        scenarios = list(paper_scenarios(max_population=2 ** 21))
+        assert all(s.population_size <= 2 ** 21 for s in scenarios)
+        assert len(scenarios) == 2 * 11 * 3
+
+    def test_restricted_grid(self):
+        scenarios = list(paper_scenarios(distributions=("unique",),
+                                         population_sizes=(64,),
+                                         partition_counts=(1, 128)))
+        assert len(scenarios) == 1  # 128 partitions > 64 skipped
