@@ -46,6 +46,7 @@ from repro.errors import (
     ReproError,
     StorageError,
 )
+from repro.obs import MetricsRegistry, capture, span
 from repro.rng import SplittableRng, derive_seed
 from repro.warehouse import SampleWarehouse
 
@@ -72,6 +73,10 @@ __all__ = [
     "merge_tree",
     # warehouse
     "SampleWarehouse",
+    # observability
+    "MetricsRegistry",
+    "capture",
+    "span",
     # rng
     "SplittableRng",
     "derive_seed",

@@ -12,17 +12,25 @@ but does not reduce) and the **merge** stage (serial pairwise folds).
 :func:`repeat_pipeline` averages over independent repetitions ("all
 reported numbers represent an average over three independent and
 identical experiments").
+
+Pass ``collect_metrics=True`` to observe a run: the pipeline executes
+inside :func:`repro.obs.capture`, and the result carries the metrics
+snapshot (every counter/gauge/histogram the instrumented hot paths
+emitted — see ``docs/observability.md``) plus the span trace, so a
+benchmark can report *why* a configuration is slow, not just that it is.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence
 
 from repro.core.merge import merge_tree
 from repro.core.sample import WarehouseSample
 from repro.errors import ConfigurationError
+from repro.obs.runtime import capture
+from repro.obs.tracing import span
 from repro.rng import SplittableRng
 from repro.warehouse.parallel import make_sampler
 from repro.workloads.scenarios import Scenario
@@ -40,6 +48,10 @@ class PipelineResult:
     merge_seconds: float
     partition_sample_sizes: Sequence[int]
     merged: WarehouseSample
+    #: Metrics snapshot of the run (``collect_metrics=True`` only).
+    metrics: Optional[dict] = field(default=None, compare=False)
+    #: Finished spans of the run as dicts (``collect_metrics=True`` only).
+    trace: Optional[List[dict]] = field(default=None, compare=False)
 
     @property
     def sample_seconds(self) -> float:
@@ -88,7 +100,8 @@ def run_pipeline(scenario: Scenario, scheme: str, *,
                  exceedance_p: float = 0.001,
                  sb_rate: Optional[float] = None,
                  merge_mode: str = "serial",
-                 arrival_mode: str = "stream") -> PipelineResult:
+                 arrival_mode: str = "stream",
+                 collect_metrics: bool = False) -> PipelineResult:
     """Run one scenario through one algorithm; time sampling and merging.
 
     Data generation happens *before* the clocks start, so timings cover
@@ -104,7 +117,34 @@ def run_pipeline(scenario: Scenario, scheme: str, *,
     * ``"batch"`` — the library's skip-based ``feed_many`` fast path,
       which jumps over excluded elements of an in-memory sequence; use
       it to measure the fast path itself.
+
+    ``collect_metrics=True`` runs the pipeline under
+    :func:`repro.obs.capture` and attaches the metrics snapshot and
+    span trace to the result.  Sampler randomness is untouched by
+    instrumentation, so timings aside, the run is identical.
     """
+    if collect_metrics:
+        with capture() as (registry, ring):
+            result = _run_pipeline(scenario, scheme,
+                                   bound_values=bound_values, rng=rng,
+                                   exceedance_p=exceedance_p,
+                                   sb_rate=sb_rate, merge_mode=merge_mode,
+                                   arrival_mode=arrival_mode)
+        return replace(result, metrics=registry.snapshot(),
+                       trace=[s.to_dict() for s in ring.spans])
+    return _run_pipeline(scenario, scheme, bound_values=bound_values,
+                         rng=rng, exceedance_p=exceedance_p,
+                         sb_rate=sb_rate, merge_mode=merge_mode,
+                         arrival_mode=arrival_mode)
+
+
+def _run_pipeline(scenario: Scenario, scheme: str, *,
+                  bound_values: int,
+                  rng: SplittableRng,
+                  exceedance_p: float = 0.001,
+                  sb_rate: Optional[float] = None,
+                  merge_mode: str = "serial",
+                  arrival_mode: str = "stream") -> PipelineResult:
     if scheme == "sb" and sb_rate is None:
         sb_rate = _default_sb_rate(scenario, bound_values)
     chunks = scenario.partition_values(rng)
@@ -120,15 +160,16 @@ def run_pipeline(scenario: Scenario, scheme: str, *,
             sb_rate=sb_rate,
             rng=rng.spawn("part", scenario.label(), scheme, i),
         )
-        start = time.perf_counter()
-        if arrival_mode == "stream":
-            feed = sampler.feed
-            for value in chunk:
-                feed(value)
-        else:
-            sampler.feed_many(chunk)
-        samples.append(sampler.finalize())
-        partition_seconds.append(time.perf_counter() - start)
+        with span("bench.partition", index=i, size=len(chunk)):
+            start = time.perf_counter()
+            if arrival_mode == "stream":
+                feed = sampler.feed
+                for value in chunk:
+                    feed(value)
+            else:
+                sampler.feed_many(chunk)
+            samples.append(sampler.finalize())
+            partition_seconds.append(time.perf_counter() - start)
 
     start = time.perf_counter()
     merged = merge_tree(samples,

@@ -8,7 +8,10 @@ Operate a file-backed sample warehouse from the shell:
 * ``query``   — approximate COUNT/SUM/AVG/quantile over a dataset;
 * ``rollup``  — merge consecutive partitions into coarser units;
 * ``bench``   — regenerate one of the paper's figures;
-* ``demo``    — the Section 3.3 concise-sampling counter-example.
+* ``demo``    — the Section 3.3 concise-sampling counter-example;
+* ``obs``     — an instrumented ingest + merge: metrics snapshot and
+  nested span trace (the observability demo; see
+  ``docs/observability.md`` for the full instrumentation contract).
 
 All commands are deterministic given ``--seed``.
 """
@@ -124,6 +127,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_audit = sub.add_parser("audit", help="verify warehouse consistency")
     p_audit.add_argument("--warehouse", required=True)
+
+    p_obs = sub.add_parser("obs", help="instrumented ingest + merge demo: "
+                                       "metrics and span trace")
+    p_obs.add_argument("--partitions", type=int, default=10)
+    p_obs.add_argument("--size", type=int, default=20_000,
+                       help="total values to ingest (default: 20000)")
+    p_obs.add_argument("--scheme", default="hb",
+                       choices=["hb", "hr", "sb", "hb-mp"])
+    p_obs.add_argument("--bound", type=int, default=256,
+                       help="sample-size bound n_F (default: 256)")
+    p_obs.add_argument("--sb-rate", type=float, default=0.01)
+    p_obs.add_argument("--json", action="store_true",
+                       help="print the metrics snapshot as JSON")
+    p_obs.add_argument("--trace-out", default=None,
+                       help="also write the span trace to this JSONL file")
 
     return parser
 
@@ -244,6 +262,43 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import (JsonlSink, MetricsRegistry, RingBufferSink,
+                           TeeSink, capture)
+
+    values = list(range(args.size))
+    registry = MetricsRegistry()
+    ring = RingBufferSink()
+    jsonl = JsonlSink(args.trace_out) if args.trace_out else None
+    sink = TeeSink(ring, jsonl) if jsonl is not None else ring
+    try:
+        with capture(registry, sink):
+            wh = SampleWarehouse(bound_values=args.bound,
+                                 scheme=args.scheme,
+                                 sb_rate=args.sb_rate,
+                                 rng=SplittableRng(args.seed))
+            wh.ingest_batch("obs.demo", values,
+                            partitions=args.partitions)
+            merged = wh.sample_of("obs.demo")
+    finally:
+        if jsonl is not None:
+            jsonl.close()
+    if args.json:
+        print(registry.to_json(indent=1))
+    else:
+        print(f"ingested {len(values)} values into {args.partitions} "
+              f"{args.scheme} partition(s), merged: {merged.kind.name} "
+              f"sample of {merged.size}/{merged.population_size} values")
+        print()
+        print(registry.report())
+        print()
+        print("trace (nested spans):")
+        print(ring.render())
+    if args.trace_out:
+        print(f"trace written to {args.trace_out}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -255,6 +310,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "rollup": _cmd_rollup,
         "bench": _cmd_bench,
         "audit": _cmd_audit,
+        "obs": _cmd_obs,
     }
     try:
         return handlers[args.command](args)

@@ -53,6 +53,8 @@ from repro.core.purge import purge_bernoulli, purge_reservoir
 from repro.core.runs import RepeatedValue
 from repro.core.sample import WarehouseSample
 from repro.errors import ConfigurationError, ProtocolError
+from repro.obs.runtime import OBS
+from repro.obs.tracing import span
 from repro.rng import SplittableRng
 from repro.sampling.exceedance import rate_for_bound
 from repro.sampling.skip import SkipGenerator
@@ -239,25 +241,34 @@ class AlgorithmHB:
     def _enter_phase2_or_3(self) -> None:
         """Phase-1 exit: lines 3-11 of Figure 2."""
         assert self._histogram is not None
-        self._rate = rate_for_bound(self._population, self._p, self._bound,
-                                    method=self._rate_method)
-        subsample = purge_bernoulli(self._histogram, self._rate, self._rng)
-        self._histogram = None
-        if subsample.size < self._bound:
-            self._phase = SampleKind.BERNOULLI
-            self._pending = subsample
-            self._until_next = self._draw_gap()
-        else:
-            self._pending = purge_reservoir(subsample, self._bound,
-                                            self._rng)
-            self._enter_phase3()
+        with span("hb.phase2", seen=self._seen):
+            self._rate = rate_for_bound(self._population, self._p,
+                                        self._bound,
+                                        method=self._rate_method)
+            subsample = purge_bernoulli(self._histogram, self._rate,
+                                        self._rng)
+            self._histogram = None
+            if OBS.enabled:
+                OBS.registry.counter("hb.phase2.enter").inc()
+                OBS.registry.gauge("hb.rate.q").set(self._rate)
+            if subsample.size < self._bound:
+                self._phase = SampleKind.BERNOULLI
+                self._pending = subsample
+                self._until_next = self._draw_gap()
+            else:
+                self._pending = purge_reservoir(subsample, self._bound,
+                                                self._rng)
+                self._enter_phase3()
 
     def _enter_phase3(self) -> None:
         """Switch to reservoir mode (lines 9-10 / 18-19 of Figure 2)."""
-        self._phase = SampleKind.RESERVOIR
-        self._capacity = self._bound
-        self._skips = SkipGenerator(self._capacity, self._rng)
-        self._next_insert = self._seen + self._skips.next_skip(self._seen)
+        with span("hb.phase3", seen=self._seen):
+            self._phase = SampleKind.RESERVOIR
+            self._capacity = self._bound
+            self._skips = SkipGenerator(self._capacity, self._rng)
+            self._next_insert = self._seen + self._skips.next_skip(self._seen)
+        if OBS.enabled:
+            OBS.registry.counter("hb.phase3.enter").inc()
 
     def _expand_pending(self) -> None:
         """Figure 2's expand(S'): leave compact form, once, lazily."""
@@ -416,6 +427,11 @@ class AlgorithmHB:
         else:
             assert self._pending is not None
             histogram = self._pending
+        if OBS.enabled:
+            reg = OBS.registry
+            reg.counter("hb.finalize").inc()
+            reg.counter("hb.arrivals").add(self._seen)
+            reg.histogram("hb.sample_size").observe(histogram.size)
         return WarehouseSample(
             histogram=histogram,
             kind=self._phase,

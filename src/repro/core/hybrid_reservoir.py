@@ -28,6 +28,8 @@ from repro.core.purge import purge_reservoir
 from repro.core.runs import RepeatedValue
 from repro.core.sample import WarehouseSample
 from repro.errors import ConfigurationError, ProtocolError
+from repro.obs.runtime import OBS
+from repro.obs.tracing import span
 from repro.rng import SplittableRng
 from repro.sampling.skip import SkipGenerator
 
@@ -172,19 +174,25 @@ class AlgorithmHR:
         The purge down to ``n_F`` elements happens lazily at the first
         insertion (or at finalization if none occurs).
         """
-        self._phase = SampleKind.RESERVOIR
-        self._pending = self._histogram
-        self._histogram = None
-        self._capacity = self._bound
-        self._skips = SkipGenerator(self._capacity, self._rng)
-        self._next_insert = self._seen + self._skips.next_skip(self._seen)
+        with span("hr.phase2", seen=self._seen):
+            self._phase = SampleKind.RESERVOIR
+            self._pending = self._histogram
+            self._histogram = None
+            self._capacity = self._bound
+            self._skips = SkipGenerator(self._capacity, self._rng)
+            self._next_insert = self._seen + self._skips.next_skip(self._seen)
+        if OBS.enabled:
+            OBS.registry.counter("hr.phase2.enter").inc()
 
     def _materialize_reservoir(self) -> None:
         """Lazy purgeReservoir + expand (Figure 7, lines 9-11)."""
         assert self._pending is not None
-        purged = purge_reservoir(self._pending, self._capacity, self._rng)
-        self._bag = purged.expand()
-        self._pending = None
+        with span("hr.purge", size=self._pending.size,
+                  capacity=self._capacity):
+            purged = purge_reservoir(self._pending, self._capacity,
+                                     self._rng)
+            self._bag = purged.expand()
+            self._pending = None
 
     def feed(self, value: T) -> None:
         """Observe one arriving data element (Figure 7's per-arrival body)."""
@@ -289,6 +297,11 @@ class AlgorithmHR:
             assert self._pending is not None
             histogram = purge_reservoir(self._pending, self._capacity,
                                         self._rng)
+        if OBS.enabled:
+            reg = OBS.registry
+            reg.counter("hr.finalize").inc()
+            reg.counter("hr.arrivals").add(self._seen)
+            reg.histogram("hr.sample_size").observe(histogram.size)
         return WarehouseSample(
             histogram=histogram,
             kind=self._phase,

@@ -37,6 +37,8 @@ from repro.core.purge import (purge_bernoulli, purge_reservoir,
                               purge_reservoir_concat)
 from repro.core.sample import WarehouseSample
 from repro.errors import ConfigurationError, IncompatibleSamplesError
+from repro.obs.runtime import OBS
+from repro.obs.tracing import traced
 from repro.rng import SplittableRng
 from repro.sampling.distributions import (CachedHypergeometric,
                                           sample_hypergeometric)
@@ -68,6 +70,7 @@ def _resume_feed(sampler, exhaustive: WarehouseSample) -> None:
         sampler.feed_run(value, count)
 
 
+@traced("merge.hb", timer="merge.hb.seconds")
 def hb_merge(s1: WarehouseSample, s2: WarehouseSample, *,
              rng: SplittableRng,
              exceedance_p: Optional[float] = None,
@@ -93,6 +96,8 @@ def hb_merge(s1: WarehouseSample, s2: WarehouseSample, *,
     Returns a sample of the union with ``scheme="hb"``.
     """
     _check_compatible(s1, s2)
+    if OBS.enabled:
+        OBS.registry.counter("merge.hb").inc()
     p = exceedance_p
     if p is None:
         p = min(s1.exceedance_p, s2.exceedance_p)
@@ -135,6 +140,8 @@ def hb_merge(s1: WarehouseSample, s2: WarehouseSample, *,
             model=model,
         )
     # Low-probability overflow: reservoir-subsample the concatenation.
+    if OBS.enabled:
+        OBS.registry.counter("merge.hb.overflow").inc()
     histogram = purge_reservoir_concat(sub1, sub2, bound, rng)
     return WarehouseSample(
         histogram=histogram,
@@ -147,6 +154,7 @@ def hb_merge(s1: WarehouseSample, s2: WarehouseSample, *,
     )
 
 
+@traced("merge.hr", timer="merge.hr.seconds")
 def hr_merge(s1: WarehouseSample, s2: WarehouseSample, *,
              rng: SplittableRng,
              target_size: Optional[int] = None,
@@ -176,6 +184,8 @@ def hr_merge(s1: WarehouseSample, s2: WarehouseSample, *,
     """
     _check_compatible(s1, s2)
     total = s1.population_size + s2.population_size
+    if OBS.enabled:
+        OBS.registry.counter("merge.hr").inc()
 
     if s1.kind.is_exhaustive or s2.kind.is_exhaustive:
         exhaustive, other = (s1, s2) if s1.kind.is_exhaustive else (s2, s1)
@@ -210,6 +220,13 @@ def hr_merge(s1: WarehouseSample, s2: WarehouseSample, *,
         take_first = cache.sample(n1, n2, k, rng)
     else:
         take_first = sample_hypergeometric(n1, n2, k, rng, method=method)
+    if OBS.enabled:
+        reg = OBS.registry
+        reg.histogram("merge.hr.draw_l").observe(take_first)
+        # Steps the eq. (3) recursion walks to fill the pmf: the width
+        # of the hypergeometric support for this (n1, n2, k).
+        reg.histogram("merge.hr.recursion_depth").observe(
+            min(k, n1) - max(0, k - n2))
     # Clamp to the realized sample sizes.  The hypergeometric support
     # already guarantees take_first <= min(k, n1), but with k <= |S_i| we
     # also need take_first <= |S1| and k - take_first <= |S2|, which holds
@@ -227,6 +244,7 @@ def hr_merge(s1: WarehouseSample, s2: WarehouseSample, *,
     )
 
 
+@traced("merge.sb_union", timer="merge.sb_union.seconds")
 def sb_union(samples: Sequence[WarehouseSample], *,
              rng: SplittableRng) -> WarehouseSample:
     """Algorithm SB's merge: equalize rates, then union.
@@ -238,6 +256,8 @@ def sb_union(samples: Sequence[WarehouseSample], *,
     """
     if not samples:
         raise ConfigurationError("sb_union needs at least one sample")
+    if OBS.enabled:
+        OBS.registry.counter("merge.sb_union").inc()
     for s in samples:
         if not s.kind.is_bernoulli or s.rate is None:
             raise IncompatibleSamplesError(
@@ -286,6 +306,7 @@ def merge_samples(s1: WarehouseSample, s2: WarehouseSample, *,
     return hb_merge(s1, s2, rng=rng, hyper_cache=hyper_cache)
 
 
+@traced("merge.tree", timer="merge.tree.seconds")
 def merge_tree(samples: Sequence[WarehouseSample], *,
                rng: SplittableRng,
                mode: str = "serial",

@@ -23,6 +23,7 @@ from repro.core.histogram import CompactHistogram
 from repro.core.phases import SampleKind
 from repro.core.sample import WarehouseSample
 from repro.errors import ConfigurationError, ProtocolError
+from repro.obs.runtime import OBS
 from repro.rng import SplittableRng
 from repro.sampling.bernoulli import BernoulliSampler
 
@@ -107,6 +108,11 @@ class AlgorithmSB:
         self._finalized = True
         values: List[object] = self._inner.finalize()
         histogram = CompactHistogram.from_values(values)
+        if OBS.enabled:
+            reg = OBS.registry
+            reg.counter("sb.finalize").inc()
+            reg.counter("sb.arrivals").add(self._inner.seen)
+            reg.histogram("sb.sample_size").observe(histogram.size)
         bound = self._nominal_bound
         if bound is None:
             bound = max(1, histogram.size)

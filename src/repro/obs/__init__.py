@@ -1,0 +1,55 @@
+"""Observability: metrics, tracing spans, and profiling hooks.
+
+A dependency-free subsystem the rest of the library is instrumented
+with.  Off by default — the uninstrumented fast path costs one
+attribute lookup per site — and switched on per-block with
+:func:`capture`, or process-wide with :func:`enable`.
+
+The full instrumentation contract (every metric and span name, its
+unit, and where it is emitted) lives in ``docs/observability.md``;
+``tests/test_obs_contract.py`` fails if code and contract drift apart.
+
+Quick start::
+
+    from repro import SampleWarehouse, SplittableRng
+    from repro.obs import capture
+
+    with capture() as (metrics, trace):
+        wh = SampleWarehouse(bound_values=256, scheme="hb",
+                             rng=SplittableRng(7))
+        wh.ingest_batch("t.v", list(range(100_000)), partitions=10)
+        sample = wh.sample_of("t.v")
+
+    print(metrics.report())   # counters / gauges / latency histograms
+    print(trace.render())     # the nested span tree of the whole run
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.runtime import (OBS, NullRegistry, NullSink, capture,
+                               disable, enable)
+from repro.obs.tracing import (JsonlSink, RingBufferSink, Span, TeeSink,
+                               read_spans, render_spans, span, traced)
+
+__all__ = [
+    # state
+    "OBS",
+    "enable",
+    "disable",
+    "capture",
+    # metrics
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NullRegistry",
+    # tracing
+    "Span",
+    "span",
+    "traced",
+    "RingBufferSink",
+    "JsonlSink",
+    "TeeSink",
+    "NullSink",
+    "read_spans",
+    "render_spans",
+]

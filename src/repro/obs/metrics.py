@@ -1,0 +1,324 @@
+"""Thread-safe metrics: counters, gauges, and histogram timers.
+
+A :class:`MetricsRegistry` holds named metrics of three kinds:
+
+* :class:`Counter` — a monotonically increasing integer (events,
+  arrivals, merges);
+* :class:`Gauge` — a last-write-wins float (a rate, a level);
+* :class:`Histogram` — a distribution of observations with running
+  count/sum/min/max and quantiles over a bounded window; the registry's
+  :meth:`MetricsRegistry.timer` wraps a histogram in a monotonic-clock
+  (``time.perf_counter``) context manager for latency measurement.
+
+All mutation is lock-protected, so one registry can be shared by the
+thread-pool executors.  ``snapshot()`` returns a plain dict (JSON-ready
+via ``to_json()``), ``reset()`` zeroes everything in place, and
+``report()`` renders a terminal summary using the repo's ASCII chart
+renderer.
+
+The naming contract for every metric the library emits — names, units,
+emission points — is documented in ``docs/observability.md`` and
+enforced by ``tests/test_obs_contract.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Observations kept per histogram for quantile estimation; running
+#: count/sum/min/max keep exact track beyond the window.
+_HISTOGRAM_WINDOW = 4096
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        """The current count."""
+        return self._value
+
+    def inc(self, amount: int = 1) -> None:
+        """Increase the counter; ``amount`` must be non-negative."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counters only increase, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    add = inc  # counters of quantities (arrivals) read better as add()
+
+    def snapshot(self) -> dict:
+        """``{"type": "counter", "value": n}``."""
+        return {"type": "counter", "value": self._value}
+
+    def reset(self) -> None:
+        """Zero the counter."""
+        with self._lock:
+            self._value = 0
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value: Optional[float] = None
+
+    @property
+    def value(self) -> Optional[float]:
+        """The last value set (None if never set)."""
+        return self._value
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        with self._lock:
+            self._value = float(value)
+
+    def snapshot(self) -> dict:
+        """``{"type": "gauge", "value": v}``."""
+        return {"type": "gauge", "value": self._value}
+
+    def reset(self) -> None:
+        """Forget the value."""
+        with self._lock:
+            self._value = None
+
+
+class Histogram:
+    """A distribution of float observations.
+
+    Running ``count``/``sum``/``min``/``max`` are exact over all
+    observations; quantiles are computed over the most recent
+    ``_HISTOGRAM_WINDOW`` observations (a circular window), which keeps
+    memory bounded on long-running processes.
+    """
+
+    __slots__ = ("_lock", "_count", "_sum", "_min", "_max", "_window",
+                 "_pos")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._window: List[float] = []
+        self._pos = 0
+
+    @property
+    def count(self) -> int:
+        """Total number of observations."""
+        return self._count
+
+    @property
+    def total(self) -> float:
+        """Sum of all observations."""
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0.0 when empty)."""
+        return self._sum / self._count if self._count else 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            if len(self._window) < _HISTOGRAM_WINDOW:
+                self._window.append(value)
+            else:
+                self._window[self._pos] = value
+                self._pos = (self._pos + 1) % _HISTOGRAM_WINDOW
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (0..1) over the retained window."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            window = sorted(self._window)
+        if not window:
+            return 0.0
+        idx = min(len(window) - 1, int(round(q * (len(window) - 1))))
+        return window[idx]
+
+    def snapshot(self) -> dict:
+        """Count, sum, min/max, mean and p50/p90/p99 as a plain dict."""
+        with self._lock:
+            count, total = self._count, self._sum
+            lo = self._min if count else 0.0
+            hi = self._max if count else 0.0
+        return {
+            "type": "histogram",
+            "count": count,
+            "sum": total,
+            "min": lo,
+            "max": hi,
+            "mean": total / count if count else 0.0,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+        }
+
+    def reset(self) -> None:
+        """Drop every observation."""
+        with self._lock:
+            self._count = 0
+            self._sum = 0.0
+            self._min = math.inf
+            self._max = -math.inf
+            self._window = []
+            self._pos = 0
+
+
+class _Timer:
+    """Context manager observing elapsed monotonic seconds."""
+
+    __slots__ = ("_histogram", "_t0")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._histogram.observe(time.perf_counter() - self._t0)
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges, and histograms.
+
+    Metrics are created on first use and live for the registry's
+    lifetime; asking for an existing name with a different kind raises
+    :class:`~repro.errors.ConfigurationError`.
+
+    Examples
+    --------
+    >>> reg = MetricsRegistry()
+    >>> reg.counter("demo.events").inc()
+    >>> reg.counter("demo.events").inc(2)
+    >>> reg.counter("demo.events").value
+    3
+    >>> reg.gauge("demo.level").set(0.5)
+    >>> reg.histogram("demo.sizes").observe(10)
+    >>> sorted(reg.snapshot())
+    ['demo.events', 'demo.level', 'demo.sizes']
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, name: str, kind: type):
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = kind()
+                    self._metrics[name] = metric
+        if not isinstance(metric, kind):
+            raise ConfigurationError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {kind.__name__}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name`` (created on first use)."""
+        return self._get(name, Histogram)
+
+    def timer(self, name: str) -> _Timer:
+        """A context manager timing into histogram ``name`` (seconds)."""
+        return _Timer(self._get(name, Histogram))
+
+    def names(self) -> List[str]:
+        """All metric names, sorted."""
+        return sorted(self._metrics)
+
+    def snapshot(self) -> dict:
+        """Every metric's snapshot keyed by name (a plain, JSON-able dict)."""
+        with self._lock:
+            items = list(self._metrics.items())
+        return {name: metric.snapshot() for name, metric in sorted(items)}
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        """The snapshot serialized as JSON."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def reset(self) -> None:
+        """Zero every metric in place (names survive)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric.reset()
+
+    def report(self, *, width: int = 40) -> str:
+        """A terminal-friendly text report of the current snapshot.
+
+        Counters render as an ASCII bar chart (via
+        :func:`repro.bench.ascii_chart.bar_chart`); gauges and
+        histograms as aligned text lines.
+        """
+        from repro.bench.ascii_chart import bar_chart
+
+        snap = self.snapshot()
+        counters = [(n, float(s["value"])) for n, s in snap.items()
+                    if s["type"] == "counter"]
+        gauges = [(n, s["value"]) for n, s in snap.items()
+                  if s["type"] == "gauge"]
+        histograms = [(n, s) for n, s in snap.items()
+                      if s["type"] == "histogram"]
+        sections: List[str] = []
+        if counters:
+            sections.append(bar_chart(counters, width=width,
+                                      title="counters"))
+        if gauges:
+            lines = ["gauges"]
+            name_w = max(len(n) for n, _ in gauges)
+            for name, value in gauges:
+                shown = "unset" if value is None else f"{value:g}"
+                lines.append(f"{name.ljust(name_w)} | {shown}")
+            sections.append("\n".join(lines))
+        if histograms:
+            lines = ["histograms (count / mean / p50 / p99 / max)"]
+            name_w = max(len(n) for n, _ in histograms)
+            for name, s in histograms:
+                lines.append(
+                    f"{name.ljust(name_w)} | {s['count']:>6} / "
+                    f"{s['mean']:.3g} / {s['p50']:.3g} / "
+                    f"{s['p99']:.3g} / {s['max']:.3g}")
+            sections.append("\n".join(lines))
+        return "\n\n".join(sections)

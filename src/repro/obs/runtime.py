@@ -1,0 +1,186 @@
+"""The observability switch: one process-wide, off-by-default state.
+
+Instrumented call sites throughout the library follow one discipline::
+
+    from repro.obs.runtime import OBS
+
+    if OBS.enabled:                      # one attribute lookup when off
+        OBS.registry.counter("...").inc()
+
+The global :data:`OBS` object holds three fields — ``enabled``,
+``registry`` (a :class:`~repro.obs.metrics.MetricsRegistry` or the no-op
+:class:`NullRegistry`) and ``sink`` (a span sink, default
+:class:`NullSink`).  With observability off (the default), the
+uninstrumented fast path costs exactly one attribute lookup plus a
+branch per instrumentation site; no metric objects are allocated and no
+clock is read.
+
+Three ways to turn it on:
+
+* :func:`enable` / :func:`disable` — imperative, for long-running
+  processes;
+* :func:`capture` — a context manager that installs a fresh registry
+  and in-memory trace sink for the duration of a block and restores the
+  previous state afterwards (what the CLI, the bench harness, and the
+  tests use).
+
+Instrumentation is **passive**: it never draws randomness and never
+changes control flow, so samples produced with observability on are
+byte-identical to samples produced with it off (asserted by
+``tests/test_obs.py``).
+
+The state is process-wide, not thread-local: spans track their
+parent/child nesting per thread (see :mod:`repro.obs.tracing`), but all
+threads share one registry — which is why the registry is thread-safe.
+Worker *processes* (``ProcessExecutor``) do not share the parent's
+registry; per-task timings cross the process boundary via the executors'
+timed-task wrappers (see :mod:`repro.warehouse.parallel`).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
+
+__all__ = ["OBS", "NullRegistry", "NullSink", "enable", "disable",
+           "capture"]
+
+
+class _NullMetric:
+    """Accepts every metric mutation and does nothing."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def add(self, amount: float) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def __enter__(self) -> "_NullMetric":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullRegistry:
+    """A registry whose every metric is a shared no-op object.
+
+    Installed by default so library code may call ``OBS.registry``
+    unconditionally without crashing; guarded call sites
+    (``if OBS.enabled``) never reach it at all.
+    """
+
+    def counter(self, name: str) -> _NullMetric:
+        """A no-op counter."""
+        return _NULL_METRIC
+
+    def gauge(self, name: str) -> _NullMetric:
+        """A no-op gauge."""
+        return _NULL_METRIC
+
+    def histogram(self, name: str) -> _NullMetric:
+        """A no-op histogram."""
+        return _NULL_METRIC
+
+    def timer(self, name: str) -> _NullMetric:
+        """A no-op timer context manager."""
+        return _NULL_METRIC
+
+    def snapshot(self) -> dict:
+        """Always empty."""
+        return {}
+
+    def reset(self) -> None:
+        """Nothing to reset."""
+
+    def report(self) -> str:
+        """Always empty."""
+        return ""
+
+
+class NullSink:
+    """A span sink that drops everything."""
+
+    def emit(self, span) -> None:
+        """Discard the span."""
+
+
+class _ObsState:
+    """The mutable process-wide observability state."""
+
+    __slots__ = ("enabled", "registry", "sink")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.registry = NullRegistry()
+        self.sink = NullSink()
+
+
+#: The process-wide observability state; import this, read ``.enabled``.
+OBS = _ObsState()
+
+
+def enable(registry=None, sink=None) -> None:
+    """Turn observability on, installing ``registry`` and ``sink``.
+
+    Defaults: a fresh :class:`~repro.obs.metrics.MetricsRegistry` and a
+    fresh :class:`~repro.obs.tracing.RingBufferSink`.
+    """
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracing import RingBufferSink
+
+    OBS.registry = registry if registry is not None else MetricsRegistry()
+    OBS.sink = sink if sink is not None else RingBufferSink()
+    OBS.enabled = True
+
+
+def disable() -> None:
+    """Turn observability off and restore the no-op defaults."""
+    OBS.enabled = False
+    OBS.registry = NullRegistry()
+    OBS.sink = NullSink()
+
+
+@contextmanager
+def capture(registry=None, sink=None) -> Iterator[Tuple[object, object]]:
+    """Observe a block: install fresh state, yield it, restore on exit.
+
+    Yields ``(registry, sink)``.  The previous state (including nested
+    ``capture`` blocks) is restored even on exceptions.  Not safe to
+    enter concurrently from multiple threads — the state is process
+    global; enter it once and share the registry (which is thread-safe).
+
+    Examples
+    --------
+    >>> from repro.obs.runtime import capture, OBS
+    >>> with capture() as (metrics, trace):
+    ...     OBS.registry.counter("demo.events").inc()
+    >>> metrics.snapshot()["demo.events"]["value"]
+    1
+    >>> OBS.enabled
+    False
+    """
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracing import RingBufferSink
+
+    registry = registry if registry is not None else MetricsRegistry()
+    sink = sink if sink is not None else RingBufferSink()
+    prev = (OBS.enabled, OBS.registry, OBS.sink)
+    OBS.registry = registry
+    OBS.sink = sink
+    OBS.enabled = True
+    try:
+        yield registry, sink
+    finally:
+        OBS.enabled, OBS.registry, OBS.sink = prev

@@ -1,0 +1,313 @@
+"""Lightweight tracing spans with pluggable sinks.
+
+A **span** is a named, timed region of execution with free-form
+attributes.  Spans nest: each thread keeps its own stack, so a span
+opened while another is active records it as its parent, and a trace of
+one ingest reads as a tree (``ingest.batch`` → ``hb.phase2`` → …).
+
+Two ways to open spans:
+
+* :func:`span` — a context manager::
+
+      with span("hb.phase2", seen=self._seen):
+          ...  # the phase-1 exit purge
+
+* :func:`traced` — a decorator for whole functions, optionally also
+  timing into a registry histogram::
+
+      @traced("merge.hb", timer="merge.hb.seconds")
+      def hb_merge(...): ...
+
+Both are no-ops while ``OBS.enabled`` is false: :func:`span` returns a
+shared inert context manager (no allocation, no clock read), and
+:func:`traced` adds a single branch per call.
+
+Finished spans are delivered to ``OBS.sink`` (post-order — a span is
+emitted when it *closes*).  Sinks implement one method,
+``emit(span)``:
+
+* :class:`RingBufferSink` — keeps the last ``capacity`` spans in memory
+  and renders them as an indented tree (:meth:`RingBufferSink.render`);
+* :class:`JsonlSink` — appends one JSON object per span to a file
+  (round-trip via :func:`read_spans`);
+* :class:`TeeSink` — fans out to several sinks;
+* :class:`~repro.obs.runtime.NullSink` — the off-switch default.
+
+Span names form part of the instrumentation contract documented in
+``docs/observability.md`` (enforced by ``tests/test_obs_contract.py``).
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.errors import ConfigurationError, StorageError
+from repro.obs.runtime import OBS
+
+__all__ = ["Span", "span", "traced", "RingBufferSink", "JsonlSink",
+           "TeeSink", "read_spans", "render_spans"]
+
+_ids_lock = threading.Lock()
+_next_id = 0
+
+_stack = threading.local()  # per-thread list of open Span objects
+
+
+def _new_id() -> int:
+    global _next_id
+    with _ids_lock:
+        _next_id += 1
+        return _next_id
+
+
+class Span:
+    """One named, timed region with attributes and a parent link.
+
+    ``start``/``end`` are monotonic (``time.perf_counter``) seconds —
+    meaningful only as differences within one process.
+    """
+
+    __slots__ = ("name", "span_id", "parent_id", "depth", "attrs",
+                 "start", "end", "thread")
+
+    def __init__(self, name: str, attrs: Dict[str, object],
+                 parent: Optional["Span"]) -> None:
+        self.name = name
+        self.span_id = _new_id()
+        self.parent_id = parent.span_id if parent is not None else None
+        self.depth = parent.depth + 1 if parent is not None else 0
+        self.attrs = attrs
+        self.start = 0.0
+        self.end = 0.0
+        self.thread = threading.get_ident()
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        return max(0.0, self.end - self.start)
+
+    def to_dict(self) -> dict:
+        """A JSON-ready flat record (what :class:`JsonlSink` writes)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "thread": self.thread,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "Span":
+        """Rebuild a span from :meth:`to_dict` output (sans fresh id)."""
+        s = cls.__new__(cls)
+        s.name = record["name"]
+        s.span_id = record["span_id"]
+        s.parent_id = record.get("parent_id")
+        s.depth = record.get("depth", 0)
+        s.attrs = dict(record.get("attrs", {}))
+        s.start = record.get("start", 0.0)
+        s.end = record.get("end", 0.0)
+        s.thread = record.get("thread", 0)
+        return s
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, depth={self.depth}, "
+                f"duration={self.duration:.6f})")
+
+
+class _ActiveSpan:
+    """The live context manager behind :func:`span`."""
+
+    __slots__ = ("_span",)
+
+    def __init__(self, name: str, attrs: Dict[str, object]) -> None:
+        stack = getattr(_stack, "spans", None)
+        if stack is None:
+            stack = _stack.spans = []
+        parent = stack[-1] if stack else None
+        self._span = Span(name, attrs, parent)
+
+    def __enter__(self) -> Span:
+        _stack.spans.append(self._span)
+        self._span.start = time.perf_counter()
+        return self._span
+
+    def __exit__(self, *exc) -> None:
+        self._span.end = time.perf_counter()
+        stack = _stack.spans
+        if stack and stack[-1] is self._span:
+            stack.pop()
+        else:  # unbalanced exit; drop it wherever it is
+            try:
+                stack.remove(self._span)
+            except ValueError:
+                pass
+        OBS.sink.emit(self._span)
+
+
+class _InertSpan:
+    """Shared no-op context manager returned while observability is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_INERT = _InertSpan()
+
+
+def span(name: str, **attrs):
+    """Open a traced span named ``name`` with the given attributes.
+
+    Returns an inert shared object while observability is off, so
+    guarding call sites with ``if OBS.enabled`` is optional for
+    non-per-arrival code paths.
+    """
+    if not OBS.enabled:
+        return _INERT
+    return _ActiveSpan(name, attrs)
+
+
+def traced(name: str, *, timer: Optional[str] = None
+           ) -> Callable[[Callable], Callable]:
+    """Decorate a function to run inside ``span(name)``.
+
+    ``timer`` additionally records the call's duration into the named
+    registry histogram (seconds, monotonic clock).  Disabled
+    observability costs one branch per call.
+    """
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not OBS.enabled:
+                return fn(*args, **kwargs)
+            with _ActiveSpan(name, {}):
+                if timer is None:
+                    return fn(*args, **kwargs)
+                with OBS.registry.timer(timer):
+                    return fn(*args, **kwargs)
+        return wrapper
+    return decorate
+
+
+def render_spans(spans: List[Span], *, clock_unit: str = "ms") -> str:
+    """Render finished spans as an indented tree, one line per span.
+
+    Spans are ordered by start time and indented by nesting depth;
+    attributes print as ``key=value`` pairs.  ``clock_unit`` is ``"ms"``
+    or ``"s"``.
+    """
+    if clock_unit not in ("ms", "s"):
+        raise ConfigurationError(f"unknown clock unit {clock_unit!r}")
+    scale, suffix = (1e3, "ms") if clock_unit == "ms" else (1.0, "s")
+    lines = []
+    for s in sorted(spans, key=lambda s: (s.start, s.span_id)):
+        attrs = "".join(f" {k}={v}" for k, v in s.attrs.items())
+        lines.append(f"{'  ' * s.depth}{s.name} "
+                     f"({s.duration * scale:.3f} {suffix}){attrs}")
+    return "\n".join(lines)
+
+
+class RingBufferSink:
+    """Keeps the most recent ``capacity`` finished spans in memory."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(
+                f"capacity must be positive, got {capacity}")
+        self._lock = threading.Lock()
+        self._spans: deque = deque(maxlen=capacity)
+
+    def emit(self, span: Span) -> None:
+        """Store one finished span."""
+        with self._lock:
+            self._spans.append(span)
+
+    @property
+    def spans(self) -> List[Span]:
+        """The retained spans, oldest first."""
+        with self._lock:
+            return list(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def clear(self) -> None:
+        """Drop all retained spans."""
+        with self._lock:
+            self._spans.clear()
+
+    def render(self, *, clock_unit: str = "ms") -> str:
+        """The retained spans as an indented tree (see
+        :func:`render_spans`)."""
+        return render_spans(self.spans, clock_unit=clock_unit)
+
+
+class JsonlSink:
+    """Appends one JSON object per finished span to a file.
+
+    Usable as a context manager; :func:`read_spans` round-trips the
+    file back into :class:`Span` objects.
+    """
+
+    def __init__(self, path: str) -> None:
+        self._lock = threading.Lock()
+        try:
+            self._handle = open(path, "a", encoding="utf-8")
+        except OSError as exc:
+            raise StorageError(
+                f"cannot open trace file {path!r}: {exc}") from exc
+
+    def emit(self, span: Span) -> None:
+        """Write one span as a JSON line."""
+        line = json.dumps(span.to_dict(), sort_keys=True)
+        with self._lock:
+            self._handle.write(line + "\n")
+
+    def close(self) -> None:
+        """Flush and close the file."""
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class TeeSink:
+    """Fans every span out to several sinks (e.g. ring buffer + JSONL)."""
+
+    def __init__(self, *sinks) -> None:
+        if not sinks:
+            raise ConfigurationError("TeeSink needs at least one sink")
+        self._sinks = sinks
+
+    def emit(self, span: Span) -> None:
+        """Deliver the span to every underlying sink."""
+        for sink in self._sinks:
+            sink.emit(span)
+
+
+def read_spans(path: str) -> Iterator[Span]:
+    """Yield the spans stored in a :class:`JsonlSink` file, in order."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield Span.from_dict(json.loads(line))

@@ -22,10 +22,13 @@ Two ways values reach the warehouse:
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, List, Optional, Protocol, Sequence, TypeVar
 
 from repro.core.sample import WarehouseSample
 from repro.errors import ConfigurationError, ProtocolError
+from repro.obs.runtime import OBS
+from repro.obs.tracing import span
 from repro.rng import SplittableRng
 from repro.warehouse.dataset import PartitionKey
 from repro.warehouse.parallel import make_sampler
@@ -163,6 +166,7 @@ class StreamIngestor:
         self._closed = False
         self._sampler = None
         self._emitted: List[PartitionKey] = []
+        self._partition_t0 = time.perf_counter()
 
     @property
     def emitted(self) -> List[PartitionKey]:
@@ -190,6 +194,7 @@ class StreamIngestor:
             raise ProtocolError("ingestor already closed")
         if self._sampler is None:
             self._sampler = self._new_sampler()
+            self._partition_t0 = time.perf_counter()
         self._sampler.feed(value)
         if self._policy.should_cut(self._sampler):
             self._finalize_current()
@@ -201,9 +206,21 @@ class StreamIngestor:
 
     def _finalize_current(self) -> None:
         assert self._sampler is not None
-        sample: WarehouseSample = self._sampler.finalize()
-        key = PartitionKey(self._dataset, self._stream, self._seq)
-        self._sink(key, sample)
+        seen = self._sampler.seen
+        with span("ingest.partition", dataset=self._dataset,
+                  stream=self._stream, seq=self._seq, arrivals=seen):
+            sample: WarehouseSample = self._sampler.finalize()
+            key = PartitionKey(self._dataset, self._stream, self._seq)
+            self._sink(key, sample)
+        if OBS.enabled:
+            elapsed = time.perf_counter() - self._partition_t0
+            reg = OBS.registry
+            reg.counter("ingest.stream.cuts").inc()
+            reg.counter("ingest.stream.arrivals").add(seen)
+            reg.histogram("ingest.stream.partition.seconds").observe(elapsed)
+            reg.histogram("ingest.stream.partition.arrivals").observe(seen)
+            if elapsed > 0.0:
+                reg.gauge("ingest.stream.arrival_rate").set(seen / elapsed)
         self._emitted.append(key)
         self._seq += 1
         self._sampler = None

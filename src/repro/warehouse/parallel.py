@@ -21,8 +21,9 @@ identical whichever executor runs them, in whatever order.
 from __future__ import annotations
 
 import concurrent.futures
+import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.core.hybrid_bernoulli import AlgorithmHB
 from repro.core.hybrid_reservoir import AlgorithmHR
@@ -30,6 +31,7 @@ from repro.core.multi_purge import MultiPurgeBernoulli
 from repro.core.sample import WarehouseSample
 from repro.core.stratified_bernoulli import AlgorithmSB
 from repro.errors import ConfigurationError
+from repro.obs.runtime import OBS
 from repro.rng import SplittableRng
 
 __all__ = ["SampleTask", "sample_partition", "SerialExecutor",
@@ -105,12 +107,51 @@ def sample_partition(task: SampleTask) -> WarehouseSample:
     return sampler.finalize()
 
 
+class _TimedTask:
+    """Picklable wrapper: run the task, return ``(seconds, result)``.
+
+    Timing happens inside the worker (thread *or* process), so the
+    recorded wall time is the task's own, not queueing overhead.  The
+    wrapper pickles whenever ``fn`` does, which keeps the process pool
+    working; the measured seconds travel back with the result, so
+    worker-process timings land in the parent's registry.
+    """
+
+    __slots__ = ("_fn",)
+
+    def __init__(self, fn: Callable[[T], R]) -> None:
+        self._fn = fn
+
+    def __call__(self, item: T) -> Tuple[float, R]:
+        t0 = time.perf_counter()
+        result = self._fn(item)
+        return time.perf_counter() - t0, result
+
+
+def _record_tasks(metric: str,
+                  timed: Sequence[Tuple[float, R]]) -> List[R]:
+    """Record per-task wall times and unwrap the results."""
+    reg = OBS.registry
+    seconds = reg.histogram(metric)
+    tasks = reg.counter("parallel.tasks")
+    results: List[R] = []
+    for elapsed, result in timed:
+        seconds.observe(elapsed)
+        tasks.inc()
+        results.append(result)
+    return results
+
+
 class SerialExecutor:
     """Run tasks one after another in the calling thread."""
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         """Apply ``fn`` to every item, preserving order."""
-        return [fn(item) for item in items]
+        if not OBS.enabled:
+            return [fn(item) for item in items]
+        timed = _TimedTask(fn)
+        return _record_tasks("parallel.task.seconds.serial",
+                             [timed(item) for item in items])
 
 
 class ThreadExecutor:
@@ -123,7 +164,10 @@ class ThreadExecutor:
         """Apply ``fn`` to every item concurrently, preserving order."""
         with concurrent.futures.ThreadPoolExecutor(
                 max_workers=self._max_workers) as pool:
-            return list(pool.map(fn, items))
+            if not OBS.enabled:
+                return list(pool.map(fn, items))
+            return _record_tasks("parallel.task.seconds.thread",
+                                 list(pool.map(_TimedTask(fn), items)))
 
 
 class ProcessExecutor:
@@ -140,4 +184,7 @@ class ProcessExecutor:
         """Apply ``fn`` to every item across processes, preserving order."""
         with concurrent.futures.ProcessPoolExecutor(
                 max_workers=self._max_workers) as pool:
-            return list(pool.map(fn, items))
+            if not OBS.enabled:
+                return list(pool.map(fn, items))
+            return _record_tasks("parallel.task.seconds.process",
+                                 list(pool.map(_TimedTask(fn), items)))

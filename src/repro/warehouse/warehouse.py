@@ -25,6 +25,8 @@ from repro.core.footprint import DEFAULT_MODEL, FootprintModel
 from repro.core.merge import merge_tree
 from repro.core.sample import WarehouseSample
 from repro.errors import ConfigurationError, StorageError
+from repro.obs.runtime import OBS
+from repro.obs.tracing import traced
 from repro.rng import SplittableRng
 from repro.warehouse.catalog import Catalog, PartitionMeta
 from repro.warehouse.dataset import PartitionKey
@@ -133,6 +135,7 @@ class SampleWarehouse:
             label=label,
         ))
 
+    @traced("ingest.batch", timer="ingest.batch.seconds")
     def ingest_batch(self, dataset: str, values: Sequence, *,
                      partitions: int = 1,
                      scheme: Optional[str] = None,
@@ -184,6 +187,8 @@ class SampleWarehouse:
             label = labels[i] if labels is not None else None
             self._register(key, sample, label)
             keys.append(key)
+        if OBS.enabled:
+            OBS.registry.counter("ingest.batch.partitions").add(len(keys))
         return keys
 
     def ingest_sample(self, key: PartitionKey, sample: WarehouseSample, *,
@@ -231,6 +236,7 @@ class SampleWarehouse:
         """The stored sample of one partition."""
         return self._store.get(key)
 
+    @traced("warehouse.sample_of", timer="warehouse.sample_of.seconds")
     def sample_of(self, dataset: str, *,
                   keys: Optional[Iterable[PartitionKey]] = None,
                   labels: Optional[Iterable[str]] = None,

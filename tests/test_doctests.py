@@ -9,11 +9,16 @@ from __future__ import annotations
 
 import doctest
 import importlib
+import importlib.util
 import pkgutil
+from pathlib import Path
 
 import pytest
 
 import repro
+
+# Examples that are written doctest-first; scripts stay script-only.
+DOCTESTED_EXAMPLES = ["observability.py"]
 
 
 def _all_modules():
@@ -30,3 +35,17 @@ def test_module_doctests(module_name):
                               optionflags=doctest.NORMALIZE_WHITESPACE)
     assert results.failed == 0, \
         f"{results.failed} doctest failure(s) in {module_name}"
+
+
+@pytest.mark.parametrize("filename", DOCTESTED_EXAMPLES)
+def test_example_doctests(filename):
+    path = Path(__file__).resolve().parent.parent / "examples" / filename
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    results = doctest.testmod(module, verbose=False,
+                              optionflags=doctest.NORMALIZE_WHITESPACE)
+    assert results.attempted > 0, f"no doctests found in {filename}"
+    assert results.failed == 0, \
+        f"{results.failed} doctest failure(s) in examples/{filename}"
