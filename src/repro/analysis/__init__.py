@@ -1,0 +1,45 @@
+"""repro.analysis — an AST-based invariant checker (``repro lint``).
+
+The library's correctness arguments rest on conventions no type
+checker sees: every random draw flows through the seed-splitting
+discipline of :mod:`repro.rng`, nothing on a sampling path reads a
+clock or a salted hash, instrument names match the contract page in
+``docs/observability.md``, errors derive from ``ReproError``, and
+obs shared state mutates only under its lock.  This package turns
+those conventions into machine-checked lint rules with stable
+``RPR0xx`` codes.
+
+Usage::
+
+    from repro.analysis import run_lint, render_text
+
+    findings, project = run_lint(["src/repro"])
+    print(render_text(findings, checked_files=len(project.files)))
+
+or from the shell: ``python -m repro lint src/repro``.  Per-line
+suppression: ``# repro: noqa[RPR012]``.  The rule catalog lives in
+``docs/static_analysis.md``; the repo lints itself as a tier-1 test
+(``tests/test_self_lint.py``).
+"""
+
+from repro.analysis.framework import (Finding, Project, Rule, SourceFile,
+                                      all_rules, finding_from_dict,
+                                      load_project, rule, rule_for,
+                                      run_lint)
+from repro.analysis.reporters import parse_json, render_json, render_text
+
+__all__ = [
+    "Finding",
+    "Project",
+    "Rule",
+    "SourceFile",
+    "all_rules",
+    "finding_from_dict",
+    "load_project",
+    "parse_json",
+    "render_json",
+    "render_text",
+    "rule",
+    "rule_for",
+    "run_lint",
+]

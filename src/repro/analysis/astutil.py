@@ -1,0 +1,44 @@
+"""Small AST helpers shared by the lint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+__all__ = ["dotted_name", "call_name", "walk_calls", "contains_call"]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``.
+
+    Call results and subscripts break the chain (``a().b`` -> None),
+    which is what the rules want: they match *static* references.
+    """
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(call: ast.Call) -> Optional[str]:
+    """The dotted name a call invokes, e.g. ``random.Random``."""
+    return dotted_name(call.func)
+
+
+def walk_calls(tree: ast.AST) -> Iterator[Tuple[ast.Call, Optional[str]]]:
+    """Yield ``(call, dotted_name)`` for every call in the tree."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node, call_name(node)
+
+
+def contains_call(tree: ast.AST, names: Tuple[str, ...]) -> bool:
+    """True when any call to one of the dotted ``names`` occurs inside."""
+    for _, name in walk_calls(tree):
+        if name is not None and name in names:
+            return True
+    return False

@@ -1,0 +1,304 @@
+"""The lint engine: findings, the rule registry, and the runner.
+
+A **rule** is a function that inspects a parsed source file (or the
+whole project) and yields :class:`Finding` objects.  Rules register
+themselves under a stable code (``RPR0xx``) with the :func:`rule`
+decorator; the registry is what the reporters, the CLI's
+``--list-rules``, and the suppression syntax key off.
+
+Two rule scopes exist:
+
+* ``"file"`` — called once per :class:`SourceFile` with that file;
+  most rules are file-scoped AST walks.
+* ``"project"`` — called once with the whole :class:`Project`; used
+  for cross-file invariants such as the observability contract, which
+  compares every emitted instrument name against
+  ``docs/observability.md``.
+
+Suppressions are per line: ``# repro: noqa[RPR012]`` silences that
+code on that line, ``# repro: noqa[RPR012,RPR031]`` several, and a
+bare ``# repro: noqa`` every code.  Suppressions apply only to
+findings in Python sources (doc-side findings of the contract rules
+cannot be waved off from a comment).
+
+The engine is deliberately dependency-free: :mod:`ast`, :mod:`re`,
+and :mod:`pathlib` only, so ``repro lint`` runs anywhere the library
+does.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (Callable, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Set, Tuple)
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Finding", "Rule", "SourceFile", "Project", "rule",
+           "all_rules", "rule_for", "load_project", "run_lint",
+           "SYNTAX_ERROR_CODE"]
+
+#: Reserved code for files the engine cannot parse at all.
+SYNTAX_ERROR_CODE = "RPR000"
+
+_CODE_RE = re.compile(r"^RPR\d{3}$")
+
+#: ``# repro: noqa`` or ``# repro: noqa[RPR001,RPR002]``
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[([A-Z0-9,\s]+)\])?", re.IGNORECASE)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: CODE message`` (the text-reporter line)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} " \
+               f"{self.message}"
+
+    def to_dict(self) -> dict:
+        """A JSON-ready record (round-trips via :func:`finding_from_dict`)."""
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "code": self.code, "message": self.message}
+
+
+def finding_from_dict(record: dict) -> Finding:
+    """Rebuild a :class:`Finding` from :meth:`Finding.to_dict` output."""
+    return Finding(path=record["path"], line=int(record["line"]),
+                   col=int(record["col"]), code=record["code"],
+                   message=record["message"])
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered lint rule (code, name, rationale, check function)."""
+
+    code: str
+    name: str
+    summary: str
+    scope: str  # "file" or "project"
+    check: Callable
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def rule(code: str, name: str, summary: str, *, scope: str = "file"
+         ) -> Callable[[Callable], Callable]:
+    """Register a check function under a stable ``RPR0xx`` code."""
+    if not _CODE_RE.match(code):
+        raise ConfigurationError(
+            f"rule code must look like RPR0xx, got {code!r}")
+    if scope not in ("file", "project"):
+        raise ConfigurationError(
+            f"rule scope must be 'file' or 'project', got {scope!r}")
+
+    def register(fn: Callable) -> Callable:
+        if code in _REGISTRY:
+            raise ConfigurationError(f"duplicate rule code {code}")
+        _REGISTRY[code] = Rule(code, name, summary, scope, fn)
+        return fn
+
+    return register
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, ordered by code."""
+    _load_builtin_rules()
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def rule_for(code: str) -> Rule:
+    """The rule registered under ``code``."""
+    _load_builtin_rules()
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        raise ConfigurationError(f"unknown rule code {code!r}") from None
+
+
+def _load_builtin_rules() -> None:
+    # Importing the package registers every built-in rule module.
+    import repro.analysis.rules  # noqa: F401  (import for side effect)
+
+
+def _parse_suppressions(lines: Sequence[str]) -> Dict[int, Optional[Set[str]]]:
+    """Map line number -> suppressed codes (``None`` = every code)."""
+    table: Dict[int, Optional[Set[str]]] = {}
+    for lineno, line in enumerate(lines, start=1):
+        match = _NOQA_RE.search(line)
+        if not match:
+            continue
+        if match.group(1) is None:
+            table[lineno] = None
+        else:
+            codes = {c.strip().upper() for c in match.group(1).split(",")}
+            table[lineno] = {c for c in codes if c}
+    return table
+
+
+class SourceFile:
+    """One parsed Python source plus the metadata rules key off.
+
+    ``display_path`` is what findings report (the path as the caller
+    spelled it); ``package_parts`` is the path relative to the package
+    root with any leading ``src``/``repro`` segments stripped, so a
+    rule can ask "is this ``rng.py``?" or "is this under ``core/``?"
+    no matter whether the caller linted ``src/repro``, ``src`` or a
+    test fixture tree that mimics the layout.
+    """
+
+    def __init__(self, path: Path, root: Path, text: str) -> None:
+        self.path = path
+        self.display_path = str(path)
+        self.text = text
+        self.lines = text.splitlines()
+        rel = path.relative_to(root).parts
+        while rel and rel[0] in ("src", "repro"):
+            rel = rel[1:]
+        self.package_parts: Tuple[str, ...] = rel
+        self.tree: Optional[ast.Module] = None
+        self.parse_error: Optional[Finding] = None
+        try:
+            self.tree = ast.parse(text, filename=str(path))
+        except SyntaxError as exc:
+            self.parse_error = Finding(
+                path=self.display_path, line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1, code=SYNTAX_ERROR_CODE,
+                message=f"cannot parse file: {exc.msg}")
+        self._suppressions = _parse_suppressions(self.lines)
+
+    @property
+    def module_path(self) -> str:
+        """The package-relative path, e.g. ``core/merge.py``."""
+        return "/".join(self.package_parts)
+
+    def in_package(self, *packages: str) -> bool:
+        """True when the file sits under one of the given top packages."""
+        return bool(self.package_parts) and self.package_parts[0] in packages
+
+    def is_module(self, name: str) -> bool:
+        """True when the file *is* the given package-relative module."""
+        return self.module_path == name
+
+    def finding(self, node: ast.AST, code: str, message: str) -> Finding:
+        """A :class:`Finding` anchored at ``node``'s location."""
+        return Finding(path=self.display_path,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0),
+                       code=code, message=message)
+
+    def suppressed(self, finding: Finding) -> bool:
+        """True when a ``# repro: noqa`` comment waves this finding off."""
+        codes = self._suppressions.get(finding.line, ())
+        return codes is None or finding.code in codes
+
+
+class Project:
+    """Every linted file plus the (optional) observability contract doc."""
+
+    def __init__(self, files: Sequence[SourceFile],
+                 contract_doc: Optional[Path]) -> None:
+        self.files = list(files)
+        self.contract_doc = contract_doc
+
+    def file_for(self, finding: Finding) -> Optional[SourceFile]:
+        """The source file a finding points into (None for doc findings)."""
+        for sf in self.files:
+            if sf.display_path == finding.path:
+                return sf
+        return None
+
+
+def _iter_sources(paths: Sequence[str]) -> Iterator[Tuple[Path, Path]]:
+    """Yield ``(file, root)`` pairs for every ``.py`` under ``paths``."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            yield path, path.parent
+        elif path.is_dir():
+            for file in sorted(path.rglob("*.py")):
+                yield file, path
+        else:
+            raise ConfigurationError(
+                f"no such file or directory: {raw}")
+
+
+def _discover_contract_doc(paths: Sequence[str]) -> Optional[Path]:
+    """Walk up from the linted paths looking for docs/observability.md."""
+    for raw in paths:
+        probe = Path(raw).resolve()
+        for ancestor in [probe, *probe.parents][:6]:
+            candidate = ancestor / "docs" / "observability.md"
+            if candidate.is_file():
+                return candidate
+    return None
+
+
+def load_project(paths: Sequence[str], *,
+                 contract_doc: object = "auto") -> Project:
+    """Parse every source under ``paths`` into a :class:`Project`.
+
+    ``contract_doc`` is ``"auto"`` (walk up from the linted paths for
+    ``docs/observability.md``), an explicit path, or ``None`` to
+    disable the doc cross-check rules.
+    """
+    files = [SourceFile(file, root, file.read_text(encoding="utf-8"))
+             for file, root in _iter_sources(paths)]
+    if contract_doc == "auto":
+        doc: Optional[Path] = _discover_contract_doc(paths)
+    elif contract_doc is None:
+        doc = None
+    else:
+        doc = Path(str(contract_doc))
+        if not doc.is_file():
+            raise ConfigurationError(
+                f"contract doc not found: {contract_doc}")
+    return Project(files, doc)
+
+
+def run_lint(paths: Sequence[str], *, contract_doc: object = "auto",
+             select: Optional[Iterable[str]] = None
+             ) -> Tuple[List[Finding], Project]:
+    """Run every registered rule over ``paths``.
+
+    Returns ``(findings, project)`` with findings sorted by location.
+    ``select`` restricts the run to the given rule codes.
+    """
+    project = load_project(paths, contract_doc=contract_doc)
+    wanted = None if select is None else {c.upper() for c in select}
+    findings: List[Finding] = []
+    rules = all_rules()
+    for sf in project.files:
+        if sf.parse_error is not None:
+            findings.append(sf.parse_error)
+            continue
+        for rl in rules:
+            if rl.scope != "file":
+                continue
+            if wanted is not None and rl.code not in wanted:
+                continue
+            for finding in rl.check(sf):
+                if not sf.suppressed(finding):
+                    findings.append(finding)
+    for rl in rules:
+        if rl.scope != "project":
+            continue
+        if wanted is not None and rl.code not in wanted:
+            continue
+        for finding in rl.check(project):
+            sf = project.file_for(finding)
+            if sf is None or not sf.suppressed(finding):
+                findings.append(finding)
+    findings.sort()
+    return findings, project

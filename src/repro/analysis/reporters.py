@@ -1,0 +1,55 @@
+"""Reporters: render lint findings for terminals and machines.
+
+* :func:`render_text` — one ``path:line:col: CODE message`` line per
+  finding plus a summary tail; what a human reads in CI logs.
+* :func:`render_json` — a stable JSON document (``findings`` list,
+  per-code ``counts``, ``checked_files``); what CI annotators and the
+  self-lint test consume.  Round-trips through
+  :func:`~repro.analysis.framework.finding_from_dict`.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as _TallyCounter
+from typing import List, Optional, Sequence
+
+from repro.analysis.framework import Finding
+
+__all__ = ["render_text", "render_json", "parse_json"]
+
+
+def render_text(findings: Sequence[Finding], *,
+                checked_files: int) -> str:
+    """The terminal report: one line per finding, then a summary."""
+    lines: List[str] = [f.render() for f in findings]
+    if findings:
+        counts = _TallyCounter(f.code for f in findings)
+        breakdown = ", ".join(f"{code} x{n}"
+                              for code, n in sorted(counts.items()))
+        lines.append(f"{len(findings)} finding(s) in "
+                     f"{checked_files} file(s): {breakdown}")
+    else:
+        lines.append(f"ok: {checked_files} file(s) clean")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], *,
+                checked_files: int,
+                indent: Optional[int] = None) -> str:
+    """The machine report (stable key order)."""
+    counts = _TallyCounter(f.code for f in findings)
+    payload = {
+        "checked_files": checked_files,
+        "counts": dict(sorted(counts.items())),
+        "findings": [f.to_dict() for f in findings],
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def parse_json(text: str) -> List[Finding]:
+    """Findings back out of a :func:`render_json` document."""
+    from repro.analysis.framework import finding_from_dict
+
+    payload = json.loads(text)
+    return [finding_from_dict(record) for record in payload["findings"]]

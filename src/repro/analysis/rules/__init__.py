@@ -1,0 +1,15 @@
+"""Built-in lint rules, grouped by invariant family.
+
+Importing this package registers every rule with the framework's
+registry (each module applies the :func:`repro.analysis.framework.rule`
+decorator at import time).  The catalog with rationale and examples
+lives in ``docs/static_analysis.md``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules import determinism as _determinism  # noqa: F401
+from repro.analysis.rules import errors as _errors  # noqa: F401
+from repro.analysis.rules import locks as _locks  # noqa: F401
+from repro.analysis.rules import obs as _obs  # noqa: F401
+from repro.analysis.rules import rng as _rng  # noqa: F401

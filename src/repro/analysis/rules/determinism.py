@@ -1,0 +1,117 @@
+"""Determinism: sampling paths may not read clocks, salted hashes,
+or unordered-collection iteration order.
+
+``docs/determinism.md`` promises that every sampler, merge, rollup,
+and query is a pure function of the master seed.  These rules guard
+the three stdlib trapdoors that quietly break that promise:
+
+* wall-clock reads (``time.time``, ``datetime.now``) feeding labels
+  or values — different every run;
+* builtin ``hash()`` (salted per process for ``str``/``bytes``) and
+  ``id()`` (an address) — different every *process*;
+* iterating a ``set`` — ordered by those same salted hashes.
+
+The rules are scoped to the packages on the sampling path; the bench
+harness and the observability layer legitimately read monotonic
+clocks (they measure, they do not sample), and the CLI may print
+whatever it likes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.framework import Finding, SourceFile, rule
+from repro.analysis.astutil import walk_calls
+
+#: Packages whose outputs must be a pure function of the seed.
+SAMPLING_PACKAGES = ("core", "sampling", "warehouse", "stream",
+                     "analytics", "stats", "workloads")
+
+#: Non-monotonic clock reads (``perf_counter``/``monotonic`` are fine:
+#: the obs layer times with them and never feeds them into results).
+_WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.localtime", "time.ctime",
+    "time.gmtime", "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today", "date.today",
+})
+
+
+def _on_sampling_path(sf: SourceFile) -> bool:
+    return sf.in_package(*SAMPLING_PACKAGES) or sf.is_module("rng.py")
+
+
+@rule("RPR011", "wall-clock",
+      "a sampling path reads the wall clock")
+def check_wall_clock(sf: SourceFile) -> Iterator[Finding]:
+    """Flag ``time.time()``/``datetime.now()`` on sampling paths."""
+    if not _on_sampling_path(sf):
+        return
+    for call, name in walk_calls(sf.tree):
+        if name in _WALL_CLOCK_CALLS:
+            yield sf.finding(
+                call, "RPR011",
+                f"wall-clock read `{name}()` on a sampling path; "
+                "results must be a pure function of the seed "
+                "(docs/determinism.md)")
+
+
+@rule("RPR012", "salted-hash",
+      "builtin hash()/id() feeds a sampling path")
+def check_salted_hash(sf: SourceFile) -> Iterator[Finding]:
+    """Flag builtin ``hash()``/``id()`` calls on sampling paths.
+
+    ``hash(str)`` is salted per process (PYTHONHASHSEED) and ``id()``
+    is an object address; both differ across runs and across the
+    worker processes of ``ProcessExecutor``.
+    """
+    if not _on_sampling_path(sf):
+        return
+    for call, name in walk_calls(sf.tree):
+        if name == "hash":
+            yield sf.finding(
+                call, "RPR012",
+                "builtin `hash()` is salted per process; use "
+                "repro.rng.stable_hash for cross-process determinism")
+        elif name == "id":
+            yield sf.finding(
+                call, "RPR012",
+                "`id()` is an object address, different every run; "
+                "key on an explicit label instead")
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+@rule("RPR013", "set-iteration",
+      "a sampling path iterates a set in hash order")
+def check_set_iteration(sf: SourceFile) -> Iterator[Finding]:
+    """Flag ``for x in set(...)`` (and comprehensions) on sampling
+    paths; wrap the set in ``sorted(...)`` to fix the order."""
+    if not _on_sampling_path(sf):
+        return
+    for node in ast.walk(sf.tree):
+        iters = []
+        if isinstance(node, ast.For):
+            iters.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            iters.extend(gen.iter for gen in node.generators)
+        for it in iters:
+            if _is_set_expr(it):
+                yield sf.finding(
+                    it, "RPR013",
+                    "iteration over a set visits elements in salted "
+                    "hash order; wrap it in sorted(...) so downstream "
+                    "samples are order-stable")
+
+
+__all__ = ["check_wall_clock", "check_salted_hash",
+           "check_set_iteration", "SAMPLING_PACKAGES"]

@@ -1,0 +1,62 @@
+"""Error discipline: library errors derive from ``ReproError``.
+
+``repro/errors.py`` defines the exception hierarchy — every subclass
+mixes in the matching stdlib type (``ConfigurationError`` *is a*
+``ValueError``), so raising the repro type loses no caller
+compatibility while keeping ``except ReproError`` a complete net for
+the CLI and for embedding applications.  A bare ``raise ValueError``
+punches a hole in that net.
+
+A small allowlist covers exceptions that *are* the protocol:
+``IndexError``/``KeyError``/``TypeError`` from ``__getitem__``-style
+dunders, ``StopIteration`` from iterators, ``NotImplementedError``
+from abstract stubs.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Iterator
+
+from repro.analysis.framework import Finding, SourceFile, rule
+from repro.analysis.astutil import dotted_name
+
+#: Builtin exceptions a library module may raise directly: these are
+#: Python-protocol signals, not library failure reports.
+ALLOWED_BUILTINS = frozenset({
+    "IndexError", "KeyError", "TypeError", "AttributeError",
+    "StopIteration", "StopAsyncIteration", "NotImplementedError",
+})
+
+_BUILTIN_EXCEPTIONS = frozenset(
+    name for name, obj in vars(builtins).items()
+    if isinstance(obj, type) and issubclass(obj, BaseException))
+
+
+@rule("RPR031", "error-discipline",
+      "a raise site uses a bare builtin instead of a ReproError type")
+def check_raises(sf: SourceFile) -> Iterator[Finding]:
+    """Every ``raise`` must use a ``repro.errors`` type or an
+    allowlisted protocol builtin."""
+    for node in ast.walk(sf.tree):
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            continue
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        name = dotted_name(exc)
+        if name is None:
+            continue  # computed expression; nothing to resolve
+        terminal = name.rsplit(".", 1)[-1]
+        if terminal in _BUILTIN_EXCEPTIONS and \
+                terminal not in ALLOWED_BUILTINS:
+            yield sf.finding(
+                node, "RPR031",
+                f"`raise {terminal}` bypasses the ReproError "
+                "hierarchy; raise the matching repro.errors type "
+                "(e.g. ConfigurationError is a ValueError) so "
+                "`except ReproError` stays a complete net")
+
+
+__all__ = ["check_raises", "ALLOWED_BUILTINS"]

@@ -1,0 +1,114 @@
+"""Lock discipline: obs shared state mutates only under ``_lock``.
+
+One ``MetricsRegistry`` is shared by every thread of a
+``ThreadExecutor`` run, and span sinks receive spans from all
+threads.  The obs classes therefore follow one convention: a class
+that owns shared mutable state creates ``self._lock`` in
+``__init__`` and takes it around **every** mutation.  This rule makes
+the convention machine-checked: inside ``src/repro/obs/``, any class
+whose ``__init__`` creates ``self._lock`` may only mutate its
+underscore attributes inside a ``with self._lock:`` block.
+
+Reads stay unflagged on purpose — the registry deliberately reads
+``self._metrics`` outside the lock on the double-checked fast path,
+and snapshot readers tolerate a stale value.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.framework import Finding, SourceFile, rule
+
+#: Method calls that mutate a container in place.
+_MUTATING_METHODS = frozenset({
+    "append", "appendleft", "extend", "insert", "pop", "popleft",
+    "popitem", "remove", "clear", "update", "add", "discard",
+    "setdefault", "write", "writelines",
+})
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``_name`` when the node is ``self._name``, else ``None``."""
+    if isinstance(node, ast.Attribute) and \
+            isinstance(node.value, ast.Name) and \
+            node.value.id == "self" and node.attr.startswith("_"):
+        return node.attr
+    return None
+
+
+def _is_lock_with(node: ast.With) -> bool:
+    return any(_self_attr(item.context_expr) == "_lock"
+               for item in node.items)
+
+
+def _guarded_attr(node: ast.AST) -> Optional[str]:
+    """The ``self._x`` attribute this statement mutates, if any."""
+    targets = []
+    if isinstance(node, (ast.Assign,)):
+        targets = node.targets
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    elif isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and \
+                func.attr in _MUTATING_METHODS:
+            return _self_attr(func.value)
+        return None
+    for target in targets:
+        if isinstance(target, (ast.Subscript, ast.Starred)):
+            target = target.value
+        attr = _self_attr(target)
+        if attr is not None:
+            return attr
+    return None
+
+
+def _unlocked_mutations(node: ast.AST, locked: bool
+                        ) -> Iterator[ast.AST]:
+    """Yield mutation nodes reachable outside a ``with self._lock``."""
+    if isinstance(node, ast.With) and _is_lock_with(node):
+        for child in node.body:
+            yield from _unlocked_mutations(child, True)
+        return
+    if not locked:
+        attr = _guarded_attr(node)
+        if attr is not None and attr != "_lock":
+            yield node
+    for child in ast.iter_child_nodes(node):
+        yield from _unlocked_mutations(child, locked)
+
+
+@rule("RPR041", "lock-discipline",
+      "obs shared state is mutated outside `with self._lock`")
+def check_lock_discipline(sf: SourceFile) -> Iterator[Finding]:
+    """In obs classes owning ``self._lock``, every write to a
+    ``self._*`` attribute must happen under the lock."""
+    if not sf.in_package("obs"):
+        return
+    for node in ast.walk(sf.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        methods = [n for n in node.body
+                   if isinstance(n, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef))]
+        init = next((m for m in methods if m.name == "__init__"), None)
+        if init is None:
+            continue
+        owns_lock = any(_guarded_attr(stmt) == "_lock"
+                        for stmt in ast.walk(init))
+        if not owns_lock:
+            continue
+        for method in methods:
+            if method.name == "__init__":
+                continue
+            for mutation in _unlocked_mutations(method, False):
+                yield sf.finding(
+                    mutation, "RPR041",
+                    f"{node.name}.{method.name} mutates shared state "
+                    "outside `with self._lock:`; concurrent "
+                    "ThreadExecutor updates would race")
+
+
+__all__ = ["check_lock_discipline"]

@@ -1,0 +1,147 @@
+"""RNG discipline: all randomness flows through ``repro.rng``.
+
+The paper's uniformity guarantees (and Theorem 1's merge correctness)
+require every random draw to come from a labelled ``SplittableRng``
+substream or a ``derive_seed`` child seed.  A single call into the
+stdlib's global ``random`` state — or any other entropy source —
+breaks same-seed reproducibility and silently decouples a sampler
+from the seed-splitting discipline.  ``rng.py`` itself is the one
+module allowed to touch :mod:`random`: it *implements* the
+discipline.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.framework import Finding, SourceFile, rule
+from repro.analysis.astutil import walk_calls
+
+#: Module-level draw/state functions of the stdlib ``random`` module.
+_RANDOM_MODULE_FNS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "triangular", "gauss", "normalvariate",
+    "lognormvariate", "expovariate", "betavariate", "gammavariate",
+    "paretovariate", "weibullvariate", "vonmisesvariate", "seed",
+    "getrandbits", "randbytes", "getstate", "setstate",
+})
+
+#: Entropy sources that bypass the seed-splitting discipline entirely.
+_ENTROPY_CALLS = frozenset({
+    "os.urandom", "secrets.token_bytes", "secrets.token_hex",
+    "secrets.token_urlsafe", "secrets.randbelow", "secrets.choice",
+    "secrets.randbits", "uuid.uuid1", "uuid.uuid4",
+})
+
+#: Wall-clock calls that make a seed expression time-dependent.
+_CLOCK_CALLS = (
+    "time.time", "time.time_ns", "time.monotonic", "time.perf_counter",
+    "datetime.now", "datetime.utcnow", "datetime.datetime.now",
+    "datetime.datetime.utcnow", "os.getpid",
+)
+
+
+@rule("RPR001", "rng-import",
+      "the stdlib `random` module is imported outside rng.py")
+def check_random_import(sf: SourceFile) -> Iterator[Finding]:
+    """Ban ``import random`` / ``from random import ...`` off rng.py."""
+    if sf.is_module("rng.py"):
+        return
+    for node in ast.walk(sf.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or \
+                        alias.name.startswith("random."):
+                    yield sf.finding(
+                        node, "RPR001",
+                        "import of the stdlib `random` module outside "
+                        "rng.py; use SplittableRng / derive_seed from "
+                        "repro.rng")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random" and node.level == 0:
+                yield sf.finding(
+                    node, "RPR001",
+                    "`from random import ...` outside rng.py; use "
+                    "SplittableRng / derive_seed from repro.rng")
+
+
+@rule("RPR002", "rng-module-state",
+      "a generator or draw is taken from the global `random` module")
+def check_module_random(sf: SourceFile) -> Iterator[Finding]:
+    """Ban ``random.Random(...)`` / ``random.random()`` etc. off rng.py."""
+    if sf.is_module("rng.py"):
+        return
+    for call, name in walk_calls(sf.tree):
+        if name is None or not name.startswith("random."):
+            continue
+        attr = name[len("random."):]
+        if attr in ("Random", "SystemRandom"):
+            yield sf.finding(
+                call, "RPR002",
+                f"direct `{name}(...)` outside rng.py; spawn a labelled "
+                "substream with SplittableRng.spawn instead")
+        elif attr in _RANDOM_MODULE_FNS:
+            yield sf.finding(
+                call, "RPR002",
+                f"module-level `{name}()` draws from the process-global "
+                "generator; draw from a SplittableRng substream instead")
+
+
+@rule("RPR003", "entropy-source",
+      "randomness is taken from a non-derivable entropy source")
+def check_entropy_sources(sf: SourceFile) -> Iterator[Finding]:
+    """Ban ``os.urandom`` / ``secrets`` / ``uuid4`` / ``numpy.random``."""
+    for call, name in walk_calls(sf.tree):
+        if name in _ENTROPY_CALLS:
+            yield sf.finding(
+                call, "RPR003",
+                f"`{name}()` is unseedable entropy; derive substream "
+                "seeds with repro.rng.derive_seed")
+        elif name is not None and (
+                name.startswith("numpy.random.")
+                or name.startswith("np.random.")):
+            yield sf.finding(
+                call, "RPR003",
+                f"`{name}()` bypasses the SplittableRng discipline; "
+                "seed any numpy generator from derive_seed explicitly")
+
+
+@rule("RPR004", "nondeterministic-seed",
+      "a generator is unseeded or seeded from the clock")
+def check_nondeterministic_seed(sf: SourceFile) -> Iterator[Finding]:
+    """Flag ``Random()`` with no seed and any ``*Rng(time.time())``."""
+    for call, name in walk_calls(sf.tree):
+        if name is None:
+            continue
+        terminal = name.rsplit(".", 1)[-1]
+        is_ctor = terminal in ("Random", "SystemRandom") or \
+            terminal.endswith("Rng")
+        if not is_ctor:
+            continue
+        if terminal in ("Random", "SystemRandom") and \
+                not call.args and not call.keywords:
+            yield sf.finding(
+                call, "RPR004",
+                f"`{name}()` without a seed falls back to system "
+                "entropy; pass a derive_seed(...) child seed")
+            continue
+        for arg in [*call.args, *[kw.value for kw in call.keywords]]:
+            for inner, inner_name in walk_calls(arg):
+                if inner_name in _CLOCK_CALLS:
+                    yield sf.finding(
+                        call, "RPR004",
+                        f"generator seeded from `{inner_name}()`; seeds "
+                        "must be derived from the master seed "
+                        "(derive_seed), never the clock")
+
+
+def clock_call_names() -> tuple:
+    """The dotted call names treated as clock reads (shared with
+    the determinism family)."""
+    return _CLOCK_CALLS
+
+
+__all__ = ["check_random_import", "check_module_random",
+           "check_entropy_sources", "check_nondeterministic_seed",
+           "clock_call_names"]

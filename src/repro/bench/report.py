@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence
 
+from repro.errors import ConfigurationError
+
 __all__ = ["format_table", "print_table", "format_cell"]
 
 
@@ -43,7 +45,7 @@ def format_table(headers: Sequence[str],
     widths = [len(h) for h in headers]
     for row in str_rows:
         if len(row) != len(headers):
-            raise ValueError(
+            raise ConfigurationError(
                 f"row has {len(row)} cells for {len(headers)} headers")
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))

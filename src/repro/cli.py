@@ -11,7 +11,10 @@ Operate a file-backed sample warehouse from the shell:
 * ``demo``    — the Section 3.3 concise-sampling counter-example;
 * ``obs``     — an instrumented ingest + merge: metrics snapshot and
   nested span trace (the observability demo; see
-  ``docs/observability.md`` for the full instrumentation contract).
+  ``docs/observability.md`` for the full instrumentation contract);
+* ``lint``    — the AST-based invariant checker (RNG discipline,
+  determinism, obs contract, error and lock discipline; see
+  ``docs/static_analysis.md`` for the rule catalog).
 
 All commands are deterministic given ``--seed``.
 """
@@ -142,6 +145,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the metrics snapshot as JSON")
     p_obs.add_argument("--trace-out", default=None,
                        help="also write the span trace to this JSONL file")
+
+    p_lint = sub.add_parser("lint", help="run the AST invariant checker "
+                                         "(docs/static_analysis.md)")
+    p_lint.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to lint "
+                             "(default: src/repro)")
+    p_lint.add_argument("--format", choices=["text", "json"],
+                        default="text", dest="format",
+                        help="report format (default: text)")
+    p_lint.add_argument("--select", default=None,
+                        help="comma-separated RPR0xx codes to run "
+                             "(default: all rules)")
+    p_lint.add_argument("--contract-doc", default=None,
+                        help="observability contract page for the obs "
+                             "rules (default: auto-discover "
+                             "docs/observability.md above the paths)")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
 
     return parser
 
@@ -299,6 +320,26 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (all_rules, render_json, render_text,
+                                run_lint)
+
+    if args.list_rules:
+        rows = [(r.code, r.name, r.scope, r.summary) for r in all_rules()]
+        print(format_table(("code", "name", "scope", "summary"), rows))
+        return 0
+    select = args.select.split(",") if args.select else None
+    contract = args.contract_doc if args.contract_doc else "auto"
+    findings, project = run_lint(args.paths, contract_doc=contract,
+                                 select=select)
+    checked = len(project.files)
+    if args.format == "json":
+        print(render_json(findings, checked_files=checked, indent=1))
+    else:
+        print(render_text(findings, checked_files=checked))
+    return 1 if findings else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -311,6 +352,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "bench": _cmd_bench,
         "audit": _cmd_audit,
         "obs": _cmd_obs,
+        "lint": _cmd_lint,
     }
     try:
         return handlers[args.command](args)

@@ -22,7 +22,9 @@ import hashlib
 import random
 from typing import Iterable, Sequence
 
-__all__ = ["derive_seed", "SplittableRng", "DEFAULT_SEED"]
+from repro.errors import ConfigurationError
+
+__all__ = ["derive_seed", "stable_hash", "SplittableRng", "DEFAULT_SEED"]
 
 DEFAULT_SEED = 0x5A17_0B5E  # stable default master seed
 
@@ -52,6 +54,26 @@ def derive_seed(master: int, *labels: object) -> int:
     return int.from_bytes(h.digest()[:8], "big") & _MASK64
 
 
+def stable_hash(value: object) -> int:
+    """A process-stable 64-bit hash of ``repr(value)``.
+
+    Unlike builtin ``hash`` — salted per process for ``str``/``bytes``
+    and therefore different across runs and across ``ProcessExecutor``
+    workers — this SHA-256-based hash is identical everywhere, so it
+    is safe for anything that feeds sample content or routing (e.g.
+    :func:`repro.stream.splitter.hash_split`).
+
+    Examples
+    --------
+    >>> stable_hash("orders") == stable_hash("orders")
+    True
+    >>> 0 <= stable_hash(("ds", 3)) < 2 ** 64
+    True
+    """
+    h = hashlib.sha256(repr(value).encode("utf-8"))
+    return int.from_bytes(h.digest()[:8], "big")
+
+
 class SplittableRng(random.Random):
     """A :class:`random.Random` that can spawn labelled substreams.
 
@@ -74,8 +96,32 @@ class SplittableRng(random.Random):
 
     @property
     def seed_value(self) -> int:
-        """The seed this generator was constructed with."""
+        """The seed this generator was last seeded with."""
         return self._seed_value
+
+    def seed(self, a: object = None, version: int = 2) -> None:
+        """Reseed in place, keeping :attr:`seed_value` consistent.
+
+        The inherited ``random.Random.seed`` would reset the stream
+        but leave ``seed_value`` — and therefore every subsequent
+        :meth:`spawn` derivation — pointing at the stale constructor
+        seed.  This override keeps them in lockstep and rejects the
+        stdlib's ``seed(None)`` (reseed from system entropy), which
+        would silently break same-seed reproducibility.
+        """
+        if a is None:
+            raise ConfigurationError(
+                "SplittableRng cannot reseed from system entropy; "
+                "pass an explicit integer seed or derive a child "
+                "stream with spawn()/derive_seed")
+        try:
+            value = int(a)  # type: ignore[call-overload]
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"SplittableRng seeds must be integers, got {a!r}"
+            ) from None
+        self._seed_value = value
+        super().seed(value)
 
     def spawn(self, *labels: object) -> "SplittableRng":
         """Return an independent child generator for the given labels."""
@@ -105,7 +151,8 @@ class SplittableRng(random.Random):
         import math
 
         if not 0.0 < p <= 1.0:
-            raise ValueError(f"geometric probability must be in (0, 1], got {p}")
+            raise ConfigurationError(
+                f"geometric probability must be in (0, 1], got {p}")
         if p == 1.0:
             return 0
         u = 1.0 - self.random()  # in (0, 1]
@@ -126,9 +173,10 @@ class SplittableRng(random.Random):
         millions of duplicated values stays O(#distinct values).
         """
         if n < 0:
-            raise ValueError(f"binomial n must be >= 0, got {n}")
+            raise ConfigurationError(f"binomial n must be >= 0, got {n}")
         if not 0.0 <= p <= 1.0:
-            raise ValueError(f"binomial p must be in [0, 1], got {p}")
+            raise ConfigurationError(
+                f"binomial p must be in [0, 1], got {p}")
         if n == 0 or p == 0.0:
             return 0
         if p == 1.0:

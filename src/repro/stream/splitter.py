@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Callable, Hashable, Iterable, List, TypeVar
 
 from repro.errors import ConfigurationError
+from repro.rng import stable_hash
 
 __all__ = ["RoundRobinSplitter", "hash_split"]
 
@@ -67,10 +68,11 @@ def hash_split(values: Iterable[T], k: int, *,
                key: Callable[[T], Hashable] = lambda v: v) -> List[List[T]]:
     """Partition values into ``k`` buckets by hash of ``key(value)``.
 
-    Equal values always land in the same bucket.  Note that Python's
-    ``hash`` for ``str`` is salted per process; pass a stable ``key``
-    (e.g. ``lambda v: hash_int(v)``) if cross-process determinism for
-    string values is required.
+    Equal values always land in the same bucket.  Routing uses
+    :func:`repro.rng.stable_hash` (SHA-256 of the key's ``repr``), so
+    the same values reach the same buckets in every process — builtin
+    ``hash`` would be salted per process for strings and silently
+    break cross-process determinism (lint rule RPR012).
 
     Examples
     --------
@@ -82,5 +84,5 @@ def hash_split(values: Iterable[T], k: int, *,
         raise ConfigurationError(f"k must be positive, got {k}")
     buckets: List[List[T]] = [[] for _ in range(k)]
     for v in values:
-        buckets[hash(key(v)) % k].append(v)
+        buckets[stable_hash(key(v)) % k].append(v)
     return buckets

@@ -132,7 +132,9 @@ def _record_tasks(metric: str,
                   timed: Sequence[Tuple[float, R]]) -> List[R]:
     """Record per-task wall times and unwrap the results."""
     reg = OBS.registry
-    seconds = reg.histogram(metric)
+    # The literal name is bound at the _record_tasks call sites, which
+    # the obs-contract lint resolves; this is the one pass-through.
+    seconds = reg.histogram(metric)  # repro: noqa[RPR021]
     tasks = reg.counter("parallel.tasks")
     results: List[R] = []
     for elapsed, result in timed:

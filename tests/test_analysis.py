@@ -1,0 +1,505 @@
+"""Tests for repro.analysis: the AST invariant checker itself.
+
+Fixture-driven: each rule gets at least one triggering and one clean
+snippet, laid out in a tmp tree that mimics the package layout
+(``core/``, ``obs/``, ``rng.py`` ...) so the rules' scoping logic is
+exercised for real.  Plus suppression semantics, reporter round-trips,
+and framework plumbing (registry, syntax errors, bad paths).
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (Finding, all_rules, finding_from_dict,
+                            parse_json, render_json, render_text,
+                            rule, rule_for, run_lint)
+from repro.errors import ConfigurationError
+
+
+def lint_tree(tmp_path, files, *, doc=None, select=None):
+    """Write ``{relpath: source}`` under a tmp package root and lint it."""
+    root = tmp_path / "pkg"
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    contract = None
+    if doc is not None:
+        contract = tmp_path / "observability.md"
+        contract.write_text(textwrap.dedent(doc), encoding="utf-8")
+    findings, _ = run_lint([str(root)], contract_doc=contract,
+                           select=select)
+    return findings
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class TestRngDiscipline:
+    def test_random_import_outside_rng_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"core/x.py": "import random\n"})
+        assert codes(found) == ["RPR001"]
+
+    def test_from_random_import_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {
+            "sampling/x.py": "from random import choice\n"})
+        assert "RPR001" in codes(found)
+
+    def test_rng_module_itself_may_import_random(self, tmp_path):
+        found = lint_tree(tmp_path, {"rng.py": "import random\n"})
+        assert found == []
+
+    def test_module_level_draw_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"core/x.py": """\
+            def pick(xs):
+                return random.choice(xs)
+            """})
+        assert codes(found) == ["RPR002"]
+
+    def test_direct_random_instance_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {
+            "warehouse/x.py": "r = random.Random(3)\n"})
+        assert codes(found) == ["RPR002"]
+
+    def test_splittable_rng_is_clean(self, tmp_path):
+        found = lint_tree(tmp_path, {"core/x.py": """\
+            from repro.rng import SplittableRng
+
+            def sampler(seed):
+                rng = SplittableRng(seed)
+                return rng.spawn("part", 0).random()
+            """})
+        assert found == []
+
+    def test_urandom_flagged_even_in_rng(self, tmp_path):
+        found = lint_tree(tmp_path, {
+            "rng.py": "import os\nseed = os.urandom(8)\n"})
+        assert codes(found) == ["RPR003"]
+
+    def test_secrets_and_numpy_random_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"core/x.py": """\
+            token = secrets.token_bytes(4)
+            draw = np.random.rand()
+            """})
+        assert codes(found) == ["RPR003", "RPR003"]
+
+    def test_unseeded_random_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"rng.py": """\
+            import random
+            r = random.Random()
+            """})
+        assert codes(found) == ["RPR004"]
+
+    def test_clock_seeded_rng_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"core/x.py": """\
+            from repro.rng import SplittableRng
+            import time
+
+            def fresh():
+                return SplittableRng(int(time.time()))
+            """})
+        # The clock read also trips the determinism rule — both fire.
+        assert sorted(set(codes(found))) == ["RPR004", "RPR011"]
+
+    def test_derived_seed_is_clean(self, tmp_path):
+        found = lint_tree(tmp_path, {"core/x.py": """\
+            from repro.rng import SplittableRng, derive_seed
+
+            def fresh(master):
+                return SplittableRng(derive_seed(master, "ds", 3))
+            """})
+        assert found == []
+
+
+class TestDeterminism:
+    def test_wall_clock_on_sampling_path_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"core/x.py": """\
+            import time
+
+            def label():
+                return time.time()
+            """})
+        assert codes(found) == ["RPR011"]
+
+    def test_monotonic_clock_is_clean(self, tmp_path):
+        found = lint_tree(tmp_path, {"warehouse/x.py": """\
+            import time
+
+            def elapsed(t0):
+                return time.perf_counter() - t0
+            """})
+        assert found == []
+
+    def test_wall_clock_off_sampling_path_is_clean(self, tmp_path):
+        found = lint_tree(tmp_path, {"bench/x.py": """\
+            import time
+
+            def stamp():
+                return time.time()
+            """})
+        assert found == []
+
+    def test_builtin_hash_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"stream/x.py": """\
+            def route(v, k):
+                return hash(v) % k
+            """})
+        assert codes(found) == ["RPR012"]
+
+    def test_id_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"core/x.py": """\
+            def key(obj):
+                return id(obj)
+            """})
+        assert codes(found) == ["RPR012"]
+
+    def test_stable_hash_is_clean(self, tmp_path):
+        found = lint_tree(tmp_path, {"stream/x.py": """\
+            from repro.rng import stable_hash
+
+            def route(v, k):
+                return stable_hash(v) % k
+            """})
+        assert found == []
+
+    def test_set_iteration_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"core/x.py": """\
+            def walk(values):
+                for v in set(values):
+                    yield v
+            """})
+        assert codes(found) == ["RPR013"]
+
+    def test_set_comprehension_source_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"sampling/x.py": """\
+            def dedupe(values):
+                return [v for v in {1, 2, 3}]
+            """})
+        assert codes(found) == ["RPR013"]
+
+    def test_sorted_set_iteration_is_clean(self, tmp_path):
+        found = lint_tree(tmp_path, {"core/x.py": """\
+            def walk(values):
+                for v in sorted(set(values)):
+                    yield v
+            """})
+        assert found == []
+
+
+_DOC_WITH_FOO = """\
+    # Contract
+
+    | name | kind |
+    |---|---|
+    | `foo.bar` | counter |
+    """
+
+
+class TestObsContract:
+    def test_fstring_span_name_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"core/x.py": """\
+            from repro.obs import span
+
+            def work(i):
+                with span(f"work.{i}"):
+                    pass
+            """})
+        assert codes(found) == ["RPR021"]
+
+    def test_variable_metric_name_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"warehouse/x.py": """\
+            def bump(reg, name):
+                reg.counter(name).inc()
+            """})
+        assert codes(found) == ["RPR021"]
+
+    def test_literal_names_are_clean(self, tmp_path):
+        found = lint_tree(tmp_path, {"core/x.py": """\
+            from repro.obs import span
+            from repro.obs.runtime import OBS
+
+            def work():
+                with span("work.step", size=3):
+                    OBS.registry.counter("foo.bar").inc()
+            """}, doc=_DOC_WITH_FOO + "    | `work.step` | span |\n",
+            select=["RPR021", "RPR022"])
+        assert found == []
+
+    def test_obs_package_is_exempt(self, tmp_path):
+        found = lint_tree(tmp_path, {"obs/metrics.py": """\
+            class Registry:
+                def bump(self, reg, name):
+                    reg.counter(name).inc()
+            """})
+        assert found == []
+
+    def test_undocumented_emission_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"core/x.py": """\
+            from repro.obs.runtime import OBS
+
+            def work(reg):
+                reg.counter("foo.bar").inc()
+                reg.histogram("not.in.doc").observe(1)
+            """}, doc=_DOC_WITH_FOO, select=["RPR022"])
+        assert codes(found) == ["RPR022"]
+        assert "not.in.doc" in found[0].message
+
+    def test_ghost_doc_row_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"core/x.py": """\
+            def work(reg):
+                reg.counter("foo.bar").inc()
+            """}, doc=_DOC_WITH_FOO + "    | `ghost.name` | gauge |\n",
+            select=["RPR023"])
+        assert codes(found) == ["RPR023"]
+        assert "ghost.name" in found[0].message
+        assert found[0].path.endswith("observability.md")
+
+    def test_traced_timer_keyword_is_resolved(self, tmp_path):
+        found = lint_tree(tmp_path, {"core/x.py": """\
+            from repro.obs import traced
+
+            @traced("merge.x", timer="merge.x.seconds")
+            def merge():
+                pass
+            """}, doc="""\
+            | `merge.x` | span |
+            | `merge.x.seconds` | timer |
+            """, select=["RPR022", "RPR023"])
+        assert found == []
+
+    def test_no_doc_skips_contract_rules(self, tmp_path):
+        found = lint_tree(tmp_path, {"core/x.py": """\
+            def work(reg):
+                reg.counter("undocumented.name").inc()
+            """}, select=["RPR022", "RPR023"])
+        assert found == []
+
+
+class TestErrorDiscipline:
+    def test_bare_valueerror_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"analytics/x.py": """\
+            def check(p):
+                if p < 0:
+                    raise ValueError(f"bad {p}")
+            """})
+        assert codes(found) == ["RPR031"]
+
+    def test_uncalled_builtin_raise_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"core/x.py": """\
+            def boom():
+                raise RuntimeError
+            """})
+        assert codes(found) == ["RPR031"]
+
+    def test_repro_error_is_clean(self, tmp_path):
+        found = lint_tree(tmp_path, {"core/x.py": """\
+            from repro.errors import ConfigurationError
+
+            def check(p):
+                if p < 0:
+                    raise ConfigurationError(f"bad {p}")
+            """})
+        assert found == []
+
+    def test_protocol_builtins_allowlisted(self, tmp_path):
+        found = lint_tree(tmp_path, {"core/x.py": """\
+            class Seq:
+                def __getitem__(self, i):
+                    if i >= 0:
+                        raise IndexError(i)
+                    raise NotImplementedError
+            """})
+        assert found == []
+
+    def test_reraise_and_variable_raise_are_clean(self, tmp_path):
+        found = lint_tree(tmp_path, {"core/x.py": """\
+            def relay(exc):
+                try:
+                    raise exc
+                except Exception:
+                    raise
+            """})
+        assert found == []
+
+
+_LOCKED_CLASS = """\
+    import threading
+
+    class Counter:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._value = 0
+
+        def inc(self):
+            with self._lock:
+                self._value += 1
+    """
+
+
+class TestLockDiscipline:
+    def test_unlocked_augassign_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"obs/x.py": """\
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._value = 0
+
+                def inc(self):
+                    self._value += 1
+            """})
+        assert codes(found) == ["RPR041"]
+
+    def test_locked_mutation_is_clean(self, tmp_path):
+        found = lint_tree(tmp_path, {"obs/x.py": _LOCKED_CLASS})
+        assert found == []
+
+    def test_unlocked_attribute_write_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"obs/x.py": """\
+            import threading
+
+            class Gauge:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._value = None
+
+                def set(self, value):
+                    self._value = float(value)
+            """})
+        assert codes(found) == ["RPR041"]
+
+    def test_unlocked_container_mutation_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"obs/x.py": """\
+            import threading
+
+            class Sink:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._spans = []
+
+                def emit(self, span):
+                    self._spans.append(span)
+            """})
+        assert codes(found) == ["RPR041"]
+
+    def test_lockless_class_is_exempt(self, tmp_path):
+        found = lint_tree(tmp_path, {"obs/x.py": """\
+            class Timer:
+                def __init__(self):
+                    self._t0 = 0.0
+
+                def start(self, now):
+                    self._t0 = now
+            """})
+        assert found == []
+
+    def test_outside_obs_is_exempt(self, tmp_path):
+        found = lint_tree(tmp_path, {"core/x.py": """\
+            import threading
+
+            class State:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+
+                def bump(self):
+                    self._n += 1
+            """})
+        assert found == []
+
+
+class TestSuppressions:
+    def test_noqa_with_code_suppresses(self, tmp_path):
+        found = lint_tree(tmp_path, {
+            "core/x.py":
+                "import random  # repro: noqa[RPR001]\n"})
+        assert found == []
+
+    def test_bare_noqa_suppresses_everything(self, tmp_path):
+        found = lint_tree(tmp_path, {
+            "core/x.py": "import random  # repro: noqa\n"})
+        assert found == []
+
+    def test_wrong_code_does_not_suppress(self, tmp_path):
+        found = lint_tree(tmp_path, {
+            "core/x.py":
+                "import random  # repro: noqa[RPR011]\n"})
+        assert codes(found) == ["RPR001"]
+
+    def test_noqa_is_line_scoped(self, tmp_path):
+        found = lint_tree(tmp_path, {"core/x.py": """\
+            import random  # repro: noqa[RPR001]
+
+            def pick(xs):
+                return random.choice(xs)
+            """})
+        assert codes(found) == ["RPR002"]
+
+
+class TestReporters:
+    def _sample_findings(self, tmp_path):
+        return lint_tree(tmp_path, {
+            "core/x.py": "import random\nbad = hash(3)\n"})
+
+    def test_text_report_lines(self, tmp_path):
+        found = self._sample_findings(tmp_path)
+        text = render_text(found, checked_files=1)
+        assert "RPR001" in text and "RPR012" in text
+        assert "2 finding(s) in 1 file(s)" in text
+
+    def test_clean_text_report(self):
+        assert render_text([], checked_files=4) == "ok: 4 file(s) clean"
+
+    def test_json_round_trip(self, tmp_path):
+        found = self._sample_findings(tmp_path)
+        payload = render_json(found, checked_files=1)
+        assert parse_json(payload) == found
+        data = json.loads(payload)
+        assert data["checked_files"] == 1
+        assert data["counts"] == {"RPR001": 1, "RPR012": 1}
+
+    def test_finding_dict_round_trip(self):
+        f = Finding(path="a.py", line=3, col=7, code="RPR001",
+                    message="msg")
+        assert finding_from_dict(f.to_dict()) == f
+
+
+class TestFramework:
+    def test_syntax_error_becomes_finding(self, tmp_path):
+        found = lint_tree(tmp_path, {"core/x.py": "def broken(:\n"})
+        assert codes(found) == ["RPR000"]
+
+    def test_missing_path_raises(self):
+        with pytest.raises(ConfigurationError):
+            run_lint(["/no/such/dir/anywhere"])
+
+    def test_select_restricts_rules(self, tmp_path):
+        found = lint_tree(tmp_path, {
+            "core/x.py": "import random\nbad = hash(3)\n"},
+            select=["RPR012"])
+        assert codes(found) == ["RPR012"]
+
+    def test_rule_for_unknown_code_raises(self):
+        with pytest.raises(ConfigurationError):
+            rule_for("RPR999")
+
+    def test_duplicate_code_rejected(self):
+        existing = all_rules()[0]
+        with pytest.raises(ConfigurationError):
+            rule(existing.code, "dup", "duplicate")(lambda sf: iter(()))
+
+    def test_bad_code_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rule("XX1", "bad", "bad code shape")(lambda sf: iter(()))
+
+    def test_findings_are_sorted(self, tmp_path):
+        found = lint_tree(tmp_path, {
+            "core/b.py": "import random\n",
+            "core/a.py": "import random\n"})
+        assert [f.path for f in found] == sorted(f.path for f in found)

@@ -177,3 +177,65 @@ class TestModuleEntry:
             capture_output=True, text=True, timeout=120)
         assert result.returncode == 0, result.stderr
         assert "ingested" in result.stdout
+
+
+class TestLint:
+    @pytest.fixture()
+    def clean_pkg(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        (pkg / "core").mkdir(parents=True)
+        (pkg / "core" / "ok.py").write_text(
+            "from repro.rng import SplittableRng\n"
+            "\n"
+            "def fresh(seed):\n"
+            "    return SplittableRng(seed)\n")
+        return pkg
+
+    def test_clean_tree_exits_zero(self, clean_pkg, capsys):
+        rc = main(["lint", str(clean_pkg)])
+        assert rc == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violation_exits_one_with_code(self, clean_pkg, capsys):
+        (clean_pkg / "core" / "bad.py").write_text(
+            "import random\n\nvalue = random.random()\n")
+        rc = main(["lint", str(clean_pkg)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "RPR001" in out and "RPR002" in out
+
+    def test_json_format(self, clean_pkg, capsys):
+        import json
+
+        (clean_pkg / "core" / "bad.py").write_text("x = hash(3)\n")
+        rc = main(["lint", str(clean_pkg), "--format=json"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"] == {"RPR012": 1}
+        assert payload["findings"][0]["code"] == "RPR012"
+
+    def test_select_restricts_codes(self, clean_pkg, capsys):
+        (clean_pkg / "core" / "bad.py").write_text(
+            "import random\nx = hash(3)\n")
+        rc = main(["lint", str(clean_pkg), "--select", "RPR012"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "RPR012" in out and "RPR001" not in out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        rc = main(["lint", str(tmp_path / "nope")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        rc = main(["lint", "--list-rules"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for code in ("RPR001", "RPR011", "RPR021", "RPR031", "RPR041"):
+            assert code in out
+
+    def test_self_lint_via_cli(self, capsys):
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src", "repro")
+        rc = main(["lint", src])
+        assert rc == 0, capsys.readouterr().out

@@ -1,82 +1,70 @@
 """Lint guard: the instrumentation contract must be documented.
 
 Every metric and span name emitted anywhere in ``src/repro/`` has to
-appear in ``docs/observability.md`` — otherwise the contract page
-silently drifts from the code.  The scan is purely lexical (regexes over
-string literals at the call sites), so adding an instrumented site
-without documenting its name fails this test.
+appear in ``docs/observability.md`` — and vice versa: names documented
+there must exist in code.  Both directions are enforced by the
+AST-based obs-contract rules of :mod:`repro.analysis` (RPR021/22/23),
+which resolve instrument names at the call sites — ``span(...)``,
+``traced(...)``, ``registry.counter/gauge/histogram/timer(...)`` —
+instead of the lexical regex scan this file used to carry.
 """
 
 from __future__ import annotations
 
-import re
 from pathlib import Path
+
+from repro.analysis import load_project, run_lint
+from repro.analysis.rules.obs import documented_names, emitted_names
 
 REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src" / "repro"
 DOC = REPO / "docs" / "observability.md"
 
-# Patterns that bind a string literal to an instrument at a call site.
-_NAME_PATTERNS = [
-    re.compile(r'\bspan\(\s*"([^"]+)"'),
-    re.compile(r'\btraced\(\s*"([^"]+)"'),
-    re.compile(r'timer="([^"]+)"'),
-    re.compile(r'\.counter\(\s*"([^"]+)"'),
-    re.compile(r'\.gauge\(\s*"([^"]+)"'),
-    re.compile(r'\.histogram\(\s*"([^"]+)"'),
-    re.compile(r'\.timer\(\s*"([^"]+)"'),
-    re.compile(r'_record_tasks\(\s*"([^"]+)"'),
-]
 
-
-def _emitted_names():
-    """All metric/span names used by instrumentation in src/repro/."""
-    names = set()
-    for path in sorted(SRC.rglob("*.py")):
-        rel = path.relative_to(SRC)
-        # The obs package itself and the CLI demo use caller-chosen
-        # names in docstrings/examples; the contract covers the
-        # *library's* instrumented hot paths.
-        if rel.parts[0] == "obs":
-            continue
-        text = path.read_text(encoding="utf-8")
-        for pattern in _NAME_PATTERNS:
-            for name in pattern.findall(text):
-                names.add((name, str(rel)))
-    return names
+def _project():
+    return load_project([str(SRC)], contract_doc=DOC)
 
 
 def test_sources_are_instrumented_at_all():
-    # Guards the guard: if the regexes rot, this fails before the
-    # documentation check can vacuously pass.
-    names = {name for name, _ in _emitted_names()}
+    # Guards the guard: if the AST name resolution rots, this fails
+    # before the documentation cross-check can vacuously pass.
+    names = {name for name, _, _ in emitted_names(_project())}
     assert "hb.phase2" in names
     assert "merge.hr.recursion_depth" in names
     assert "ingest.stream.cuts" in names
     assert len(names) >= 30
 
 
+def test_doc_rows_are_parsed_at_all():
+    rows = {name for name, _ in documented_names(
+        DOC.read_text(encoding="utf-8"))}
+    assert "hb.phase2" in rows
+    assert "parallel.task.seconds.process" in rows
+    assert len(rows) >= 30
+
+
 def test_every_emitted_name_is_documented():
-    doc = DOC.read_text(encoding="utf-8")
-    missing = sorted(
-        f"{name}  (used in src/repro/{rel})"
-        for name, rel in _emitted_names()
-        if f"`{name}`" not in doc
-    )
-    assert not missing, (
+    findings, _ = run_lint([str(SRC)], contract_doc=DOC,
+                           select=["RPR022"])
+    assert not findings, (
         "instrumentation names missing from docs/observability.md:\n  "
-        + "\n  ".join(missing)
-    )
+        + "\n  ".join(f.render() for f in findings))
 
 
 def test_every_documented_contract_row_exists_in_code():
     # Reverse direction: contract tables must not document ghosts.
-    # Table rows look like:  | `name` | kind | ...
-    doc = DOC.read_text(encoding="utf-8")
-    documented = set(re.findall(r"^\|\s*`([^`]+)`", doc, flags=re.M))
-    emitted = {name for name, _ in _emitted_names()}
-    ghosts = sorted(documented - emitted)
-    assert not ghosts, (
+    findings, _ = run_lint([str(SRC)], contract_doc=DOC,
+                           select=["RPR023"])
+    assert not findings, (
         "docs/observability.md documents names no code emits:\n  "
-        + "\n  ".join(ghosts)
-    )
+        + "\n  ".join(f.render() for f in findings))
+
+
+def test_every_instrument_name_is_a_literal():
+    # Non-literal names cannot be cross-checked at all; they are a
+    # contract violation in their own right (RPR021).
+    findings, _ = run_lint([str(SRC)], contract_doc=DOC,
+                           select=["RPR021"])
+    assert not findings, (
+        "instrument names that are not string literals:\n  "
+        + "\n  ".join(f.render() for f in findings))
