@@ -13,3 +13,4 @@ from repro.analysis.rules import errors as _errors  # noqa: F401
 from repro.analysis.rules import locks as _locks  # noqa: F401
 from repro.analysis.rules import obs as _obs  # noqa: F401
 from repro.analysis.rules import rng as _rng  # noqa: F401
+from repro.analysis.rules import stats as _stats  # noqa: F401

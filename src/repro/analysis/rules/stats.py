@@ -1,0 +1,126 @@
+"""Statistical-test discipline: no bare p-value asserts in tests.
+
+A test that asserts one raw p-value against a threshold
+(``assert pval > ALPHA``) is wrong twice over: a single seed makes it
+flake-prone, and every such assert silently inflates the suite-wide
+false-alarm rate — with a hundred tests at ``1e-4`` the suite fails
+spuriously about once per ten thousand runs *per test*, uncorrected.
+``repro.testkit`` exists to fix both: :func:`repro.testkit.sweep`
+evaluates the claim over several seeds and applies a Holm correction,
+and the battery (``repro verify``) pools every check under one
+suite-wide alpha.
+
+RPR051 flags ``assert`` statements in test modules that compare a
+p-value against a threshold.  A p-value is recognized as:
+
+* a direct call to a known producer (``inclusion_frequency_test``,
+  ``chi_square_pvalue``, ``scipy.stats.chisquare``, …) or to any
+  function whose name contains ``pvalue``/``p_value`` or starts with
+  ``chi_square`` (test-local wrappers included);
+* a name previously assigned from such a call (tuple unpacking
+  included);
+* a name that *is* a p-value by spelling (``p_value``, ``pval``,
+  ``pvals`` …).
+
+Equality comparisons are deliberately not flagged: deterministic unit
+tests of the chi-square machinery itself (exact expected p-values)
+are legitimate.  Genuinely justified threshold asserts — e.g. a
+deterministic input where the p-value is a known constant — carry a
+``# repro: noqa[RPR051]`` with a comment saying why.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Set
+
+from repro.analysis.astutil import dotted_name
+from repro.analysis.framework import Finding, SourceFile, rule
+
+#: Terminal callable names whose return value is (or contains) a p-value.
+PVALUE_PRODUCERS = frozenset({
+    "inclusion_frequency_test", "subset_frequency_test",
+    "chi_square_pvalue", "chi_square_homogeneity",
+    "binomial_sf", "chisquare", "kstest", "ks_2samp", "sf",
+})
+
+_PVALUE_NAME_RE = re.compile(r"^p_?val(ue)?s?$", re.IGNORECASE)
+
+_THRESHOLD_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+
+
+def _is_test_file(sf: SourceFile) -> bool:
+    parts = sf.package_parts
+    if not parts:
+        return False
+    return parts[-1].startswith("test_") or "tests" in parts[:-1]
+
+
+def _is_producer_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    name = dotted_name(node.func)
+    if name is None:
+        return False
+    terminal = name.rsplit(".", 1)[-1]
+    return (terminal in PVALUE_PRODUCERS
+            or "pvalue" in terminal or "p_value" in terminal
+            or terminal.startswith("chi_square"))
+
+
+def _tainted_names(tree: ast.Module) -> Set[str]:
+    """Names assigned (directly or by unpacking) from a producer call."""
+    tainted: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not _is_producer_call(node.value):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                tainted.add(target.id)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                tainted.update(elt.id for elt in target.elts
+                               if isinstance(elt, ast.Name))
+    return tainted
+
+
+def _is_pvalue_expr(node: ast.AST, tainted: Set[str]) -> bool:
+    if _is_producer_call(node):
+        return True
+    if isinstance(node, ast.Name):
+        return (node.id in tainted
+                or _PVALUE_NAME_RE.match(node.id) is not None)
+    return False
+
+
+@rule("RPR051", "pvalue-discipline",
+      "a test asserts on a single uncorrected p-value")
+def check_pvalue_asserts(sf: SourceFile) -> Iterator[Finding]:
+    """Flag bare p-value threshold asserts in test modules."""
+    if not _is_test_file(sf):
+        return
+    assert sf.tree is not None
+    tainted = _tainted_names(sf.tree)
+    for node in ast.walk(sf.tree):
+        if not isinstance(node, ast.Assert):
+            continue
+        test = node.test
+        if not isinstance(test, ast.Compare):
+            continue
+        if not all(isinstance(op, _THRESHOLD_OPS) for op in test.ops):
+            continue
+        if any(_is_pvalue_expr(side, tainted)
+               for side in (test.left, *test.comparators)):
+            yield sf.finding(
+                node, "RPR051",
+                "bare p-value threshold assert: one seed flakes and "
+                "uncorrected asserts inflate the suite-wide error "
+                "rate; run the claim through repro.testkit.sweep "
+                "(seed sweep + Holm) and assert on .accepted / "
+                ".all_rejected, or register it as a battery check "
+                "(docs/testing.md)")
+
+
+__all__ = ["check_pvalue_asserts", "PVALUE_PRODUCERS"]

@@ -14,7 +14,10 @@ Operate a file-backed sample warehouse from the shell:
   ``docs/observability.md`` for the full instrumentation contract);
 * ``lint``    — the AST-based invariant checker (RNG discipline,
   determinism, obs contract, error and lock discipline; see
-  ``docs/static_analysis.md`` for the rule catalog).
+  ``docs/static_analysis.md`` for the rule catalog);
+* ``verify``  — the statistical acceptance battery (uniformity,
+  goodness-of-fit, negative controls, executor/merge differentials
+  under one multiple-testing correction; see ``docs/testing.md``).
 
 All commands are deterministic given ``--seed``.
 """
@@ -163,6 +166,33 @@ def build_parser() -> argparse.ArgumentParser:
                              "docs/observability.md above the paths)")
     p_lint.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
+
+    p_verify = sub.add_parser("verify", help="run the statistical "
+                                             "acceptance battery "
+                                             "(docs/testing.md)")
+    p_verify.add_argument("--tier", choices=["fast", "deep"],
+                          default="fast",
+                          help="fast = quick PR gate; deep = more "
+                               "seeds, bigger budgets, every check "
+                               "(default: fast)")
+    p_verify.add_argument("--format", choices=["text", "json"],
+                          default="text", dest="format",
+                          help="report format (default: text)")
+    p_verify.add_argument("--alpha", type=float, default=0.01,
+                          help="suite-wide false-alarm rate after "
+                               "correction (default: 0.01)")
+    p_verify.add_argument("--method", choices=["holm", "bh"],
+                          default="bh",
+                          help="multiple-testing correction: holm "
+                               "(FWER) or bh (FDR; default)")
+    p_verify.add_argument("--seeds", type=int, default=None,
+                          help="seeds per check (default: the tier's "
+                               "5 or 20)")
+    p_verify.add_argument("--select", default=None,
+                          help="comma-separated check names to run "
+                               "(default: the tier's full catalog)")
+    p_verify.add_argument("--list-checks", action="store_true",
+                          help="print the check catalog and exit")
 
     return parser
 
@@ -340,6 +370,29 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.testkit import default_battery, render_json, render_text
+
+    battery = default_battery()
+    if args.list_checks:
+        rows = [(c.name, c.tier, c.kind,
+                 "reject" if c.expect_reject else "accept",
+                 c.description)
+                for c in battery.checks()]
+        print(format_table(("check", "tier", "kind", "expects",
+                            "description"), rows))
+        return 0
+    select = args.select.split(",") if args.select else None
+    report = battery.run(rng=SplittableRng(args.seed), tier=args.tier,
+                         seeds=args.seeds, alpha=args.alpha,
+                         method=args.method, select=select)
+    if args.format == "json":
+        print(render_json(report, indent=1))
+    else:
+        print(render_text(report))
+    return 0 if report.passed else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -353,6 +406,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "audit": _cmd_audit,
         "obs": _cmd_obs,
         "lint": _cmd_lint,
+        "verify": _cmd_verify,
     }
     try:
         return handlers[args.command](args)

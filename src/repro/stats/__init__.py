@@ -2,13 +2,15 @@
 and small summary helpers used by tests and the bench harness."""
 
 from repro.stats.summaries import mean, relative_error, stdev
-from repro.stats.uniformity import (chi_square_pvalue,
+from repro.stats.uniformity import (chi_square_homogeneity,
+                                    chi_square_pvalue,
                                     concise_nonuniformity_demo,
                                     inclusion_frequency_test,
                                     subset_frequency_test)
 
 __all__ = [
     "chi_square_pvalue",
+    "chi_square_homogeneity",
     "inclusion_frequency_test",
     "subset_frequency_test",
     "concise_nonuniformity_demo",

@@ -31,7 +31,8 @@ from repro.core.footprint import FootprintModel
 from repro.errors import ConfigurationError
 from repro.rng import SplittableRng
 
-__all__ = ["chi_square_pvalue", "regularized_gamma_q",
+__all__ = ["chi_square_pvalue", "chi_square_homogeneity",
+           "regularized_gamma_q",
            "inclusion_frequency_test", "subset_frequency_test",
            "concise_nonuniformity_demo"]
 
@@ -112,6 +113,39 @@ def chi_square_pvalue(observed: Sequence[float],
                 "expected counts must be positive; collapse empty cells")
         stat += (o - e) ** 2 / e
     dof = len(observed) - 1
+    return regularized_gamma_q(dof / 2.0, stat / 2.0)
+
+
+def chi_square_homogeneity(counts_a: Sequence[float],
+                           counts_b: Sequence[float]) -> float:
+    """P-value that two count vectors are draws from the same law.
+
+    Pearson's chi-square test of homogeneity on the 2-by-``n``
+    contingency table whose rows are ``counts_a`` and ``counts_b``.
+    Columns that are empty in both rows carry no information and are
+    dropped; at least two informative columns must remain.  Used by the
+    testkit to compare serial-fold vs balanced ``merge_tree`` inclusion
+    frequencies without assuming either is the reference law.
+    """
+    if len(counts_a) != len(counts_b):
+        raise ConfigurationError(
+            f"length mismatch: {len(counts_a)} vs {len(counts_b)} cells")
+    cols = [(a, b) for a, b in zip(counts_a, counts_b) if a + b > 0]
+    if len(cols) < 2:
+        raise ConfigurationError(
+            "need at least two non-empty columns for homogeneity")
+    row_a = sum(a for a, _ in cols)
+    row_b = sum(b for _, b in cols)
+    if row_a <= 0 or row_b <= 0:
+        raise ConfigurationError("each row needs a positive total")
+    grand = row_a + row_b
+    stat = 0.0
+    for a, b in cols:
+        col = a + b
+        for observed, row in ((a, row_a), (b, row_b)):
+            expected = row * col / grand
+            stat += (observed - expected) ** 2 / expected
+    dof = len(cols) - 1
     return regularized_gamma_q(dof / 2.0, stat / 2.0)
 
 

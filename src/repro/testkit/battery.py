@@ -1,0 +1,340 @@
+"""The battery runner: named checks, seed sweeps, one suite-wide alpha.
+
+A :class:`Check` wraps a statistical or exact acceptance test of the
+warehouse.  A :class:`Battery` runs every selected check over a sweep of
+independent seeds, pools **all** resulting p-values, and applies one
+multiple-testing correction (:mod:`repro.testkit.corrections`), so the
+suite-wide false-alarm rate is set once (``alpha``) instead of being
+silently inflated by every new assert.
+
+Check kinds
+-----------
+``pvalue``
+    ``fn(rng, scale) -> float`` returns one p-value per seed.  ``rng``
+    is a freshly spawned :class:`~repro.rng.SplittableRng`; ``scale``
+    multiplies trial budgets (1 for the fast tier, larger for deep).
+    A positive check passes when *no* seed's adjusted p-value falls
+    below alpha.  A negative control (``expect_reject=True``) passes
+    when *every* seed is rejected — the battery must be able to see
+    the Section 3.3 non-uniformity, or its acceptances mean nothing.
+``exact``
+    ``fn(rng, scale) -> list[str]`` returns failure messages (empty
+    means pass).  Used for the differential checks where the required
+    agreement is byte-identical, not statistical.
+
+Seed-sweep asserts for tests
+----------------------------
+:func:`sweep` is the miniature of the same idea for individual test
+files: run one p-value function over several seeds, Holm-adjust, and
+report.  Tests assert ``sweep(...).accepted`` instead of comparing a
+single raw p-value against a threshold (the pattern the RPR051 lint
+rule rejects).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.obs import OBS
+from repro.rng import SplittableRng
+from repro.testkit.corrections import METHODS, adjust_pvalues
+
+__all__ = ["Check", "CheckResult", "BatteryReport", "Battery",
+           "SweepResult", "sweep", "TIERS", "KINDS"]
+
+TIERS = ("fast", "deep")
+KINDS = ("pvalue", "exact")
+
+#: Per-tier defaults: (number of seeds, trial-budget scale factor).
+TIER_SEEDS = {"fast": 5, "deep": 20}
+TIER_SCALE = {"fast": 1, "deep": 2}
+
+
+@dataclass(frozen=True)
+class Check:
+    """One named acceptance check (see module docstring for kinds)."""
+
+    name: str
+    fn: Callable[[SplittableRng, int], object]
+    kind: str = "pvalue"
+    tier: str = "fast"
+    expect_reject: bool = False
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigurationError(
+                f"check {self.name!r}: kind must be one of {KINDS}, "
+                f"got {self.kind!r}")
+        if self.tier not in TIERS:
+            raise ConfigurationError(
+                f"check {self.name!r}: tier must be one of {TIERS}, "
+                f"got {self.tier!r}")
+        if self.expect_reject and self.kind != "pvalue":
+            raise ConfigurationError(
+                f"check {self.name!r}: expect_reject only applies to "
+                "pvalue checks")
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one check across the seed sweep."""
+
+    check: Check
+    pvalues: List[float] = field(default_factory=list)
+    adjusted: List[float] = field(default_factory=list)
+    rejected: List[bool] = field(default_factory=list)
+    failures: List[str] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        """Did the check meet its acceptance condition?"""
+        if self.failures:
+            return False
+        if self.check.kind == "exact":
+            return True
+        if self.check.expect_reject:
+            return bool(self.rejected) and all(self.rejected)
+        return not any(self.rejected)
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (stable key order via sort_keys later)."""
+        return {
+            "name": self.check.name,
+            "kind": self.check.kind,
+            "tier": self.check.tier,
+            "expect_reject": self.check.expect_reject,
+            "passed": self.passed,
+            "pvalues": list(self.pvalues),
+            "adjusted": list(self.adjusted),
+            "rejected": list(self.rejected),
+            "failures": list(self.failures),
+            "seconds": self.seconds,
+        }
+
+
+@dataclass
+class BatteryReport:
+    """Everything one :meth:`Battery.run` produced."""
+
+    tier: str
+    alpha: float
+    method: str
+    seeds: int
+    scale: int
+    results: List[CheckResult]
+
+    @property
+    def passed(self) -> bool:
+        """True when every executed check met its condition."""
+        return all(r.passed for r in self.results)
+
+    @property
+    def pvalue_count(self) -> int:
+        """How many p-values entered the pooled correction."""
+        return sum(len(r.pvalues) for r in self.results)
+
+    def to_dict(self) -> dict:
+        """JSON-ready report payload."""
+        return {
+            "tier": self.tier,
+            "alpha": self.alpha,
+            "method": self.method,
+            "seeds": self.seeds,
+            "scale": self.scale,
+            "passed": self.passed,
+            "pvalue_count": self.pvalue_count,
+            "checks": [r.to_dict() for r in self.results],
+        }
+
+
+class Battery:
+    """A named collection of checks run under one correction."""
+
+    def __init__(self) -> None:
+        self._checks: Dict[str, Check] = {}
+
+    def add(self, check: Check) -> Check:
+        """Register a check; names must be unique."""
+        if check.name in self._checks:
+            raise ConfigurationError(
+                f"duplicate check name {check.name!r}")
+        self._checks[check.name] = check
+        return check
+
+    def check(self, name: str, *, kind: str = "pvalue",
+              tier: str = "fast", expect_reject: bool = False,
+              description: str = "") -> Callable:
+        """Decorator form of :meth:`add`."""
+        def register(fn: Callable) -> Callable:
+            desc = description
+            if not desc and fn.__doc__:
+                desc = fn.__doc__.strip().splitlines()[0]
+            self.add(Check(name=name, fn=fn, kind=kind, tier=tier,
+                           expect_reject=expect_reject,
+                           description=desc))
+            return fn
+        return register
+
+    def checks(self, tier: Optional[str] = None) -> List[Check]:
+        """Registered checks, optionally restricted to a tier.
+
+        The deep tier is a superset: ``tier="deep"`` returns every
+        check; ``tier="fast"`` only the fast ones.
+        """
+        items = list(self._checks.values())
+        if tier is None or tier == "deep":
+            return items
+        if tier not in TIERS:
+            raise ConfigurationError(
+                f"tier must be one of {TIERS}, got {tier!r}")
+        return [c for c in items if c.tier == "fast"]
+
+    def names(self) -> List[str]:
+        """Registered check names in registration order."""
+        return list(self._checks)
+
+    def run(self, *, rng: SplittableRng, tier: str = "fast",
+            seeds: Optional[int] = None, alpha: float = 0.01,
+            method: str = "bh",
+            select: Optional[Sequence[str]] = None) -> BatteryReport:
+        """Run the battery and return a :class:`BatteryReport`.
+
+        Every selected check runs once per seed with an independently
+        spawned child rng.  All p-values are pooled and adjusted with
+        ``method``; a (check, seed) cell is *rejected* when its
+        adjusted p-value is below ``alpha``.
+        """
+        if tier not in TIERS:
+            raise ConfigurationError(
+                f"tier must be one of {TIERS}, got {tier!r}")
+        if not 0.0 < alpha < 1.0:
+            raise ConfigurationError(
+                f"alpha must be in (0, 1), got {alpha}")
+        if method not in METHODS:
+            raise ConfigurationError(
+                f"method must be one of {METHODS}, got {method!r}")
+        n_seeds = TIER_SEEDS[tier] if seeds is None else seeds
+        if n_seeds < 1:
+            raise ConfigurationError(
+                f"need at least one seed, got {n_seeds}")
+        scale = TIER_SCALE[tier]
+        chosen = self.checks(tier)
+        if select is not None:
+            wanted = set(select)
+            unknown = wanted - set(self._checks)
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown check(s): {sorted(unknown)}; "
+                    f"known: {self.names()}")
+            chosen = [c for c in chosen if c.name in wanted]
+        if not chosen:
+            raise ConfigurationError("no checks selected")
+
+        results = [CheckResult(check=c) for c in chosen]
+        reg = OBS.registry
+        for result in results:
+            check = result.check
+            t0 = time.perf_counter()
+            for s in range(n_seeds):
+                child = rng.spawn("verify", check.name, s)
+                outcome = check.fn(child, scale)
+                if check.kind == "pvalue":
+                    p = float(outcome)  # type: ignore[arg-type]
+                    if not 0.0 <= p <= 1.0:
+                        raise ConfigurationError(
+                            f"check {check.name!r} returned p={p}")
+                    result.pvalues.append(p)
+                else:
+                    result.failures.extend(str(m) for m in outcome)
+            result.seconds = time.perf_counter() - t0
+            if OBS.enabled:
+                reg.counter("verify.checks").inc()
+                reg.histogram("verify.check.seconds").observe(
+                    result.seconds)
+
+        # Pool every p-value (positive checks and negative controls
+        # alike) under one correction: the suite-wide alpha applies to
+        # the whole battery, not per check.
+        flat = [p for r in results for p in r.pvalues]
+        if flat:
+            adjusted = adjust_pvalues(flat, method)
+            pos = 0
+            for result in results:
+                n = len(result.pvalues)
+                result.adjusted = adjusted[pos:pos + n]
+                result.rejected = [a < alpha for a in result.adjusted]
+                pos += n
+        if OBS.enabled:
+            for result in results:
+                if not result.passed:
+                    reg.counter("verify.failures").inc()
+        return BatteryReport(tier=tier, alpha=alpha, method=method,
+                             seeds=n_seeds, scale=scale, results=results)
+
+
+# ----------------------------------------------------------------------
+# Seed-sweep asserts for individual tests
+# ----------------------------------------------------------------------
+@dataclass
+class SweepResult:
+    """Corrected outcome of one p-value function over several seeds."""
+
+    pvalues: List[float]
+    adjusted: List[float]
+    alpha: float
+    method: str
+
+    @property
+    def rejections(self) -> List[bool]:
+        """Per-seed rejection flags at the corrected level."""
+        return [a < self.alpha for a in self.adjusted]
+
+    @property
+    def accepted(self) -> bool:
+        """True when no seed rejects (the positive-test condition)."""
+        return not any(self.rejections)
+
+    @property
+    def all_rejected(self) -> bool:
+        """True when every seed rejects (negative-control condition)."""
+        return all(self.rejections)
+
+    def describe(self) -> str:
+        """One line for assertion messages."""
+        cells = ", ".join(
+            f"p={p:.3g}->adj {a:.3g}"
+            for p, a in zip(self.pvalues, self.adjusted))
+        return (f"{self.method}-corrected sweep at alpha={self.alpha}: "
+                f"[{cells}]")
+
+
+def sweep(pvalue_fn: Callable[[SplittableRng], float], *,
+          rng: SplittableRng, seeds: int = 5, alpha: float = 1e-4,
+          method: str = "holm") -> SweepResult:
+    """Run ``pvalue_fn`` over ``seeds`` spawned rngs and correct.
+
+    The test-file counterpart of a battery run: a single statistical
+    claim is evaluated on several independent seeds, the p-values are
+    adjusted (Holm by default — strict FWER control suits a single
+    test's handful of seeds), and the caller asserts on
+    :attr:`SweepResult.accepted` / :attr:`SweepResult.all_rejected`
+    rather than on any raw p-value.
+    """
+    if seeds < 1:
+        raise ConfigurationError(f"need at least one seed, got {seeds}")
+    if not 0.0 < alpha < 1.0:
+        raise ConfigurationError(f"alpha must be in (0, 1), got {alpha}")
+    pvalues = []
+    for s in range(seeds):
+        p = float(pvalue_fn(rng.spawn("sweep", s)))
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(f"seed {s} produced p={p}")
+        pvalues.append(p)
+    adjusted = adjust_pvalues(pvalues, method)
+    return SweepResult(pvalues=pvalues, adjusted=adjusted, alpha=alpha,
+                       method=method)

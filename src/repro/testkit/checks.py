@@ -1,0 +1,445 @@
+"""The default check catalog: the paper's claims as battery checks.
+
+Every statistical guarantee the reproduction makes is written here as a
+named :class:`~repro.testkit.battery.Check` against the *public* sampler
+APIs, so one ``repro verify`` run audits the whole chain:
+
+===============================  =====================================
+check                            claim
+===============================  =====================================
+``hb.uniformity.inclusion``      Algorithm HB includes every element
+                                 equally often (Section 3 uniformity)
+``hr.uniformity.inclusion``      same for Algorithm HR
+``hypergeom.gof.inversion``      the eq. (2)/(3) sampler matches its
+                                 closed-form pmf (inversion draw)
+``hypergeom.gof.alias``          same via the alias-table draw
+``sb.size.binomial``             Algorithm SB's sample size is exactly
+                                 Binomial(N, q)
+``hb.exceedance.bound``          HB's phase-3 fallback rate is the
+                                 binomial tail of eq. (1)'s rate
+``negative.concise``             Section 3.3: concise sampling is NOT
+                                 uniform; the battery must reject
+``negative.counting``            same for counting sampling
+``differential.executors``       Serial/Thread/Process executors agree
+                                 byte-for-byte
+``differential.merge_tree``      serial vs balanced folds agree on
+                                 deterministic merges
+``hr.uniformity.subset``         (deep) HR: all k-subsets equally
+                                 likely, not just inclusion marginals
+``purge.reservoir.subset``       (deep) Figure 4 purge draws uniform
+                                 subsamples
+``purge.bernoulli.inclusion``    (deep) Figure 3 purge keeps elements
+                                 equally often
+``hb.phase2.size.binomial``      (deep) HB phase-2 size is truncated
+                                 Binomial(N, q) given no exceedance
+``merge.hr.subset``              (deep) Theorem 1: HRMerge output is a
+                                 uniform sample of the union
+``merge.tree.homogeneity``       (deep) serial and balanced folds draw
+                                 from the same inclusion law
+===============================  =====================================
+
+The negative controls carry ``expect_reject=True``: a battery that
+cannot see the concise/counting counter-example proves nothing when it
+accepts the real samplers.
+
+Trial budgets are multiplied by the tier's ``scale``, so the deep tier
+both sweeps more seeds and looks harder at each one.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.concise import ConciseSampler
+from repro.core.counting import CountingSampler
+from repro.core.footprint import FootprintModel
+from repro.core.histogram import CompactHistogram
+from repro.core.merge import hr_merge, merge_tree
+from repro.core.purge import purge_bernoulli, purge_reservoir
+from repro.errors import ConfigurationError
+from repro.rng import SplittableRng
+from repro.sampling.distributions import (hypergeometric_pmf,
+                                          sample_hypergeometric)
+from repro.sampling.exceedance import binomial_sf, rate_for_bound
+from repro.stats.uniformity import (chi_square_homogeneity,
+                                    chi_square_pvalue,
+                                    inclusion_frequency_test,
+                                    subset_frequency_test)
+from repro.testkit.battery import Battery
+from repro.testkit.differential import (executor_differential,
+                                        merge_tree_differential)
+from repro.warehouse.parallel import SampleTask, make_sampler
+
+__all__ = ["default_battery", "collapse_cells", "binomial_pmf"]
+
+
+# ----------------------------------------------------------------------
+# Small numeric helpers
+# ----------------------------------------------------------------------
+def binomial_pmf(n: int, q: float) -> List[float]:
+    """``[P(Binomial(n, q) = k) for k in 0..n]`` via log-gamma."""
+    if n < 0:
+        raise ConfigurationError(f"n must be >= 0, got {n}")
+    if not 0.0 < q < 1.0:
+        raise ConfigurationError(f"q must be in (0, 1), got {q}")
+    log_q, log_1q = math.log(q), math.log1p(-q)
+    lgn = math.lgamma(n + 1)
+    return [math.exp(lgn - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+                     + k * log_q + (n - k) * log_1q)
+            for k in range(n + 1)]
+
+
+def collapse_cells(observed: Sequence[float], expected: Sequence[float],
+                   min_expected: float = 5.0,
+                   ) -> Tuple[List[float], List[float]]:
+    """Merge adjacent cells until every expected count is adequate.
+
+    Pearson's chi-square needs expected counts of roughly >= 5 per
+    cell; distribution tails rarely have that.  Greedily accumulates
+    adjacent cells left to right, folding any underweight remainder
+    into the last emitted cell.
+    """
+    if len(observed) != len(expected):
+        raise ConfigurationError(
+            f"length mismatch: {len(observed)} vs {len(expected)}")
+    obs_out: List[float] = []
+    exp_out: List[float] = []
+    acc_o = acc_e = 0.0
+    for o, e in zip(observed, expected):
+        acc_o += o
+        acc_e += e
+        if acc_e >= min_expected:
+            obs_out.append(acc_o)
+            exp_out.append(acc_e)
+            acc_o = acc_e = 0.0
+    if acc_e > 0.0:
+        if exp_out:
+            obs_out[-1] += acc_o
+            exp_out[-1] += acc_e
+        else:
+            obs_out.append(acc_o)
+            exp_out.append(acc_e)
+    if len(exp_out) < 2:
+        raise ConfigurationError(
+            "fewer than two cells left after collapsing; increase the "
+            "trial budget")
+    return obs_out, exp_out
+
+
+def _sampler_values(scheme: str, bound: int, exceedance_p: float = 0.01,
+                    sb_rate: Optional[float] = None):
+    """A ``sample_fn`` for the uniformity helpers: run one sampler."""
+    def run(values, rng):
+        sampler = make_sampler(scheme, population_size=len(values),
+                               bound_values=bound,
+                               exceedance_p=exceedance_p,
+                               sb_rate=sb_rate, rng=rng)
+        sampler.feed_many(values)
+        return sampler.finalize().histogram.expand()
+    return run
+
+
+# ----------------------------------------------------------------------
+# The Section 3.3 negative controls
+# ----------------------------------------------------------------------
+#: Under uniformity, conditioned on a size-3 outcome of the a,a,a,b,b,b
+#: population, the histogram {a:2,b:1}-or-{a:1,b:2} (the paper's H3)
+#: must carry 18 of 20 mass; concise/counting sampling never produce it.
+_H3_SHARE = 18.0 / 20.0
+
+
+def _negative_control_pvalue(sampler_factory, rng: SplittableRng,
+                             trials: int) -> float:
+    """P-value of the size-3 conditional law vs the uniform H3 share.
+
+    ``sampler_factory(child_rng)`` builds a sampler whose footprint
+    holds one (value, count) pair.  Chi-squares the observed [H3, rest]
+    split of size-3 outcomes against [18/20, 2/20].  A uniform sampler
+    yields an unremarkable p-value; concise/counting yield ~0 because
+    H3 never occurs.  Returns 1.0 if no size-3 outcome was seen (which
+    fails the expect_reject control and flags the check itself).
+    """
+    population = ["a", "a", "a", "b", "b", "b"]
+    h3 = rest = 0
+    for t in range(trials):
+        sampler = sampler_factory(rng.spawn("negative", t))
+        sampler.feed_many(population)
+        pairs = dict(sampler.finalize().pairs())
+        if sum(pairs.values()) != 3:
+            continue
+        if pairs in ({"a": 2, "b": 1}, {"a": 1, "b": 2}):
+            h3 += 1
+        else:
+            rest += 1
+    kept = h3 + rest
+    if kept == 0:
+        return 1.0
+    return chi_square_pvalue([h3, rest],
+                             [kept * _H3_SHARE, kept * (1.0 - _H3_SHARE)])
+
+
+# ----------------------------------------------------------------------
+# The default battery
+# ----------------------------------------------------------------------
+def default_battery() -> Battery:
+    """Build the battery of all standard checks (see module docstring)."""
+    battery = Battery()
+
+    # -- uniformity of the real samplers --------------------------------
+    @battery.check("hb.uniformity.inclusion",
+                   description="Algorithm HB includes every element "
+                               "equally often")
+    def hb_inclusion(rng: SplittableRng, scale: int) -> float:
+        return inclusion_frequency_test(
+            _sampler_values("hb", bound=8), list(range(24)),
+            trials=250 * scale, rng=rng)
+
+    @battery.check("hr.uniformity.inclusion",
+                   description="Algorithm HR includes every element "
+                               "equally often")
+    def hr_inclusion(rng: SplittableRng, scale: int) -> float:
+        return inclusion_frequency_test(
+            _sampler_values("hr", bound=8), list(range(24)),
+            trials=250 * scale, rng=rng)
+
+    @battery.check("hr.uniformity.subset", tier="deep",
+                   description="Algorithm HR realizes every k-subset "
+                               "equally often")
+    def hr_subset(rng: SplittableRng, scale: int) -> float:
+        return subset_frequency_test(
+            _sampler_values("hr", bound=2), list(range(6)), size=2,
+            trials=150 * scale, rng=rng)
+
+    # -- the eq. (2)/(3) hypergeometric sampler -------------------------
+    def hypergeom_gof(method: str):
+        def run(rng: SplittableRng, scale: int) -> float:
+            n1, n2, k = 13, 9, 7
+            pmf = hypergeometric_pmf(n1, n2, k)
+            lo = max(0, k - n2)
+            draws = 1200 * scale
+            observed = [0] * len(pmf)
+            for _ in range(draws):
+                observed[sample_hypergeometric(n1, n2, k, rng,
+                                               method=method) - lo] += 1
+            expected = [p * draws for p in pmf]
+            return chi_square_pvalue(*collapse_cells(observed, expected))
+        return run
+
+    battery.check("hypergeom.gof.inversion",
+                  description="eq. (2)/(3) inversion draw matches the "
+                              "closed-form pmf")(hypergeom_gof("inversion"))
+    battery.check("hypergeom.gof.alias",
+                  description="eq. (2)/(3) alias-table draw matches the "
+                              "closed-form pmf")(hypergeom_gof("alias"))
+
+    # -- Bernoulli-phase laws -------------------------------------------
+    @battery.check("sb.size.binomial",
+                   description="Algorithm SB sample size is "
+                               "Binomial(N, q)")
+    def sb_size(rng: SplittableRng, scale: int) -> float:
+        n, q = 200, 0.1
+        trials = 250 * scale
+        sizes = [0] * (n + 1)
+        for t in range(trials):
+            sampler = make_sampler("sb", population_size=n,
+                                   bound_values=n, exceedance_p=0.01,
+                                   sb_rate=q, rng=rng.spawn("sb", t))
+            sampler.feed_many(range(n))
+            sizes[sampler.finalize().size] += 1
+        expected = [p * trials for p in binomial_pmf(n, q)]
+        return chi_square_pvalue(*collapse_cells(sizes, expected))
+
+    @battery.check("hb.exceedance.bound",
+                   description="HB falls back to phase 3 with exactly "
+                               "the binomial tail of eq. (1)'s rate")
+    def hb_exceedance(rng: SplittableRng, scale: int) -> float:
+        # HB's phase-2 -> 3 trigger is conservative: it fires when the
+        # Bernoulli sample *reaches* n_F, so the realized fallback
+        # probability is P(Binomial(N, q) >= n_F) — equal to the
+        # eq. (1) target p up to one pmf cell, and converging to it at
+        # production scale (see the AlgorithmHB module docstring).
+        n, bound, p = 400, 30, 0.05
+        q = rate_for_bound(n, p, bound, method="auto")
+        fallback = binomial_sf(n, q, bound - 1)
+        trials = 300 * scale
+        exceeded = 0
+        for t in range(trials):
+            sampler = make_sampler("hb", population_size=n,
+                                   bound_values=bound, exceedance_p=p,
+                                   sb_rate=None, rng=rng.spawn("hb", t))
+            sampler.feed_many(range(n))
+            if sampler.finalize().kind.is_reservoir:
+                exceeded += 1
+        return chi_square_pvalue(
+            [exceeded, trials - exceeded],
+            [trials * fallback, trials * (1.0 - fallback)])
+
+    @battery.check("hb.phase2.size.binomial", tier="deep",
+                   description="HB phase-2 size given no exceedance is "
+                               "truncated Binomial(N, q)")
+    def hb_phase2_size(rng: SplittableRng, scale: int) -> float:
+        # A phase-2 outcome means the Bernoulli sample never reached
+        # n_F (distinct values keep the size monotone during the
+        # stream), so the conditional size law is Binomial(N, q)
+        # truncated at n_F - 1.
+        n, bound, p = 300, 30, 0.05
+        q = rate_for_bound(n, p, bound, method="auto")
+        trials = 120 * scale
+        sizes = [0] * bound
+        kept = 0
+        for t in range(trials):
+            sampler = make_sampler("hb", population_size=n,
+                                   bound_values=bound, exceedance_p=p,
+                                   sb_rate=None, rng=rng.spawn("hb", t))
+            sampler.feed_many(range(n))
+            sample = sampler.finalize()
+            if sample.kind.is_bernoulli:
+                sizes[sample.size] += 1
+                kept += 1
+        pmf = binomial_pmf(n, q)[:bound]
+        mass = sum(pmf)
+        expected = [kept * p_k / mass for p_k in pmf]
+        return chi_square_pvalue(*collapse_cells(sizes, expected))
+
+    # -- purges (Figures 3 and 4) ---------------------------------------
+    @battery.check("purge.bernoulli.inclusion", tier="deep",
+                   description="Figure 3 Bernoulli purge keeps elements "
+                               "equally often")
+    def bernoulli_purge(rng: SplittableRng, scale: int) -> float:
+        def run(values, child):
+            hist = CompactHistogram.from_values(values)
+            return purge_bernoulli(hist, 0.4, child).expand()
+        return inclusion_frequency_test(run, list(range(20)),
+                                        trials=150 * scale, rng=rng)
+
+    @battery.check("purge.reservoir.subset", tier="deep",
+                   description="Figure 4 reservoir purge draws uniform "
+                               "subsamples")
+    def reservoir_purge(rng: SplittableRng, scale: int) -> float:
+        def run(values, child):
+            hist = CompactHistogram.from_values(values)
+            return purge_reservoir(hist, 3, child).expand()
+        return subset_frequency_test(run, list(range(8)), size=3,
+                                     trials=160 * scale, rng=rng)
+
+    # -- merges ---------------------------------------------------------
+    @battery.check("merge.hr.subset", tier="deep",
+                   description="Theorem 1: HRMerge output is a uniform "
+                               "sample of the union")
+    def merge_hr_subset(rng: SplittableRng, scale: int) -> float:
+        def run(values, child):
+            half = len(values) // 2
+            parts = []
+            for i, part in enumerate((values[:half], values[half:])):
+                sampler = make_sampler("hr", population_size=len(part),
+                                       bound_values=2, exceedance_p=0.01,
+                                       sb_rate=None,
+                                       rng=child.spawn("part", i))
+                sampler.feed_many(part)
+                parts.append(sampler.finalize())
+            merged = hr_merge(parts[0], parts[1],
+                              rng=child.spawn("merge"))
+            return merged.histogram.expand()
+        return subset_frequency_test(run, list(range(8)), size=2,
+                                     trials=150 * scale, rng=rng)
+
+    @battery.check("merge.tree.homogeneity", tier="deep",
+                   description="serial and balanced merge_tree folds "
+                               "draw from one inclusion law")
+    def tree_homogeneity(rng: SplittableRng, scale: int) -> float:
+        population = list(range(24))
+        parts = [population[i:i + 6] for i in range(0, 24, 6)]
+        trials = 150 * scale
+
+        def inclusion_counts(mode: str, child: SplittableRng) -> List[int]:
+            counts = [0] * len(population)
+            for t in range(trials):
+                run_rng = child.spawn("trial", t)
+                samples = []
+                for i, part in enumerate(parts):
+                    sampler = make_sampler(
+                        "hr", population_size=len(part), bound_values=3,
+                        exceedance_p=0.01, sb_rate=None,
+                        rng=run_rng.spawn("part", i))
+                    sampler.feed_many(part)
+                    samples.append(sampler.finalize())
+                merged = merge_tree(samples, rng=run_rng.spawn("fold"),
+                                    mode=mode)
+                for v in merged.histogram.expand():
+                    counts[v] += 1
+            return counts
+
+        return chi_square_homogeneity(
+            inclusion_counts("serial", rng.spawn("serial")),
+            inclusion_counts("balanced", rng.spawn("balanced")))
+
+    # -- Section 3.3 negative controls ----------------------------------
+    model = FootprintModel(value_bytes=8, count_bytes=4)
+    pair_bytes = model.value_bytes + model.count_bytes
+
+    @battery.check("negative.concise", expect_reject=True,
+                   description="Section 3.3: concise sampling must be "
+                               "rejected as non-uniform")
+    def negative_concise(rng: SplittableRng, scale: int) -> float:
+        return _negative_control_pvalue(
+            lambda child: ConciseSampler(footprint_bytes=pair_bytes,
+                                         rng=child, model=model),
+            rng, trials=300 * scale)
+
+    @battery.check("negative.counting", expect_reject=True,
+                   description="Section 3.3: counting sampling must be "
+                               "rejected as non-uniform")
+    def negative_counting(rng: SplittableRng, scale: int) -> float:
+        return _negative_control_pvalue(
+            lambda child: CountingSampler(footprint_bytes=pair_bytes,
+                                          rng=child, model=model),
+            rng, trials=300 * scale)
+
+    # -- differential checks --------------------------------------------
+    @battery.check("differential.executors", kind="exact",
+                   description="Serial/Thread/Process executors agree "
+                               "byte-for-byte on sample_to_dict")
+    def executors_agree(rng: SplittableRng, scale: int) -> List[str]:
+        tasks = []
+        for scheme, size, bound in (("hb", 300, 24), ("hr", 300, 24),
+                                    ("sb", 200, 16), ("hb", 120, 150)):
+            tasks.append(SampleTask(
+                values=tuple(range(size)), scheme=scheme,
+                bound_values=bound, exceedance_p=0.01,
+                sb_rate=0.15 if scheme == "sb" else None,
+                seed=rng.randrange(2 ** 31)))
+        return executor_differential(tasks)
+
+    @battery.check("differential.merge_tree", kind="exact",
+                   description="serial vs balanced folds agree exactly "
+                               "on deterministic merges")
+    def merge_tree_agrees(rng: SplittableRng, scale: int) -> List[str]:
+        failures: List[str] = []
+        # Same-rate SB samples: the union needs no purging, so both
+        # fold shapes compute the same deterministic multiset join.
+        sb_samples = []
+        for i in range(5):
+            sampler = make_sampler("sb", population_size=30,
+                                   bound_values=16, exceedance_p=0.01,
+                                   sb_rate=0.2, rng=rng.spawn("sb", i))
+            sampler.feed_many(range(30 * i, 30 * i + 30))
+            sb_samples.append(sampler.finalize())
+        failures += merge_tree_differential(sb_samples,
+                                            rng=rng.spawn("sb-fold"),
+                                            label="sb-same-rate")
+        # Exhaustive HR samples whose union stays under the bound: every
+        # merge is a resumed phase-1 stream, no randomness consumed.
+        hr_samples = []
+        for i in range(5):
+            sampler = make_sampler("hr", population_size=8,
+                                   bound_values=64, exceedance_p=0.01,
+                                   sb_rate=None, rng=rng.spawn("hr", i))
+            sampler.feed_many(range(8 * i, 8 * i + 8))
+            hr_samples.append(sampler.finalize())
+        failures += merge_tree_differential(hr_samples,
+                                            rng=rng.spawn("hr-fold"),
+                                            label="hr-exhaustive")
+        return failures
+
+    return battery

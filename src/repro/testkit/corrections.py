@@ -1,0 +1,87 @@
+"""Multiple-testing corrections for the statistical battery.
+
+A battery run produces one p-value per (check, seed) pair.  Asserting
+each against a fixed threshold inflates the suite-wide false-alarm rate:
+with 100 tests at alpha=1e-4 the chance of at least one spurious failure
+is ~1%, and it grows with every check added.  Instead the battery pools
+every p-value and applies a single correction, so the suite-wide error
+rate is configured once:
+
+* :func:`holm_adjust` — Holm's step-down procedure; controls the
+  family-wise error rate (probability of *any* false rejection).
+  Uniformly more powerful than plain Bonferroni, no independence
+  assumptions.
+* :func:`bh_adjust` — Benjamini-Hochberg step-up; controls the false
+  discovery rate (expected fraction of rejections that are false).
+  More powerful when many tests are run; valid under the positive
+  dependence typical of overlapping sampler checks.
+
+Both return *adjusted* p-values: rejecting those below alpha gives the
+corresponding guarantee at level alpha.  Adjusted values are clamped to
+[0, 1] and preserve the monotonicity required by each procedure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["holm_adjust", "bh_adjust", "adjust_pvalues", "METHODS"]
+
+METHODS = ("holm", "bh")
+
+
+def _validate(pvalues: Sequence[float]) -> List[float]:
+    values = list(pvalues)
+    if not values:
+        raise ConfigurationError("need at least one p-value to adjust")
+    for p in values:
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(f"p-value out of range: {p}")
+    return values
+
+
+def holm_adjust(pvalues: Sequence[float]) -> List[float]:
+    """Holm step-down adjusted p-values (FWER control).
+
+    Sort ascending; the i-th smallest (0-based) is multiplied by
+    ``m - i``, then a running maximum enforces monotonicity.
+    """
+    values = _validate(pvalues)
+    m = len(values)
+    order = sorted(range(m), key=lambda i: values[i])
+    adjusted = [0.0] * m
+    running = 0.0
+    for rank, i in enumerate(order):
+        running = max(running, min(1.0, (m - rank) * values[i]))
+        adjusted[i] = running
+    return adjusted
+
+
+def bh_adjust(pvalues: Sequence[float]) -> List[float]:
+    """Benjamini-Hochberg step-up adjusted p-values (FDR control).
+
+    Sort ascending; the i-th smallest (1-based) is multiplied by
+    ``m / i``, then a reverse running minimum enforces monotonicity.
+    """
+    values = _validate(pvalues)
+    m = len(values)
+    order = sorted(range(m), key=lambda i: values[i])
+    adjusted = [0.0] * m
+    running = 1.0
+    for rank in range(m - 1, -1, -1):
+        i = order[rank]
+        running = min(running, min(1.0, values[i] * m / (rank + 1)))
+        adjusted[i] = running
+    return adjusted
+
+
+def adjust_pvalues(pvalues: Sequence[float], method: str) -> List[float]:
+    """Dispatch to :func:`holm_adjust` or :func:`bh_adjust` by name."""
+    if method == "holm":
+        return holm_adjust(pvalues)
+    if method == "bh":
+        return bh_adjust(pvalues)
+    raise ConfigurationError(
+        f"unknown correction method {method!r}; expected one of {METHODS}")

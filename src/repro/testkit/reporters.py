@@ -1,0 +1,66 @@
+"""Reporters: render a battery report for terminals and machines.
+
+* :func:`render_text` — one line per check (PASS/FAIL/REJECTED, the
+  smallest adjusted p-value or the first failure message) plus a
+  summary tail; what a human reads in CI logs.
+* :func:`render_json` — the :meth:`BatteryReport.to_dict` payload with
+  stable key order; what the ``verify-deep`` CI job archives and what
+  tests parse back with :func:`parse_json`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.testkit.battery import BatteryReport, CheckResult
+
+__all__ = ["render_text", "render_json", "parse_json"]
+
+
+def _status(result: CheckResult) -> str:
+    if result.check.expect_reject:
+        return "REJECTED (expected)" if result.passed else \
+            "NOT REJECTED (negative control failed)"
+    return "PASS" if result.passed else "FAIL"
+
+
+def _detail(result: CheckResult) -> str:
+    if result.failures:
+        extra = f" (+{len(result.failures) - 1} more)" \
+            if len(result.failures) > 1 else ""
+        return result.failures[0] + extra
+    if result.check.kind == "exact":
+        return "exact agreement"
+    if not result.adjusted:
+        return "no p-values"
+    return (f"min adjusted p = {min(result.adjusted):.3g} "
+            f"over {len(result.adjusted)} seed(s)")
+
+
+def render_text(report: BatteryReport) -> str:
+    """The terminal report: one line per check, then a summary."""
+    lines = []
+    for result in report.results:
+        lines.append(f"{result.check.name:32s} {_status(result):>12s}  "
+                     f"[{result.check.tier}/{result.check.kind}] "
+                     f"{_detail(result)}")
+    failed = sum(1 for r in report.results if not r.passed)
+    verdict = "ok" if report.passed else f"{failed} check(s) failed"
+    lines.append(
+        f"{verdict}: {len(report.results)} check(s), "
+        f"{report.pvalue_count} p-value(s) pooled under "
+        f"{report.method} at alpha={report.alpha}, "
+        f"{report.seeds} seed(s), tier={report.tier}")
+    return "\n".join(lines)
+
+
+def render_json(report: BatteryReport, *,
+                indent: Optional[int] = None) -> str:
+    """The machine report (stable key order)."""
+    return json.dumps(report.to_dict(), indent=indent, sort_keys=True)
+
+
+def parse_json(text: str) -> dict:
+    """The payload back out of a :func:`render_json` document."""
+    return json.loads(text)

@@ -414,6 +414,70 @@ class TestLockDiscipline:
         assert found == []
 
 
+class TestPvalueDiscipline:
+    def test_direct_producer_threshold_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"tests/test_x.py": """\
+            def test_uniform(rng):
+                assert inclusion_frequency_test(fn, pop, 100, rng) > 1e-4
+            """})
+        assert codes(found) == ["RPR051"]
+
+    def test_tainted_name_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"tests/test_x.py": """\
+            def test_uniform(rng):
+                score = subset_frequency_test(fn, pop, 2, 100, rng)
+                assert score > 1e-4
+            """})
+        assert codes(found) == ["RPR051"]
+
+    def test_tuple_unpack_tainted(self, tmp_path):
+        found = lint_tree(tmp_path, {"tests/test_x.py": """\
+            def test_gof(draws):
+                stat, out = scipy_stats.kstest(draws, cdf)
+                assert out > 1e-4
+            """})
+        assert codes(found) == ["RPR051"]
+
+    def test_pvalue_spelling_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"tests/test_x.py": """\
+            def test_fit(pval):
+                assert pval > 1e-4
+            """})
+        assert codes(found) == ["RPR051"]
+
+    def test_local_chi_square_wrapper_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"tests/test_x.py": """\
+            def chi_square_vs_exact(draws):
+                return 0.5
+
+            def test_fit(draws):
+                assert chi_square_vs_exact(draws) > 1e-4
+            """})
+        assert codes(found) == ["RPR051"]
+
+    def test_sweep_result_is_clean(self, tmp_path):
+        found = lint_tree(tmp_path, {"tests/test_x.py": """\
+            def test_uniform(rng):
+                result = sweep(check, rng=rng, seeds=3, alpha=1e-4)
+                assert result.accepted, result.describe()
+            """})
+        assert found == []
+
+    def test_equality_comparison_is_clean(self, tmp_path):
+        found = lint_tree(tmp_path, {"tests/test_x.py": """\
+            def test_machinery():
+                assert chi_square_pvalue([10.0], [10.0]) == 1.0
+            """})
+        assert found == []
+
+    def test_non_test_module_is_exempt(self, tmp_path):
+        found = lint_tree(tmp_path, {"stats/helpers.py": """\
+            def gate(pval):
+                assert pval > 1e-4
+            """})
+        assert found == []
+
+
 class TestSuppressions:
     def test_noqa_with_code_suppresses(self, tmp_path):
         found = lint_tree(tmp_path, {

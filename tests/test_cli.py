@@ -165,6 +165,63 @@ class TestAudit:
         assert "INCONSISTENT" in capsys.readouterr().out
 
 
+class TestVerify:
+    def test_list_checks(self, capsys):
+        rc = main(["verify", "--list-checks"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("hb.uniformity.inclusion", "negative.concise",
+                     "differential.executors"):
+            assert name in out
+
+    def test_fast_selected_check_passes(self, capsys):
+        rc = main(["verify", "--seeds", "2",
+                   "--select", "negative.concise"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "REJECTED (expected)" in out
+        assert "ok: 1 check(s)" in out
+
+    def test_json_format(self, capsys):
+        import json
+
+        rc = main(["verify", "--seeds", "2", "--format", "json",
+                   "--select", "hypergeom.gof.inversion"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passed"] is True
+        assert payload["tier"] == "fast"
+        assert payload["checks"][0]["name"] == "hypergeom.gof.inversion"
+        assert payload["pvalue_count"] == 2
+
+    def test_failing_battery_exits_one(self, capsys):
+        # alpha just below 1 makes any honest p-value a rejection, so a
+        # positive check must fail and the exit code must say so.
+        rc = main(["verify", "--seeds", "2", "--alpha", "0.999",
+                   "--select", "sb.size.binomial"])
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_unknown_check_exits_two(self, capsys):
+        rc = main(["verify", "--select", "no.such.check"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_seed_changes_pvalues(self, capsys):
+        import json
+
+        outs = []
+        for seed in ("1", "2"):
+            rc = main(["--seed", seed, "verify", "--seeds", "2",
+                       "--format", "json",
+                       "--select", "hypergeom.gof.inversion"])
+            assert rc == 0
+            outs.append(json.loads(capsys.readouterr().out))
+        a = outs[0]["checks"][0]["pvalues"]
+        b = outs[1]["checks"][0]["pvalues"]
+        assert a != b
+
+
 class TestModuleEntry:
     def test_python_dash_m(self, values_file, wh_dir):
         import subprocess

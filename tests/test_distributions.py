@@ -17,6 +17,21 @@ from repro.sampling.distributions import (AliasTable, CachedHypergeometric,
                                           sample_hypergeometric, zipf_pmf,
                                           ZipfSampler)
 from repro.stats.uniformity import chi_square_pvalue
+from repro.testkit import sweep
+
+
+def gof_pvalue(sample_once, pmf, trials, child):
+    """Draw ``trials`` samples and chi-square them against ``pmf``,
+    dropping cells whose expected count falls below 5."""
+    counts = [0] * len(pmf)
+    for _ in range(trials):
+        counts[sample_once(child)] += 1
+    observed, expected = [], []
+    for c, p in zip(counts, pmf):
+        if p * trials >= 5:
+            observed.append(c)
+            expected.append(p * trials)
+    return chi_square_pvalue(observed, expected)
 
 
 class TestHypergeometricPmf:
@@ -91,19 +106,15 @@ class TestSampleHypergeometric:
 
     @pytest.mark.parametrize("method", ["inversion", "alias"])
     def test_distribution(self, rng, method):
-        n1, n2, k, trials = 12, 8, 6, 20_000
+        n1, n2, k = 12, 8, 6
         pmf = hypergeometric_pmf(n1, n2, k)
-        counts = [0] * (k + 1)
-        for _ in range(trials):
-            counts[sample_hypergeometric(n1, n2, k, rng,
-                                         method=method)] += 1
-        observed, expected = [], []
-        for c, p in zip(counts, pmf):
-            if p * trials >= 5:
-                observed.append(c)
-                expected.append(p * trials)
-        pval = chi_square_pvalue(observed, expected)
-        assert pval > ALPHA, f"{method}: p={pval}"
+        result = sweep(
+            lambda child: gof_pvalue(
+                lambda c: sample_hypergeometric(n1, n2, k, c,
+                                                method=method),
+                pmf, 7_000, child),
+            rng=rng, seeds=3, alpha=ALPHA)
+        assert result.accepted, f"{method}: {result.describe()}"
 
 
 class TestAliasTable:
@@ -129,12 +140,10 @@ class TestAliasTable:
     def test_distribution(self, rng):
         pmf = [0.1, 0.2, 0.3, 0.25, 0.15]
         t = AliasTable(pmf)
-        trials = 30_000
-        counts = [0] * len(pmf)
-        for _ in range(trials):
-            counts[t.sample(rng)] += 1
-        pval = chi_square_pvalue(counts, [p * trials for p in pmf])
-        assert pval > ALPHA
+        result = sweep(
+            lambda child: gof_pvalue(t.sample, pmf, 10_000, child),
+            rng=rng, seeds=3, alpha=ALPHA)
+        assert result.accepted, result.describe()
 
     def test_unnormalized_input(self, rng):
         """Weights are normalized internally."""
@@ -155,17 +164,14 @@ class TestCachedHypergeometric:
 
     def test_distribution_through_cache(self, rng):
         cache = CachedHypergeometric()
-        n1, n2, k, trials = 10, 6, 5, 20_000
+        n1, n2, k = 10, 6, 5
         pmf = hypergeometric_pmf(n1, n2, k)
-        counts = [0] * (k + 1)
-        for _ in range(trials):
-            counts[cache.sample(n1, n2, k, rng)] += 1
-        observed, expected = [], []
-        for c, p in zip(counts, pmf):
-            if p * trials >= 5:
-                observed.append(c)
-                expected.append(p * trials)
-        assert chi_square_pvalue(observed, expected) > ALPHA
+        result = sweep(
+            lambda child: gof_pvalue(
+                lambda c: cache.sample(n1, n2, k, c),
+                pmf, 7_000, child),
+            rng=rng, seeds=3, alpha=ALPHA)
+        assert result.accepted, result.describe()
 
 
 class TestZipf:

@@ -13,6 +13,7 @@ from repro.core.phases import SampleKind
 from repro.errors import ConfigurationError, ProtocolError
 from repro.rng import SplittableRng
 from repro.stats.uniformity import inclusion_frequency_test
+from repro.testkit import sweep
 
 MODEL = FootprintModel(value_bytes=8, count_bytes=4)
 
@@ -133,9 +134,11 @@ class TestStatistics:
             hb.feed_many(values)
             return hb.finalize().values()
 
-        pval = inclusion_frequency_test(sample_fn, list(range(40)),
-                                        trials=4_000, rng=rng)
-        assert pval > ALPHA
+        result = sweep(
+            lambda child: inclusion_frequency_test(
+                sample_fn, list(range(40)), trials=1_500, rng=child),
+            rng=rng, seeds=3, alpha=ALPHA)
+        assert result.accepted, result.describe()
 
     def test_feed_matches_feed_many_distribution(self, rng):
         """Per-element and batched feeding produce samples with the same

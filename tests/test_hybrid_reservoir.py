@@ -14,6 +14,7 @@ from repro.errors import ConfigurationError, ProtocolError
 from repro.rng import SplittableRng
 from repro.stats.uniformity import (inclusion_frequency_test,
                                     subset_frequency_test)
+from repro.testkit import sweep
 
 MODEL = FootprintModel(value_bytes=8, count_bytes=4)
 
@@ -104,9 +105,11 @@ class TestStatistics:
             hr.feed_many(values)
             return hr.finalize().values()
 
-        pval = inclusion_frequency_test(sample_fn, list(range(40)),
-                                        trials=4_000, rng=rng)
-        assert pval > ALPHA
+        result = sweep(
+            lambda child: inclusion_frequency_test(
+                sample_fn, list(range(40)), trials=1_500, rng=child),
+            rng=rng, seeds=3, alpha=ALPHA)
+        assert result.accepted, result.describe()
 
     def test_subset_uniformity(self, rng):
         """HR produces a true simple random sample: all k-subsets of a
@@ -117,9 +120,12 @@ class TestStatistics:
             hr.feed_many(values)
             return hr.finalize().values()
 
-        pval = subset_frequency_test(sample_fn, list(range(6)), size=2,
-                                     trials=6_000, rng=rng)
-        assert pval > ALPHA
+        result = sweep(
+            lambda child: subset_frequency_test(
+                sample_fn, list(range(6)), size=2, trials=2_000,
+                rng=child),
+            rng=rng, seeds=3, alpha=ALPHA)
+        assert result.accepted, result.describe()
 
     def test_feed_matches_feed_many_distribution(self, rng):
         n, bound, trials = 3_000, 64, 100
@@ -197,9 +203,11 @@ class TestResume:
             resumed.feed_many(values[mid:])
             return resumed.finalize().values()
 
-        pval = inclusion_frequency_test(sample_fn, list(range(24)),
-                                        trials=4_000, rng=rng)
-        assert pval > ALPHA
+        result = sweep(
+            lambda child: inclusion_frequency_test(
+                sample_fn, list(range(24)), trials=1_500, rng=child),
+            rng=rng, seeds=3, alpha=ALPHA)
+        assert result.accepted, result.describe()
 
     def test_resume_rejects_bernoulli(self, rng):
         from repro.core.hybrid_bernoulli import AlgorithmHB

@@ -11,6 +11,7 @@ from repro.core.phases import SampleKind
 from repro.errors import ConfigurationError
 from repro.rng import SplittableRng
 from repro.stats.uniformity import inclusion_frequency_test
+from repro.testkit import sweep
 from repro.warehouse.maintenance import (PartitionMaintainer,
                                          apply_deletion, warehouse_delete)
 from repro.warehouse.warehouse import SampleWarehouse
@@ -96,9 +97,11 @@ class TestApplyDeletion:
             return out
 
         survivors = [v for v in population if v not in deleted]
-        pval = inclusion_frequency_test(sample_fn, survivors,
-                                        trials=3_000, rng=rng)
-        assert pval > ALPHA
+        result = sweep(
+            lambda child: inclusion_frequency_test(
+                sample_fn, survivors, trials=1_000, rng=child),
+            rng=rng, seeds=3, alpha=ALPHA)
+        assert result.accepted, result.describe()
 
 
 class TestPartitionMaintainer:

@@ -21,6 +21,7 @@ from repro.rng import SplittableRng
 from repro.sampling.distributions import CachedHypergeometric
 from repro.stats.uniformity import (inclusion_frequency_test,
                                     subset_frequency_test)
+from repro.testkit import sweep
 
 MODEL = FootprintModel(8, 4)
 
@@ -122,9 +123,11 @@ class TestHbMergeStatistics:
             s2 = hb_sample(values[mid:], 8, child.spawn("b"))
             return hb_merge(s1, s2, rng=child.spawn("m")).values()
 
-        pval = inclusion_frequency_test(sample_fn, list(range(40)),
-                                        trials=3_000, rng=rng)
-        assert pval > ALPHA
+        result = sweep(
+            lambda child: inclusion_frequency_test(
+                sample_fn, list(range(40)), trials=1_000, rng=child),
+            rng=rng, seeds=3, alpha=ALPHA)
+        assert result.accepted, result.describe()
 
     def test_bernoulli_merge_subset_uniformity(self, rng):
         """The strong property on the both-Bernoulli fast path: merged
@@ -139,9 +142,12 @@ class TestHbMergeStatistics:
             merged = hb_merge(s1, s2, rng=child.spawn("m"))
             return merged.values()
 
-        pval = subset_frequency_test(sample_fn, list(range(20)), size=2,
-                                     trials=30_000, rng=rng)
-        assert pval > ALPHA
+        result = sweep(
+            lambda child: subset_frequency_test(
+                sample_fn, list(range(20)), size=2, trials=10_000,
+                rng=child),
+            rng=rng, seeds=3, alpha=ALPHA)
+        assert result.accepted, result.describe()
 
     def test_truncation_approximation_is_real(self, rng):
         """Reproduction finding: HB's phase-2 output is Bern(q)
@@ -153,16 +159,20 @@ class TestHbMergeStatistics:
         deviation is O(p) and undetectable."""
         def sample_fn(values, child):
             mid = len(values) // 2
-            # N=4, n_F=3, p=0.01: P(|S| >= n_F) ~ 0.10 per input.
-            s1 = hb_sample(values[:mid], 3, child.spawn("a"), p=0.01)
-            s2 = hb_sample(values[mid:], 3, child.spawn("b"), p=0.01)
+            # N=4, n_F=3, p=0.05: P(|S| >= n_F) ~ 0.27 per input.
+            s1 = hb_sample(values[:mid], 3, child.spawn("a"), p=0.05)
+            s2 = hb_sample(values[mid:], 3, child.spawn("b"), p=0.05)
             merged = hb_merge(s1, s2, rng=child.spawn("m"))
             return merged.values()
 
-        pval = subset_frequency_test(sample_fn, list(range(8)), size=2,
-                                     trials=40_000, rng=rng)
-        assert pval < 1e-4, \
-            "expected the toy-scale truncation bias to be detectable"
+        result = sweep(
+            lambda child: subset_frequency_test(
+                sample_fn, list(range(8)), size=2, trials=40_000,
+                rng=child),
+            rng=rng, seeds=3, alpha=1e-4)
+        assert result.all_rejected, \
+            "expected the toy-scale truncation bias to be detectable: " \
+            + result.describe()
 
 
 class TestHrMergeTheorem1:
@@ -219,9 +229,12 @@ class TestHrMergeTheorem1:
                 bound_values=2, scheme="hr", model=MODEL)
             return hr_merge(s1, s2, rng=child.spawn("m")).values()
 
-        pval = subset_frequency_test(sample_fn, list(range(8)), size=2,
-                                     trials=8_000, rng=rng)
-        assert pval > ALPHA
+        result = sweep(
+            lambda child: subset_frequency_test(
+                sample_fn, list(range(8)), size=2, trials=3_000,
+                rng=child),
+            rng=rng, seeds=3, alpha=ALPHA)
+        assert result.accepted, result.describe()
 
     def test_exhaustive_case(self, rng):
         s1 = hr_sample(list(range(50)), 64, rng.spawn(1))

@@ -16,6 +16,7 @@ from repro.errors import ConfigurationError
 from repro.rng import SplittableRng
 from repro.stats.uniformity import (inclusion_frequency_test,
                                     subset_frequency_test)
+from repro.testkit import sweep
 
 
 class TestFenwickTree:
@@ -117,9 +118,11 @@ class TestPurgeBernoulli:
             hist = CompactHistogram.from_values(values)
             return purge_bernoulli(hist, 0.4, child).expand()
 
-        pval = inclusion_frequency_test(sample_fn, list(range(12)),
-                                        trials=3_000, rng=rng)
-        assert pval > ALPHA
+        result = sweep(
+            lambda child: inclusion_frequency_test(
+                sample_fn, list(range(12)), trials=1_000, rng=child),
+            rng=rng, seeds=3, alpha=ALPHA)
+        assert result.accepted, result.describe()
         del h
 
 
@@ -163,9 +166,12 @@ class TestPurgeReservoir:
             hist = CompactHistogram.from_values(values)
             return purge_reservoir(hist, 2, child).expand()
 
-        pval = subset_frequency_test(sample_fn, list(range(6)), size=2,
-                                     trials=6_000, rng=rng)
-        assert pval > ALPHA
+        result = sweep(
+            lambda child: subset_frequency_test(
+                sample_fn, list(range(6)), size=2, trials=2_000,
+                rng=child),
+            rng=rng, seeds=3, alpha=ALPHA)
+        assert result.accepted, result.describe()
 
     def test_duplicate_occurrences_uniform(self, rng):
         """With duplicated values, expected kept count per value is
@@ -222,6 +228,8 @@ class TestPurgeReservoirConcat:
             b = CompactHistogram.from_values(values[mid:])
             return purge_reservoir_concat(a, b, 4, child).expand()
 
-        pval = inclusion_frequency_test(sample_fn, list(range(16)),
-                                        trials=4_000, rng=rng)
-        assert pval > ALPHA
+        result = sweep(
+            lambda child: inclusion_frequency_test(
+                sample_fn, list(range(16)), trials=1_500, rng=child),
+            rng=rng, seeds=3, alpha=ALPHA)
+        assert result.accepted, result.describe()

@@ -12,6 +12,7 @@ from repro.rng import SplittableRng
 from repro.sampling.reservoir import ReservoirSampler, reservoir_subsample
 from repro.stats.uniformity import (inclusion_frequency_test,
                                     subset_frequency_test)
+from repro.testkit import sweep
 
 
 class TestBasics:
@@ -71,18 +72,23 @@ class TestUniformity:
         def sample_fn(values, child):
             return reservoir_subsample(values, 4, child)
 
-        pval = inclusion_frequency_test(sample_fn, list(range(20)),
-                                        trials=4_000, rng=rng)
-        assert pval > ALPHA
+        result = sweep(
+            lambda child: inclusion_frequency_test(
+                sample_fn, list(range(20)), trials=1_500, rng=child),
+            rng=rng, seeds=3, alpha=ALPHA)
+        assert result.accepted, result.describe()
 
     def test_subset_frequencies(self, rng):
         """The strong uniformity property: every k-subset equally likely."""
         def sample_fn(values, child):
             return reservoir_subsample(values, 2, child)
 
-        pval = subset_frequency_test(sample_fn, list(range(6)), size=2,
-                                     trials=6_000, rng=rng)
-        assert pval > ALPHA
+        result = sweep(
+            lambda child: subset_frequency_test(
+                sample_fn, list(range(6)), size=2, trials=2_000,
+                rng=child),
+            rng=rng, seeds=3, alpha=ALPHA)
+        assert result.accepted, result.describe()
 
     def test_continuation_is_uniform(self, rng):
         """Resuming with start_index behaves like one long stream."""
@@ -97,9 +103,11 @@ class TestUniformity:
             r2.feed_many(second)
             return r2.finalize()
 
-        pval = inclusion_frequency_test(sample_fn, population,
-                                        trials=4_000, rng=rng)
-        assert pval > ALPHA
+        result = sweep(
+            lambda child: inclusion_frequency_test(
+                sample_fn, population, trials=1_500, rng=child),
+            rng=rng, seeds=3, alpha=ALPHA)
+        assert result.accepted, result.describe()
 
 
 class TestProperties:

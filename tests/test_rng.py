@@ -9,6 +9,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.rng import DEFAULT_SEED, SplittableRng, derive_seed
+from repro.testkit import sweep
 
 
 class TestDeriveSeed:
@@ -123,37 +124,47 @@ class TestBinomial:
     def test_matches_scipy_distribution(self, rng):
         """Chi-square the small-n sampler against the exact pmf."""
         scipy_stats = pytest.importorskip("scipy.stats")
-        n, p, trials = 12, 0.35, 20_000
-        counts = [0] * (n + 1)
-        for _ in range(trials):
-            counts[rng.binomial(n, p)] += 1
-        expected = [trials * scipy_stats.binom.pmf(k, n, p)
-                    for k in range(n + 1)]
-        # Collapse tiny-expectation tails.
-        obs, exp = [], []
-        acc_o = acc_e = 0.0
-        for o, e in zip(counts, expected):
-            acc_o += o
-            acc_e += e
-            if acc_e >= 5:
-                obs.append(acc_o)
-                exp.append(acc_e)
-                acc_o = acc_e = 0.0
-        obs[-1] += acc_o
-        exp[-1] += acc_e
-        stat = sum((o - e) ** 2 / e for o, e in zip(obs, exp))
-        pval = scipy_stats.chi2.sf(stat, len(obs) - 1)
-        assert pval > 1e-4
+        n, p = 12, 0.35
+
+        def pvalue(child):
+            trials = 7_000
+            counts = [0] * (n + 1)
+            for _ in range(trials):
+                counts[child.binomial(n, p)] += 1
+            expected = [trials * scipy_stats.binom.pmf(k, n, p)
+                        for k in range(n + 1)]
+            # Collapse tiny-expectation tails.
+            obs, exp = [], []
+            acc_o = acc_e = 0.0
+            for o, e in zip(counts, expected):
+                acc_o += o
+                acc_e += e
+                if acc_e >= 5:
+                    obs.append(acc_o)
+                    exp.append(acc_e)
+                    acc_o = acc_e = 0.0
+            obs[-1] += acc_o
+            exp[-1] += acc_e
+            stat = sum((o - e) ** 2 / e for o, e in zip(obs, exp))
+            return scipy_stats.chi2.sf(stat, len(obs) - 1)
+
+        result = sweep(pvalue, rng=rng, seeds=3, alpha=1e-4)
+        assert result.accepted, result.describe()
 
     def test_large_n_mode_inversion_distribution(self, rng):
         """The mode-centered inversion path is also exact."""
         scipy_stats = pytest.importorskip("scipy.stats")
-        n, p, trials = 2_000, 0.1, 5_000  # n*p = 200 >= 30 -> mode path
-        draws = [rng.binomial(n, p) for _ in range(trials)]
-        # Kolmogorov-Smirnov against the binomial CDF.
-        stat, pval = scipy_stats.kstest(
-            draws, lambda x: scipy_stats.binom.cdf(x, n, p))
-        assert pval > 1e-4
+        n, p = 2_000, 0.1  # n*p = 200 >= 30 -> mode path
+
+        def pvalue(child):
+            draws = [child.binomial(n, p) for _ in range(2_000)]
+            # Kolmogorov-Smirnov against the binomial CDF.
+            _, pval = scipy_stats.kstest(
+                draws, lambda x: scipy_stats.binom.cdf(x, n, p))
+            return pval
+
+        result = sweep(pvalue, rng=rng, seeds=3, alpha=1e-4)
+        assert result.accepted, result.describe()
 
 
 class TestReseed:

@@ -1,8 +1,9 @@
 """Tier-1 gate: the shipped tree passes its own invariant checker.
 
 ``repro lint src/repro`` must exit 0 — every RNG-discipline,
-determinism, obs-contract, error-discipline, and lock-discipline rule
-holds over the whole library.  Seeding any violation (a bare
+determinism, obs-contract, error-discipline, lock-discipline, and
+stats-discipline rule holds over the whole library; ``tests/`` must
+additionally keep RPR051 (no bare p-value asserts).  Seeding any violation (a bare
 ``random.random()`` in ``core/``, an f-string span name, an
 undocumented metric) fails this test with the offending ``RPR0xx``
 finding rendered in the assertion message.
@@ -16,6 +17,7 @@ from repro.analysis import all_rules, run_lint
 
 REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src" / "repro"
+TESTS = REPO / "tests"
 
 
 def test_src_repro_is_lint_clean():
@@ -23,6 +25,17 @@ def test_src_repro_is_lint_clean():
     assert len(project.files) > 50  # the whole tree was actually walked
     assert not findings, (
         "repro lint found invariant violations in src/repro:\n  "
+        + "\n  ".join(f.render() for f in findings))
+
+
+def test_tests_keep_pvalue_discipline():
+    # The acceptance criterion of the verification subsystem: no test
+    # in the suite asserts on a single uncorrected p-value (RPR051).
+    # Statistical claims go through repro.testkit.sweep or the battery.
+    findings, project = run_lint([str(TESTS)], select=["RPR051"])
+    assert len(project.files) > 20
+    assert not findings, (
+        "bare p-value asserts crept back into tests/:\n  "
         + "\n  ".join(f.render() for f in findings))
 
 
@@ -37,7 +50,7 @@ def test_contract_doc_was_discovered():
 def test_all_rule_families_are_registered():
     codes = {r.code for r in all_rules()}
     # At least one rule per family: RNG (00x), determinism (01x),
-    # obs contract (02x), errors (03x), locks (04x).
-    for family in ("RPR00", "RPR01", "RPR02", "RPR03", "RPR04"):
+    # obs contract (02x), errors (03x), locks (04x), stats (05x).
+    for family in ("RPR00", "RPR01", "RPR02", "RPR03", "RPR04", "RPR05"):
         assert any(code.startswith(family) for code in codes), family
     assert len(codes) >= 10

@@ -10,6 +10,7 @@ from repro.errors import ConfigurationError
 from repro.sampling.skip import (ALGORITHM_X_THRESHOLD, SkipGenerator,
                                  VitterZSkips, skip, skip_inversion)
 from repro.stats.uniformity import chi_square_pvalue
+from repro.testkit import sweep
 
 
 def exact_skip_pmf(t: int, k: int, s: int) -> float:
@@ -152,17 +153,25 @@ class TestSkipGenerator:
 class TestExactSkipDistributions:
     """Every generator's skips must match the analytic pmf."""
 
-    T, K, TRIALS = 400, 10, 15_000  # T >= 22*K: the fast paths engage
+    T, K, TRIALS = 400, 10, 5_000  # T >= 22*K: the fast paths engage
 
     def test_inversion_matches_exact_pmf(self, rng):
-        draws = [skip_inversion(self.T, self.K, rng.spawn(i))
-                 for i in range(self.TRIALS)]
-        assert chi_square_vs_exact(draws, self.T, self.K) > 1e-4
+        def pvalue(child):
+            draws = [skip_inversion(self.T, self.K, child.spawn(i))
+                     for i in range(self.TRIALS)]
+            return chi_square_vs_exact(draws, self.T, self.K)
+
+        result = sweep(pvalue, rng=rng, seeds=3, alpha=1e-4)
+        assert result.accepted, result.describe()
 
     def test_vitter_z_matches_exact_pmf(self, rng):
-        draws = [VitterZSkips(self.K, rng.spawn(i)).next_skip(self.T) - 1
-                 for i in range(self.TRIALS)]
-        assert chi_square_vs_exact(draws, self.T, self.K) > 1e-4
+        def pvalue(child):
+            draws = [VitterZSkips(self.K, child.spawn(i)).next_skip(self.T)
+                     - 1 for i in range(self.TRIALS)]
+            return chi_square_vs_exact(draws, self.T, self.K)
+
+        result = sweep(pvalue, rng=rng, seeds=3, alpha=1e-4)
+        assert result.accepted, result.describe()
 
 
 class TestVitterZ:

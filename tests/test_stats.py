@@ -16,6 +16,7 @@ from repro.stats.uniformity import (chi_square_pvalue,
                                     inclusion_frequency_test,
                                     regularized_gamma_q,
                                     subset_frequency_test)
+from repro.testkit import sweep
 
 
 class TestSummaries:
@@ -83,7 +84,10 @@ class TestChiSquare:
             pytest.approx(1.0)
 
     def test_terrible_fit(self):
-        assert chi_square_pvalue([100.0, 0.0], [50.0, 50.0]) < 1e-10
+        # Deterministic input: the p-value is a fixed constant, not a
+        # random variate, so no seed sweep applies here.
+        assert chi_square_pvalue(  # repro: noqa[RPR051]
+            [100.0, 0.0], [50.0, 50.0]) < 1e-10
 
     def test_matches_scipy(self):
         scipy_stats = pytest.importorskip("scipy.stats")
@@ -106,17 +110,21 @@ class TestUniformityHarness:
             rest = reservoir_subsample(values[1:], 2, child)
             return [values[0]] + rest
 
-        pval = inclusion_frequency_test(biased, list(range(10)),
-                                        trials=2_000, rng=rng)
-        assert pval < 1e-6
+        result = sweep(
+            lambda child: inclusion_frequency_test(
+                biased, list(range(10)), trials=1_000, rng=child),
+            rng=rng, seeds=3, alpha=1e-6)
+        assert result.all_rejected, result.describe()
 
     def test_inclusion_accepts_uniform(self, rng):
         def uniform(values, child):
             return reservoir_subsample(values, 3, child)
 
-        pval = inclusion_frequency_test(uniform, list(range(10)),
-                                        trials=3_000, rng=rng)
-        assert pval > 1e-4
+        result = sweep(
+            lambda child: inclusion_frequency_test(
+                uniform, list(range(10)), trials=1_000, rng=child),
+            rng=rng, seeds=3, alpha=1e-4)
+        assert result.accepted, result.describe()
 
     def test_subset_requires_enough_trials(self, rng):
         def uniform(values, child):
@@ -135,13 +143,18 @@ class TestUniformityHarness:
             return [values[i], values[(i + 1) % len(values)]]
 
         # Element-level test cannot see the problem...
-        pe = inclusion_frequency_test(adjacent, list(range(6)),
-                                      trials=3_000, rng=rng.spawn("incl"))
-        assert pe > 1e-4
+        incl = sweep(
+            lambda child: inclusion_frequency_test(
+                adjacent, list(range(6)), trials=1_000, rng=child),
+            rng=rng.spawn("incl"), seeds=3, alpha=1e-4)
+        assert incl.accepted, incl.describe()
         # ...the subset-level test nails it.
-        ps = subset_frequency_test(adjacent, list(range(6)), size=2,
-                                   trials=3_000, rng=rng.spawn("sub"))
-        assert ps < 1e-10
+        sub = sweep(
+            lambda child: subset_frequency_test(
+                adjacent, list(range(6)), size=2, trials=1_000,
+                rng=child),
+            rng=rng.spawn("sub"), seeds=3, alpha=1e-10)
+        assert sub.all_rejected, sub.describe()
 
 
 class TestConciseDemo:

@@ -11,6 +11,7 @@ from repro.core.phases import SampleKind
 from repro.core.stratified_bernoulli import AlgorithmSB
 from repro.errors import ConfigurationError, ProtocolError
 from repro.stats.uniformity import inclusion_frequency_test
+from repro.testkit import sweep
 
 
 class TestConfiguration:
@@ -62,9 +63,11 @@ class TestSampling:
             sb.feed_many(values)
             return sb.finalize().values()
 
-        pval = inclusion_frequency_test(sample_fn, list(range(30)),
-                                        trials=3_000, rng=rng)
-        assert pval > ALPHA
+        result = sweep(
+            lambda child: inclusion_frequency_test(
+                sample_fn, list(range(30)), trials=1_000, rng=child),
+            rng=rng, seeds=3, alpha=ALPHA)
+        assert result.accepted, result.describe()
 
 
 class TestProtocol:

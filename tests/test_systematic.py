@@ -11,6 +11,7 @@ from repro.rng import SplittableRng
 from repro.sampling.systematic import SystematicSampler
 from repro.stats.uniformity import (inclusion_frequency_test,
                                     subset_frequency_test)
+from repro.testkit import sweep
 
 
 class TestBasics:
@@ -68,9 +69,11 @@ class TestStatistics:
             s.feed_many(values)
             return s.finalize()
 
-        pval = inclusion_frequency_test(sample_fn, list(range(20)),
-                                        trials=4_000, rng=rng)
-        assert pval > ALPHA
+        result = sweep(
+            lambda child: inclusion_frequency_test(
+                sample_fn, list(range(20)), trials=1_500, rng=child),
+            rng=rng, seeds=3, alpha=ALPHA)
+        assert result.accepted, result.describe()
 
     def test_not_second_order_uniform(self, rng):
         """The design caveat: subsets are NOT equally likely (elements a
@@ -80,9 +83,12 @@ class TestStatistics:
             s.feed_many(values)
             return s.finalize()
 
-        pval = subset_frequency_test(sample_fn, list(range(6)), size=2,
-                                     trials=3_000, rng=rng)
-        assert pval < 1e-10
+        result = sweep(
+            lambda child: subset_frequency_test(
+                sample_fn, list(range(6)), size=2, trials=1_000,
+                rng=child),
+            rng=rng, seeds=3, alpha=1e-10)
+        assert result.all_rejected, result.describe()
 
 
 class TestToSample:

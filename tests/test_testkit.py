@@ -1,0 +1,343 @@
+"""Tests for repro.testkit: corrections, battery, sweep, reporters.
+
+The battery is the thing the rest of the suite leans on, so it gets
+adversarial coverage of its own: a rigged always-biased sampler the
+battery must reject, a fair sampler it must accept, tier/select
+plumbing, negative-control semantics, exact checks, and the reporter
+round-trip.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import capture
+from repro.rng import SplittableRng
+from repro.sampling.reservoir import reservoir_subsample
+from repro.stats.uniformity import inclusion_frequency_test
+from repro.testkit import (Battery, Check, adjust_pvalues, bh_adjust,
+                           default_battery, holm_adjust, parse_json,
+                           render_json, render_text, sweep)
+
+
+class TestHolm:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            holm_adjust([])
+        with pytest.raises(ConfigurationError):
+            holm_adjust([0.5, 1.2])
+
+    def test_single_pvalue_unchanged(self):
+        assert holm_adjust([0.03]) == [0.03]
+
+    def test_textbook_example(self):
+        # Smallest is multiplied by m, next by m-1, ...
+        adjusted = holm_adjust([0.01, 0.04, 0.03])
+        assert adjusted[0] == pytest.approx(0.03)   # 0.01 * 3
+        assert adjusted[2] == pytest.approx(0.06)   # 0.03 * 2
+        assert adjusted[1] == pytest.approx(0.06)   # max(0.04*1, running)
+
+    def test_monotone_and_clamped(self):
+        adjusted = holm_adjust([0.9, 0.8, 0.5, 0.001])
+        assert all(0.0 <= a <= 1.0 for a in adjusted)
+        ranked = sorted(zip([0.9, 0.8, 0.5, 0.001], adjusted))
+        assert all(a1 <= a2 for (_, a1), (_, a2)
+                   in zip(ranked, ranked[1:]))
+
+    def test_never_below_raw(self):
+        raw = [0.2, 0.01, 0.7, 0.05]
+        for p, a in zip(raw, holm_adjust(raw)):
+            assert a >= p
+
+
+class TestBH:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bh_adjust([])
+
+    def test_single_pvalue_unchanged(self):
+        assert bh_adjust([0.03]) == [0.03]
+
+    def test_textbook_example(self):
+        # m=4: sorted raws 0.01,0.02,0.03,0.04 -> i-th * m/i with a
+        # reverse running min gives 0.04 across the board.
+        adjusted = bh_adjust([0.04, 0.01, 0.03, 0.02])
+        assert adjusted == pytest.approx([0.04] * 4)
+
+    def test_less_conservative_than_holm(self):
+        raw = [0.001, 0.008, 0.039, 0.041]
+        for h, b in zip(holm_adjust(raw), bh_adjust(raw)):
+            assert b <= h + 1e-12
+
+    def test_dispatch(self):
+        raw = [0.2, 0.01]
+        assert adjust_pvalues(raw, "holm") == holm_adjust(raw)
+        assert adjust_pvalues(raw, "bh") == bh_adjust(raw)
+        with pytest.raises(ConfigurationError):
+            adjust_pvalues(raw, "bonferroni")
+
+
+def _uniformity_pvalue(sample_fn, child, trials):
+    return inclusion_frequency_test(sample_fn, list(range(10)),
+                                    trials=trials, rng=child)
+
+
+def _fair(values, child):
+    return reservoir_subsample(values, 3, child)
+
+
+def _rigged(values, child):
+    """Always keeps the first element: maximally biased inclusion."""
+    return [values[0]] + reservoir_subsample(values[1:], 2, child)
+
+
+class TestBatteryVerdicts:
+    """The battery's raison d'etre: accept fair, reject rigged."""
+
+    def _battery(self):
+        battery = Battery()
+
+        @battery.check("fair.inclusion")
+        def fair_check(rng, scale):
+            return _uniformity_pvalue(_fair, rng, 300 * scale)
+
+        @battery.check("rigged.inclusion")
+        def rigged_check(rng, scale):
+            return _uniformity_pvalue(_rigged, rng, 300 * scale)
+
+        return battery
+
+    def test_fair_sampler_accepted(self, rng):
+        report = self._battery().run(rng=rng, select=["fair.inclusion"])
+        assert report.passed
+        assert report.results[0].passed
+        assert not any(report.results[0].rejected)
+
+    def test_rigged_sampler_rejected(self, rng):
+        report = self._battery().run(rng=rng,
+                                     select=["rigged.inclusion"])
+        assert not report.passed
+        result = report.results[0]
+        assert not result.passed
+        assert all(result.rejected)  # bias this gross fails every seed
+
+    def test_pooled_correction_spans_checks(self, rng):
+        report = self._battery().run(rng=rng)
+        assert report.pvalue_count == 2 * report.seeds
+        # The fair check still passes even though the rigged check's
+        # tiny p-values entered the same pooled correction.
+        by_name = {r.check.name: r for r in report.results}
+        assert by_name["fair.inclusion"].passed
+        assert not by_name["rigged.inclusion"].passed
+
+    def test_negative_control_semantics(self, rng):
+        battery = Battery()
+        battery.add(Check(name="control", expect_reject=True,
+                          fn=lambda r, scale: _uniformity_pvalue(
+                              _rigged, r, 300 * scale)))
+        report = battery.run(rng=rng)
+        assert report.passed  # rejected on every seed == pass
+        battery2 = Battery()
+        battery2.add(Check(name="control", expect_reject=True,
+                           fn=lambda r, scale: _uniformity_pvalue(
+                               _fair, r, 300 * scale)))
+        assert not battery2.run(rng=rng).passed
+
+
+class TestBatteryPlumbing:
+    def test_duplicate_name_rejected(self):
+        battery = Battery()
+        battery.add(Check(name="x", fn=lambda r, s: 0.5))
+        with pytest.raises(ConfigurationError):
+            battery.add(Check(name="x", fn=lambda r, s: 0.5))
+
+    def test_check_validation(self):
+        with pytest.raises(ConfigurationError):
+            Check(name="x", fn=lambda r, s: 0.5, kind="bogus")
+        with pytest.raises(ConfigurationError):
+            Check(name="x", fn=lambda r, s: 0.5, tier="bogus")
+        with pytest.raises(ConfigurationError):
+            Check(name="x", fn=lambda r, s: [], kind="exact",
+                  expect_reject=True)
+
+    def test_decorator_description_from_docstring(self):
+        battery = Battery()
+
+        @battery.check("doc.check")
+        def documented(rng, scale):
+            """First line becomes the description.
+
+            Not this one.
+            """
+            return 0.5
+
+        check = battery.checks()[0]
+        assert check.description == "First line becomes the description."
+
+    def test_tier_selection_is_superset(self):
+        battery = Battery()
+        battery.add(Check(name="f", fn=lambda r, s: 0.5, tier="fast"))
+        battery.add(Check(name="d", fn=lambda r, s: 0.5, tier="deep"))
+        assert [c.name for c in battery.checks("fast")] == ["f"]
+        assert [c.name for c in battery.checks("deep")] == ["f", "d"]
+        assert [c.name for c in battery.checks()] == ["f", "d"]
+        with pytest.raises(ConfigurationError):
+            battery.checks("bogus")
+
+    def test_run_validation(self, rng):
+        battery = Battery()
+        battery.add(Check(name="x", fn=lambda r, s: 0.5))
+        with pytest.raises(ConfigurationError):
+            battery.run(rng=rng, tier="bogus")
+        with pytest.raises(ConfigurationError):
+            battery.run(rng=rng, alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            battery.run(rng=rng, method="bogus")
+        with pytest.raises(ConfigurationError):
+            battery.run(rng=rng, seeds=0)
+        with pytest.raises(ConfigurationError):
+            battery.run(rng=rng, select=["nope"])
+
+    def test_bad_pvalue_rejected(self, rng):
+        battery = Battery()
+        battery.add(Check(name="x", fn=lambda r, s: 1.5))
+        with pytest.raises(ConfigurationError):
+            battery.run(rng=rng)
+
+    def test_exact_check_collects_failures(self, rng):
+        battery = Battery()
+        battery.add(Check(name="diff", kind="exact",
+                          fn=lambda r, s: ["boom"]))
+        report = battery.run(rng=rng, seeds=2)
+        result = report.results[0]
+        assert not result.passed
+        assert result.failures == ["boom", "boom"]
+        assert result.pvalues == []
+
+    def test_exact_check_passes_when_silent(self, rng):
+        battery = Battery()
+        battery.add(Check(name="diff", kind="exact",
+                          fn=lambda r, s: []))
+        assert battery.run(rng=rng, seeds=1).passed
+
+    def test_deterministic_given_seed(self):
+        battery = Battery()
+        battery.add(Check(name="p", fn=lambda r, s: r.random()))
+        a = battery.run(rng=SplittableRng(7), seeds=3)
+        b = battery.run(rng=SplittableRng(7), seeds=3)
+        assert a.results[0].pvalues == b.results[0].pvalues
+
+    def test_obs_metrics_emitted(self, rng):
+        battery = Battery()
+        battery.add(Check(name="good", fn=lambda r, s: 0.5))
+        battery.add(Check(name="bad", fn=lambda r, s: 1e-12))
+        with capture() as (registry, _):
+            battery.run(rng=rng, seeds=2)
+        snap = registry.snapshot()
+        assert snap["verify.checks"]["value"] == 2
+        assert snap["verify.failures"]["value"] == 1
+        assert snap["verify.check.seconds"]["count"] == 2
+
+
+class TestSweep:
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            sweep(lambda c: 0.5, rng=rng, seeds=0)
+        with pytest.raises(ConfigurationError):
+            sweep(lambda c: 0.5, rng=rng, alpha=1.0)
+        with pytest.raises(ConfigurationError):
+            sweep(lambda c: 2.0, rng=rng)
+
+    def test_accepts_uniform_pvalues(self, rng):
+        result = sweep(lambda c: c.random(), rng=rng, seeds=5,
+                       alpha=1e-6)
+        assert result.accepted
+        assert not result.all_rejected
+        assert len(result.pvalues) == 5
+
+    def test_rejects_tiny_pvalues(self, rng):
+        result = sweep(lambda c: 1e-12, rng=rng, seeds=3, alpha=1e-4)
+        assert result.all_rejected
+        assert not result.accepted
+
+    def test_describe_mentions_method_and_alpha(self, rng):
+        result = sweep(lambda c: 0.5, rng=rng, seeds=2, alpha=1e-4)
+        text = result.describe()
+        assert "holm" in text and "0.0001" in text
+
+    def test_seeds_are_independent_of_draw_order(self):
+        first = sweep(lambda c: c.random(), rng=SplittableRng(3),
+                      seeds=3)
+        second = sweep(lambda c: c.random(), rng=SplittableRng(3),
+                       seeds=3)
+        assert first.pvalues == second.pvalues
+
+
+class TestReporters:
+    def _report(self, rng):
+        battery = Battery()
+        battery.add(Check(name="good", fn=lambda r, s: 0.5,
+                          description="always fine"))
+        battery.add(Check(name="control", expect_reject=True,
+                          fn=lambda r, s: 1e-12))
+        battery.add(Check(name="diff", kind="exact",
+                          fn=lambda r, s: []))
+        return battery.run(rng=rng, seeds=2)
+
+    def test_text_report(self, rng):
+        text = render_text(self._report(rng))
+        assert "good" in text and "PASS" in text
+        assert "REJECTED (expected)" in text
+        assert "exact agreement" in text
+        assert "ok: 3 check(s)" in text
+
+    def test_text_report_failure_states(self, rng):
+        battery = Battery()
+        battery.add(Check(name="bad", fn=lambda r, s: 1e-12))
+        battery.add(Check(name="limp.control", expect_reject=True,
+                          fn=lambda r, s: 0.5))
+        battery.add(Check(name="broken", kind="exact",
+                          fn=lambda r, s: ["first", "second"]))
+        text = render_text(battery.run(rng=rng, seeds=2))
+        assert "FAIL" in text
+        assert "NOT REJECTED (negative control failed)" in text
+        # Two seeds x two messages: the first failure plus three more.
+        assert "first (+3 more)" in text
+        assert "3 check(s) failed" in text
+
+    def test_json_round_trip(self, rng):
+        report = self._report(rng)
+        payload = parse_json(render_json(report, indent=2))
+        assert payload == report.to_dict()
+        assert payload["passed"] is True
+        assert payload["pvalue_count"] == 4
+        names = [c["name"] for c in payload["checks"]]
+        assert names == ["good", "control", "diff"]
+
+
+class TestDefaultBattery:
+    def test_catalog_shape(self):
+        battery = default_battery()
+        names = battery.names()
+        assert len(names) == len(set(names))
+        assert len(names) >= 12
+        # The Section 3.3 negative controls must be registered, and on
+        # the fast tier: acceptances mean nothing if the battery can't
+        # see a known non-uniformity.
+        by_name = {c.name: c for c in battery.checks()}
+        for name in ("negative.concise", "negative.counting"):
+            assert by_name[name].expect_reject
+            assert by_name[name].tier == "fast"
+        kinds = {c.kind for c in battery.checks()}
+        assert kinds == {"pvalue", "exact"}
+
+    def test_fast_single_check_runs(self, rng):
+        report = default_battery().run(
+            rng=rng, seeds=2, select=["hypergeom.gof.inversion"])
+        assert report.passed
+        assert report.pvalue_count == 2
+        assert all(math.isfinite(p)
+                   for r in report.results for p in r.pvalues)
