@@ -17,8 +17,8 @@ p-value against a threshold.  A p-value is recognized as:
   ``chi_square_pvalue``, ``scipy.stats.chisquare``, …) or to any
   function whose name contains ``pvalue``/``p_value`` or starts with
   ``chi_square`` (test-local wrappers included);
-* a name previously assigned from such a call (tuple unpacking
-  included);
+* a name previously bound from such a call — plain, annotated, or
+  walrus assignment, tuple unpacking included;
 * a name that *is* a p-value by spelling (``p_value``, ``pval``,
   ``pvals`` …).
 
@@ -70,14 +70,19 @@ def _is_producer_call(node: ast.AST) -> bool:
 
 
 def _tainted_names(tree: ast.Module) -> Set[str]:
-    """Names assigned (directly or by unpacking) from a producer call."""
+    """Names bound (assignment, annotated assignment, walrus, or
+    unpacking) from a producer call."""
     tainted: Set[str] = set()
     for node in ast.walk(tree):
-        if not isinstance(node, ast.Assign):
+        if isinstance(node, ast.Assign):
+            value, targets = node.value, node.targets
+        elif isinstance(node, (ast.AnnAssign, ast.NamedExpr)):
+            value, targets = node.value, [node.target]
+        else:
             continue
-        if not _is_producer_call(node.value):
+        if value is None or not _is_producer_call(value):
             continue
-        for target in node.targets:
+        for target in targets:
             if isinstance(target, ast.Name):
                 tainted.add(target.id)
             elif isinstance(target, (ast.Tuple, ast.List)):

@@ -2,10 +2,14 @@
 
 A :class:`Check` wraps a statistical or exact acceptance test of the
 warehouse.  A :class:`Battery` runs every selected check over a sweep of
-independent seeds, pools **all** resulting p-values, and applies one
+independent seeds, pools the resulting p-values, and applies one
 multiple-testing correction (:mod:`repro.testkit.corrections`), so the
 suite-wide false-alarm rate is set once (``alpha``) instead of being
-silently inflated by every new assert.
+silently inflated by every new assert.  Positive checks and negative
+controls are corrected as **separate families**: a control's p-values
+are ~0 by construction, and pooling them with the positives would let
+BH's step-up deflate every positive check's adjusted p-value, pushing
+the realized false-alarm rate far above the configured alpha.
 
 Check kinds
 -----------
@@ -135,7 +139,7 @@ class BatteryReport:
 
     @property
     def pvalue_count(self) -> int:
-        """How many p-values entered the pooled correction."""
+        """How many p-values entered the per-family corrections."""
         return sum(len(r.pvalues) for r in self.results)
 
     def to_dict(self) -> dict:
@@ -205,9 +209,11 @@ class Battery:
         """Run the battery and return a :class:`BatteryReport`.
 
         Every selected check runs once per seed with an independently
-        spawned child rng.  All p-values are pooled and adjusted with
-        ``method``; a (check, seed) cell is *rejected* when its
-        adjusted p-value is below ``alpha``.
+        spawned child rng.  Positive-check p-values are pooled and
+        adjusted with ``method``; negative controls are adjusted as
+        their own family so their by-design ~0 p-values cannot
+        contaminate the positives' correction.  A (check, seed) cell
+        is *rejected* when its adjusted p-value is below ``alpha``.
         """
         if tier not in TIERS:
             raise ConfigurationError(
@@ -232,6 +238,12 @@ class Battery:
                     f"unknown check(s): {sorted(unknown)}; "
                     f"known: {self.names()}")
             chosen = [c for c in chosen if c.name in wanted]
+            out_of_tier = wanted - {c.name for c in chosen}
+            if out_of_tier:
+                raise ConfigurationError(
+                    f"check(s) {sorted(out_of_tier)} are deep-tier "
+                    f"only and would be silently skipped under "
+                    f"tier={tier!r}; rerun with --tier deep")
         if not chosen:
             raise ConfigurationError("no checks selected")
 
@@ -257,14 +269,23 @@ class Battery:
                 reg.histogram("verify.check.seconds").observe(
                     result.seconds)
 
-        # Pool every p-value (positive checks and negative controls
-        # alike) under one correction: the suite-wide alpha applies to
-        # the whole battery, not per check.
-        flat = [p for r in results for p in r.pvalues]
-        if flat:
+        # Pool p-values under one correction per *family*.  Positive
+        # checks form one family, so the suite-wide alpha applies to
+        # the whole battery rather than per check.  Negative controls
+        # (expect_reject) are adjusted as a separate family: their
+        # p-values are ~0 by design, and letting them enter BH's
+        # step-up would drag down every positive check's adjusted
+        # p-value, silently inflating the suite-wide false-alarm rate
+        # far past alpha.
+        positives = [r for r in results if not r.check.expect_reject]
+        controls = [r for r in results if r.check.expect_reject]
+        for family in (positives, controls):
+            flat = [p for r in family for p in r.pvalues]
+            if not flat:
+                continue
             adjusted = adjust_pvalues(flat, method)
             pos = 0
-            for result in results:
+            for result in family:
                 n = len(result.pvalues)
                 result.adjusted = adjusted[pos:pos + n]
                 result.rejected = [a < alpha for a in result.adjusted]

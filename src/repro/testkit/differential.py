@@ -66,6 +66,11 @@ def executor_differential(tasks: Sequence[SampleTask], *,
               ("process", ProcessExecutor(max_workers=max_workers)))
     for label, executor in others:
         produced = executor.map(sample_partition, tasks)
+        if len(produced) != len(tasks):
+            failures.append(
+                f"{label} executor returned {len(produced)} result(s) "
+                f"for {len(tasks)} task(s)")
+            continue
         for i, (want, got) in enumerate(
                 zip(reference, (serialize_exact(s) for s in produced))):
             if want != got:

@@ -49,8 +49,8 @@ def render_text(report: BatteryReport) -> str:
     verdict = "ok" if report.passed else f"{failed} check(s) failed"
     lines.append(
         f"{verdict}: {len(report.results)} check(s), "
-        f"{report.pvalue_count} p-value(s) pooled under "
-        f"{report.method} at alpha={report.alpha}, "
+        f"{report.pvalue_count} p-value(s) {report.method}-corrected "
+        f"per family at alpha={report.alpha}, "
         f"{report.seeds} seed(s), tier={report.tier}")
     return "\n".join(lines)
 

@@ -438,6 +438,22 @@ class TestPvalueDiscipline:
             """})
         assert codes(found) == ["RPR051"]
 
+    def test_annotated_assignment_tainted(self, tmp_path):
+        found = lint_tree(tmp_path, {"tests/test_x.py": """\
+            def test_fit(draws):
+                score: float = chi_square_pvalue(draws, expected)
+                assert score > 1e-4
+            """})
+        assert codes(found) == ["RPR051"]
+
+    def test_walrus_assignment_tainted(self, tmp_path):
+        found = lint_tree(tmp_path, {"tests/test_x.py": """\
+            def test_fit(draws):
+                if (score := chi_square_pvalue(draws, expected)) < 1:
+                    assert score > 1e-4
+            """})
+        assert codes(found) == ["RPR051"]
+
     def test_pvalue_spelling_flagged(self, tmp_path):
         found = lint_tree(tmp_path, {"tests/test_x.py": """\
             def test_fit(pval):

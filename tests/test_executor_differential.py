@@ -64,6 +64,25 @@ def test_same_seed_same_sample_across_task_order():
     assert want == got
 
 
+def test_result_count_mismatch_reported(monkeypatch):
+    """An executor that drops results is a divergence, not something
+    the element-wise comparison may silently ignore."""
+    from repro.testkit import differential
+
+    class DroppingExecutor:
+        def __init__(self, max_workers):
+            self.max_workers = max_workers
+
+        def map(self, fn, tasks):
+            return SerialExecutor().map(fn, tasks)[:-1]
+
+    monkeypatch.setattr(differential, "ThreadExecutor",
+                        DroppingExecutor)
+    tasks = _tasks("hb", seeds=(1, 2, 3))
+    failures = differential.executor_differential(tasks, max_workers=2)
+    assert any("2 result(s) for 3 task(s)" in f for f in failures)
+
+
 def test_mixed_scheme_batch_is_stable():
     """One batch mixing all three schemes still agrees everywhere."""
     tasks = (_tasks("hb", seeds=(101,)) + _tasks("hr", seeds=(102,))

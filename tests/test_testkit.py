@@ -133,6 +133,26 @@ class TestBatteryVerdicts:
         assert by_name["fair.inclusion"].passed
         assert not by_name["rigged.inclusion"].passed
 
+    def test_negative_controls_do_not_contaminate_positives(self, rng):
+        """Control p-values (~0 by design) must stay out of the
+        positive family's correction: BH's step-up would otherwise
+        deflate the positives' adjusted p-values and reject spuriously.
+        """
+        feed = iter([0.02, 0.9])
+        battery = Battery()
+        battery.add(Check(name="pos", fn=lambda r, s: next(feed)))
+        battery.add(Check(name="neg", expect_reject=True,
+                          fn=lambda r, s: 1e-12))
+        report = battery.run(rng=rng, seeds=2, alpha=0.03, method="bh")
+        by_name = {r.check.name: r for r in report.results}
+        # BH within the positive family alone: min(0.02 * 2, 0.9) =
+        # 0.04 > alpha.  Pooled with the two ~0 controls it would be
+        # 0.02 * 4/3 ~= 0.027 < alpha — a spurious rejection.
+        assert by_name["pos"].adjusted == pytest.approx([0.04, 0.9])
+        assert by_name["pos"].passed
+        assert by_name["neg"].passed
+        assert report.passed
+
     def test_negative_control_semantics(self, rng):
         battery = Battery()
         battery.add(Check(name="control", expect_reject=True,
@@ -186,6 +206,20 @@ class TestBatteryPlumbing:
         assert [c.name for c in battery.checks()] == ["f", "d"]
         with pytest.raises(ConfigurationError):
             battery.checks("bogus")
+
+    def test_select_deep_only_under_fast_tier_errors(self, rng):
+        """Selecting a deep check under the fast tier must say so,
+        not silently run an empty-or-partial battery with exit 0."""
+        battery = Battery()
+        battery.add(Check(name="f", fn=lambda r, s: 0.5, tier="fast"))
+        battery.add(Check(name="d", fn=lambda r, s: 0.5, tier="deep"))
+        with pytest.raises(ConfigurationError, match="--tier deep"):
+            battery.run(rng=rng, select=["d"])
+        with pytest.raises(ConfigurationError, match="'d'"):
+            battery.run(rng=rng, select=["f", "d"])
+        report = battery.run(rng=rng, tier="deep", seeds=2,
+                             select=["d"])
+        assert [r.check.name for r in report.results] == ["d"]
 
     def test_run_validation(self, rng):
         battery = Battery()
