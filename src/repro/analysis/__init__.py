@@ -20,20 +20,38 @@ or from the shell: ``python -m repro lint src/repro``.  Per-line
 suppression: ``# repro: noqa[RPR012]``.  The rule catalog lives in
 ``docs/static_analysis.md``; the repo lints itself as a tier-1 test
 (``tests/test_self_lint.py``).
+
+Beyond the file-local rules, the package carries an interprocedural
+layer: :mod:`repro.analysis.callgraph` digests each file into a
+module summary, :mod:`repro.analysis.dataflow` assembles the
+project-wide call graph and propagates effect taints to a fixpoint
+(powering the RPR06x/RPR07x families), and
+:mod:`repro.analysis.cache` keeps warm runs incremental — unchanged
+files are never re-parsed, yet findings stay byte-identical to a
+cold run.
 """
 
-from repro.analysis.framework import (Finding, Project, Rule, SourceFile,
-                                      all_rules, finding_from_dict,
+from repro.analysis.cache import DEFAULT_CACHE_PATH, LintCache
+from repro.analysis.dataflow import CallGraph, analyze_project
+from repro.analysis.framework import (CachedFile, Finding, Project, Rule,
+                                      SourceFile, all_rules,
+                                      expand_select, finding_from_dict,
                                       load_project, rule, rule_for,
-                                      run_lint)
+                                      run_lint, summarizer)
 from repro.analysis.reporters import parse_json, render_json, render_text
 
 __all__ = [
+    "CachedFile",
+    "CallGraph",
+    "DEFAULT_CACHE_PATH",
     "Finding",
+    "LintCache",
     "Project",
     "Rule",
     "SourceFile",
     "all_rules",
+    "analyze_project",
+    "expand_select",
     "finding_from_dict",
     "load_project",
     "parse_json",
@@ -42,4 +60,5 @@ __all__ = [
     "rule",
     "rule_for",
     "run_lint",
+    "summarizer",
 ]

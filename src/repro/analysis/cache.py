@@ -1,0 +1,163 @@
+"""The incremental lint cache (``.repro-lint-cache.json``).
+
+``repro lint`` over the whole tree spends nearly all its time in
+``ast.parse`` and the file-scoped rule walks, and nearly none of it
+in the project-scoped passes (which consume pre-digested module
+summaries).  The cache exploits that split:
+
+* per file it stores the **content hash** (SHA-256 of the source),
+  the file-scoped **findings** per rule code (post-suppression), the
+  expanded **noqa table**, and every registered **module summary**;
+* a warm run re-reads every file's bytes (cheap) but re-parses and
+  re-analyzes only the files whose hash changed, representing the
+  rest as :class:`~repro.analysis.framework.CachedFile` placeholders;
+* project-scoped rules (obs contract, interprocedural determinism,
+  executor safety) always rerun — over the *merged* summary view of
+  cached and fresh files — so cross-module findings stay exact even
+  when only one side of a call edge changed.
+
+The whole cache is keyed by the **rule-catalog fingerprint**
+(:func:`~repro.analysis.framework.catalog_fingerprint`, which folds
+in the rules package's ``CATALOG_VERSION``): any rule addition,
+removal, or behavior bump drops every entry at once.  Entries also
+require the display path to match exactly, so ``repro lint src/repro``
+and ``repro lint src`` never trade findings with different rendered
+paths.
+
+The cache is best-effort: a corrupt or unreadable file is treated as
+empty, and an unwritable one is ignored — ``repro lint`` never fails
+because of its cache.  Cold and warm runs are guaranteed to produce
+byte-identical findings (property-tested in
+``tests/test_lint_cache.py``); ``--no-cache`` opts out entirely.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.analysis.framework import (CachedFile, Finding, SourceFile,
+                                      catalog_fingerprint)
+
+__all__ = ["LintCache", "DEFAULT_CACHE_PATH"]
+
+#: Where the CLI keeps the cache unless ``--cache`` says otherwise.
+DEFAULT_CACHE_PATH = ".repro-lint-cache.json"
+
+_FORMAT_VERSION = 1
+
+
+class LintCache:
+    """File-hash-keyed store of per-file lint results and summaries.
+
+    Parameters
+    ----------
+    path:
+        The JSON document backing the cache.  Missing or corrupt
+        files start the cache empty; writes are atomic
+        (temp file + rename) and silently skipped when the location
+        is unwritable.
+    """
+
+    def __init__(self, path: object = DEFAULT_CACHE_PATH) -> None:
+        self.path = Path(str(path))
+        self.catalog = catalog_fingerprint()
+        self._entries: Dict[str, dict] = {}
+        self._live: Dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(payload, dict):
+            return
+        if payload.get("version") != _FORMAT_VERSION:
+            return
+        if payload.get("catalog") != self.catalog:
+            return  # rule catalog changed: every entry is stale
+        files = payload.get("files")
+        if isinstance(files, dict):
+            self._entries = files
+
+    def save(self) -> None:
+        """Persist the entries touched this run (plus carried-over
+        ones for files outside this run's paths), atomically."""
+        merged = dict(self._entries)
+        merged.update(self._live)
+        payload = {
+            "version": _FORMAT_VERSION,
+            "catalog": self.catalog,
+            "files": merged,
+        }
+        text = json.dumps(payload, sort_keys=True,
+                          separators=(",", ":"))
+        try:
+            directory = self.path.parent
+            fd, tmp = tempfile.mkstemp(dir=str(directory),
+                                       suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+                os.replace(tmp, self.path)
+            except OSError:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # Best-effort: an unwritable cache never fails the lint.
+            return
+
+    # ------------------------------------------------------------------
+    # Lookup / record
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(display_path: str) -> str:
+        try:
+            return str(Path(display_path).resolve())
+        except OSError:
+            return display_path
+
+    def lookup(self, display_path: str, sha: str
+               ) -> Optional[CachedFile]:
+        """The cached view for ``display_path`` if its content (and
+        spelled path) match; ``None`` forces a fresh parse."""
+        key = self._key(display_path)
+        entry = self._entries.get(key)
+        if (entry is None or entry.get("sha") != sha
+                or entry.get("display_path") != display_path):
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._live[key] = entry
+        return CachedFile(
+            display_path=entry["display_path"],
+            sha=entry["sha"],
+            suppressions=entry.get("suppressions", {}),
+            findings_by_rule=entry.get("findings", {}),
+            summaries=entry.get("summaries", {}),
+        )
+
+    def record(self, sf: SourceFile,
+               by_rule: Dict[str, List[Finding]]) -> None:
+        """Store a freshly analyzed file's findings and summaries."""
+        entry = {
+            "display_path": sf.display_path,
+            "sha": sf.sha,
+            "suppressions": sf.suppression_table(),
+            "findings": {code: [f.to_dict() for f in found]
+                         for code, found in sorted(by_rule.items())},
+            "summaries": sf.all_summaries(),
+        }
+        self._live[self._key(sf.display_path)] = entry

@@ -1,0 +1,504 @@
+"""Per-file call-graph summaries (the ``"callgraph"`` summarizer).
+
+This module digests one parsed source file into a JSON-serializable
+**module summary** — the only thing the interprocedural engine
+(:mod:`repro.analysis.dataflow`) ever sees.  Keeping the digest pure
+JSON is what lets the incremental cache persist it: a warm ``repro
+lint`` run rebuilds the whole project call graph from cached
+summaries without re-parsing a single unchanged file.
+
+A summary looks like::
+
+    {
+      "module": "warehouse.parallel",      # dotted id under repro/
+      "path": "src/repro/warehouse/parallel.py",
+      "imports": {"SplittableRng": "rng.SplittableRng", ...},
+      "module_state": ["SCHEMES", ...],    # module-level mutables
+      "functions": {
+        "sample_partition": {
+          "name": "sample_partition", "cls": null, "nested": false,
+          "line": 95, "col": 0, "public": true,
+          "calls":    [{"name": "make_sampler", "line": 98, "col": 14}],
+          "effects":  [["filesystem", "open()", 12]],
+          "rng_params": ["rng"],
+          "rng_draws":  [{"param": "rng", "call": "rng.next_float",
+                          "line": 31}],
+          "fresh_rng":  [{"name": "SplittableRng", "line": 97,
+                          "col": 10, "guarded": false}],
+          "submits":    [{"fn": {"kind": "ref", "name":
+                          "sample_partition"}, "line": 60, "col": 8}]
+        },
+        ...
+      }
+    }
+
+Qualified names follow ``inspect``-style spelling: methods are
+``Cls.method``, nested defs are ``outer.<locals>.inner``.  ``calls``
+keeps the *raw* call-site spelling (``self.feed``, ``wh.register``);
+resolution against imports and class context happens in
+:class:`~repro.analysis.dataflow.CallGraph`, which has the whole
+project in view.
+
+Local **effects** are detected against the canonical call tables in
+:mod:`repro.analysis.dataflow`, after rewriting call names through
+the file's import aliases (``import time as t; t.time()`` is still a
+wall-clock read).  ``rng.py`` is exempt from the ``global-rng``
+effect — it implements the discipline the effect polices.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from repro.analysis.astutil import call_name, dotted_name
+from repro.analysis.dataflow import (ENTROPY, ENTROPY_CALLS, FILESYSTEM,
+                                     FILESYSTEM_CALLS, GLOBAL_RNG,
+                                     MUTATING_METHODS, RANDOM_MODULE_FNS,
+                                     SALTED_HASH, SHARED_MUTATION,
+                                     WALL_CLOCK, WALL_CLOCK_CALLS)
+from repro.analysis.framework import SourceFile, summarizer
+
+__all__ = ["callgraph_summary", "module_id"]
+
+#: Stdlib modules whose aliases/from-imports we track so effect
+#: detection survives ``import time as t`` / ``from secrets import
+#: token_hex`` spellings.
+_EXTERN_MODULES = frozenset({
+    "time", "datetime", "os", "secrets", "uuid", "random", "shutil",
+    "tempfile", "gzip", "numpy",
+})
+
+#: ``pathlib.Path`` methods that touch the filesystem (receiver-based,
+#: so ``self._root.write_text(...)`` counts).
+_PATH_FS_METHODS = frozenset({
+    "write_text", "write_bytes", "read_text", "read_bytes", "unlink",
+    "mkdir", "rmdir", "touch", "rename", "replace", "rglob", "glob",
+    "iterdir",
+})
+
+#: Constructor names that create a process pool.
+_PROCESS_CTORS = frozenset({"ProcessExecutor", "ProcessPoolExecutor"})
+
+#: Methods that hand a callable to an executor.
+_SUBMIT_METHODS = frozenset({"map", "submit"})
+
+
+def module_id(sf: SourceFile) -> str:
+    """The dotted module id under the package root.
+
+    ``core/sample.py`` -> ``core.sample``; a package
+    ``__init__.py`` takes the package's own id (``core/__init__.py``
+    -> ``core``); a top-level file is just its stem.
+    """
+    parts = list(sf.package_parts)
+    if not parts:
+        return ""
+    last = parts[-1]
+    if last == "__init__.py":
+        parts = parts[:-1]
+    elif last.endswith(".py"):
+        parts[-1] = last[:-3]
+    return ".".join(parts)
+
+
+def _is_public(qual: str) -> bool:
+    """Public API: module-level (not nested), no private path part.
+    Dunders (``__init__``) count as public — constructing a public
+    class is public API."""
+    if ".<locals>." in qual:
+        return False
+    for part in qual.split("."):
+        if part.startswith("_") and not (part.startswith("__")
+                                         and part.endswith("__")):
+            return False
+    return True
+
+
+def _last(name: str) -> str:
+    return name.rsplit(".", 1)[-1]
+
+
+def _is_process_ctor(call: ast.Call) -> bool:
+    name = call_name(call)
+    return name is not None and _last(name) in _PROCESS_CTORS
+
+
+class _ImportTable:
+    """The file's import view: ``repro.*`` targets plus the stdlib
+    aliases needed to canonicalize effect call names."""
+
+    def __init__(self, tree: ast.Module, package: str) -> None:
+        #: local name -> dotted target under the repro root
+        self.internal: Dict[str, str] = {}
+        #: ``import numpy as np`` -> {"np": "numpy"}
+        self._alias: Dict[str, str] = {}
+        #: ``from secrets import token_hex`` -> {"token_hex":
+        #: "secrets.token_hex"}
+        self._from: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                self._add_import(node)
+            elif isinstance(node, ast.ImportFrom):
+                self._add_import_from(node, package)
+
+    def _add_import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            name, bound = alias.name, alias.asname
+            if name.startswith("repro."):
+                self.internal.setdefault(bound or name, name[6:])
+            elif name.split(".", 1)[0] in _EXTERN_MODULES and bound:
+                self._alias.setdefault(bound, name)
+
+    def _add_import_from(self, node: ast.ImportFrom,
+                         package: str) -> None:
+        if node.level > 0:
+            base_parts = package.split(".") if package else []
+            drop = node.level - 1
+            if drop > len(base_parts):
+                return
+            base_parts = base_parts[:len(base_parts) - drop]
+            if node.module:
+                base_parts = base_parts + node.module.split(".")
+            base = ".".join(base_parts)
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                target = f"{base}.{alias.name}" if base else alias.name
+                self.internal.setdefault(alias.asname or alias.name,
+                                         target)
+            return
+        mod = node.module or ""
+        if mod == "repro" or mod.startswith("repro."):
+            base = mod[6:]  # "" for bare ``from repro import rng``
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                target = f"{base}.{alias.name}" if base else alias.name
+                self.internal.setdefault(alias.asname or alias.name,
+                                         target)
+        elif mod.split(".", 1)[0] in _EXTERN_MODULES:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                self._from.setdefault(alias.asname or alias.name,
+                                      f"{mod}.{alias.name}")
+
+    def canonical(self, name: str) -> str:
+        """Rewrite a call name through the alias tables so it can be
+        matched against the dataflow effect tables."""
+        if name in self._from:
+            return self._from[name]
+        first, dot, rest = name.partition(".")
+        if first in self._alias:
+            return f"{self._alias[first]}{dot}{rest}"
+        if rest and first in self._from:
+            return f"{self._from[first]}.{rest}"
+        return name
+
+
+def _module_state(tree: ast.Module) -> Set[str]:
+    """Module-level names bound to plausibly-mutable values."""
+    mutable = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+               ast.SetComp, ast.Call)
+    state: Set[str] = set()
+    for stmt in tree.body:
+        targets: List[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        else:
+            continue
+        if not isinstance(value, mutable):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                state.add(target.id)
+    return state
+
+
+def _module_executors(tree: ast.Module) -> Set[str]:
+    """Module-level names bound to a process-pool constructor."""
+    bound: Set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and \
+                isinstance(stmt.value, ast.Call) and \
+                _is_process_ctor(stmt.value):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+    return bound
+
+
+def _rng_params(node: ast.AST) -> List[str]:
+    """Parameters that carry an RNG handle: named ``rng``/``*_rng``
+    or annotated with a ``*Rng`` type."""
+    args = node.args
+    params: List[str] = []
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        if arg.arg == "rng" or arg.arg.endswith("_rng"):
+            params.append(arg.arg)
+            continue
+        ann = arg.annotation
+        if ann is not None and any(
+                isinstance(n, ast.Name) and n.id.endswith("Rng")
+                for n in ast.walk(ann)):
+            params.append(arg.arg)
+    return params
+
+
+def _own_nodes(fn_node: ast.AST) -> Iterator[ast.AST]:
+    """Every node in the function's own body, stopping at nested
+    def/class boundaries (lambdas are part of the body)."""
+    stack: List[ast.AST] = list(fn_node.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class _FunctionScan:
+    """One function body -> its summary record."""
+
+    def __init__(self, node: ast.AST, qual: str, cls: Optional[str],
+                 nested: bool, imports: _ImportTable,
+                 module_state: Set[str], module_execs: Set[str],
+                 rng_exempt: bool) -> None:
+        self._imports = imports
+        self._module_state = module_state
+        self._rng_exempt = rng_exempt
+        self.record: Dict[str, object] = {
+            "name": getattr(node, "name", "<lambda>"),
+            "cls": cls,
+            "nested": nested,
+            "line": node.lineno,
+            "col": node.col_offset,
+            "public": _is_public(qual),
+            "calls": [],
+            "effects": [],
+            "rng_params": _rng_params(node),
+            "rng_draws": [],
+            "fresh_rng": [],
+            "submits": [],
+        }
+        self._rng_params = set(self.record["rng_params"])
+        # Pass 1: scope facts the expression walk depends on.
+        self._outer_names: Set[str] = set()
+        self._local_execs: Set[str] = set(module_execs)
+        self._local_lambdas: Set[str] = set()
+        for own in _own_nodes(node):
+            self._scan_scope(own)
+        # Pass 2: calls, effects, draws, submissions (guard-aware).
+        for stmt in node.body:
+            self._visit(stmt, guarded=False)
+
+    # -- pass 1 ---------------------------------------------------------
+
+    def _scan_scope(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            self._outer_names.update(node.names)
+        elif isinstance(node, ast.Assign):
+            if isinstance(node.value, ast.Call) and \
+                    _is_process_ctor(node.value):
+                self._bind_executor(node.targets)
+            elif isinstance(node.value, ast.Lambda):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self._local_lambdas.add(target.id)
+        elif isinstance(node, ast.withitem):
+            if isinstance(node.context_expr, ast.Call) and \
+                    _is_process_ctor(node.context_expr) and \
+                    node.optional_vars is not None:
+                self._bind_executor([node.optional_vars])
+
+    def _bind_executor(self, targets: Sequence[ast.expr]) -> None:
+        for target in targets:
+            name = dotted_name(target)
+            if name is not None:
+                self._local_execs.add(name)
+
+    # -- pass 2 ---------------------------------------------------------
+
+    def _visit(self, node: ast.AST, guarded: bool) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # summarized as its own record
+        if isinstance(node, ast.Call):
+            self._handle_call(node, guarded)
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            self._handle_assignment(node)
+        if isinstance(node, (ast.If, ast.IfExp)):
+            self._visit(node.test, guarded)
+            body = node.body if isinstance(node.body, list) \
+                else [node.body]
+            orelse = node.orelse if isinstance(node.orelse, list) \
+                else ([node.orelse] if node.orelse is not None else [])
+            branch_guarded = guarded or self._mentions_rng(node.test)
+            for child in [*body, *orelse]:
+                self._visit(child, branch_guarded)
+            return
+        if isinstance(node, ast.BoolOp):
+            op_guarded = guarded or any(self._mentions_rng(v)
+                                        for v in node.values)
+            for child in node.values:
+                self._visit(child, op_guarded)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, guarded)
+
+    def _mentions_rng(self, node: ast.AST) -> bool:
+        return any(isinstance(n, ast.Name) and n.id in self._rng_params
+                   for n in ast.walk(node))
+
+    def _handle_call(self, call: ast.Call, guarded: bool) -> None:
+        # Submission detection must not depend on the call having a
+        # dotted name: ``ProcessExecutor().map(...)`` has a Call
+        # receiver, which ``call_name`` cannot render.
+        self._submission_of_call(call)
+        raw = call_name(call)
+        if raw is None:
+            return
+        self.record["calls"].append(
+            {"name": raw, "line": call.lineno, "col": call.col_offset})
+        self._effects_of_call(call, raw)
+        self._rng_of_call(call, raw, guarded)
+
+    def _effects_of_call(self, call: ast.Call, raw: str) -> None:
+        canon = self._imports.canonical(raw)
+        if canon in WALL_CLOCK_CALLS:
+            self._effect(WALL_CLOCK, f"{raw}()", call.lineno)
+        elif canon in ENTROPY_CALLS or canon == "random.SystemRandom" \
+                or canon.startswith("numpy.random.") \
+                or raw.startswith("np.random."):
+            self._effect(ENTROPY, f"{raw}()", call.lineno)
+        elif raw in ("hash", "id"):
+            self._effect(SALTED_HASH, f"{raw}()", call.lineno)
+        elif canon.startswith("random.") and not self._rng_exempt \
+                and canon[len("random."):] in RANDOM_MODULE_FNS:
+            self._effect(GLOBAL_RNG, f"{raw}()", call.lineno)
+        elif canon in FILESYSTEM_CALLS or (
+                "." in raw and _last(raw) in _PATH_FS_METHODS):
+            self._effect(FILESYSTEM, f"{raw}()", call.lineno)
+        if isinstance(call.func, ast.Attribute) and \
+                call.func.attr in MUTATING_METHODS:
+            base = dotted_name(call.func.value)
+            if base is not None:
+                first = base.split(".", 1)[0]
+                if first in self._outer_names or \
+                        first in self._module_state:
+                    self._effect(
+                        SHARED_MUTATION,
+                        f"{raw}() mutates module state '{first}'",
+                        call.lineno)
+
+    def _rng_of_call(self, call: ast.Call, raw: str,
+                     guarded: bool) -> None:
+        first = raw.split(".", 1)[0]
+        if "." in raw and first in self._rng_params:
+            self.record["rng_draws"].append(
+                {"param": first, "call": raw, "line": call.lineno})
+            return
+        terminal = _last(raw)
+        if terminal.endswith("Rng") and terminal[:1].isupper():
+            self.record["fresh_rng"].append(
+                {"name": raw, "line": call.lineno,
+                 "col": call.col_offset, "guarded": guarded})
+
+    def _submission_of_call(self, call: ast.Call) -> None:
+        func = call.func
+        if not isinstance(func, ast.Attribute) or \
+                func.attr not in _SUBMIT_METHODS or not call.args:
+            return
+        receiver = func.value
+        is_process = (isinstance(receiver, ast.Call)
+                      and _is_process_ctor(receiver))
+        if not is_process:
+            name = dotted_name(receiver)
+            is_process = name is not None and name in self._local_execs
+        if not is_process:
+            return
+        fn_arg = call.args[0]
+        if isinstance(fn_arg, ast.Lambda):
+            fn = {"kind": "lambda", "name": None}
+        else:
+            name = dotted_name(fn_arg)
+            if name is not None and name in self._local_lambdas:
+                fn = {"kind": "lambda", "name": name}
+            elif name is not None:
+                fn = {"kind": "ref", "name": name}
+            else:
+                fn = {"kind": "opaque", "name": None}
+        self.record["submits"].append(
+            {"fn": fn, "line": call.lineno, "col": call.col_offset})
+
+    def _handle_assignment(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        else:
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                if target.id in self._outer_names:
+                    self._effect(
+                        SHARED_MUTATION,
+                        f"write to outer-scope name '{target.id}'",
+                        node.lineno)
+            elif isinstance(target, (ast.Attribute, ast.Subscript)):
+                base = dotted_name(
+                    target.value if isinstance(target, ast.Subscript)
+                    else target)
+                if base is None:
+                    continue
+                first = base.split(".", 1)[0]
+                if first != "self" and (first in self._outer_names
+                                        or first in self._module_state):
+                    self._effect(
+                        SHARED_MUTATION,
+                        f"write to module state '{first}'",
+                        node.lineno)
+
+    def _effect(self, effect: str, detail: str, line: int) -> None:
+        self.record["effects"].append([effect, detail, line])
+
+
+@summarizer("callgraph")
+def callgraph_summary(sf: SourceFile) -> dict:
+    """Digest ``sf`` into the module summary described above."""
+    mod = module_id(sf)
+    parts = list(sf.package_parts)
+    if parts and parts[-1] == "__init__.py":
+        package = mod
+    else:
+        package = mod.rsplit(".", 1)[0] if "." in mod else ""
+    imports = _ImportTable(sf.tree, package)
+    module_state = _module_state(sf.tree)
+    module_execs = _module_executors(sf.tree)
+    rng_exempt = sf.is_module("rng.py")
+    functions: Dict[str, dict] = {}
+
+    def walk_defs(stmts: Sequence[ast.stmt], prefix: str,
+                  cls: Optional[str], nested: bool) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = prefix + stmt.name
+                scan = _FunctionScan(stmt, qual, cls, nested, imports,
+                                     module_state, module_execs,
+                                     rng_exempt)
+                functions[qual] = scan.record
+                walk_defs(stmt.body, qual + ".<locals>.", None, True)
+            elif isinstance(stmt, ast.ClassDef):
+                cls_qual = prefix + stmt.name
+                walk_defs(stmt.body, cls_qual + ".", cls_qual, nested)
+
+    walk_defs(sf.tree.body, "", None, False)
+    return {
+        "module": mod,
+        "path": sf.display_path,
+        "imports": dict(sorted(imports.internal.items())),
+        "module_state": sorted(module_state),
+        "functions": functions,
+    }

@@ -24,19 +24,13 @@ from typing import Iterator
 
 from repro.analysis.framework import Finding, SourceFile, rule
 from repro.analysis.astutil import walk_calls
+# Canonical table shared with the interprocedural effect engine, so
+# RPR011 and RPR061 can never disagree on what a clock read is.
+from repro.analysis.dataflow import WALL_CLOCK_CALLS as _WALL_CLOCK_CALLS
 
 #: Packages whose outputs must be a pure function of the seed.
 SAMPLING_PACKAGES = ("core", "sampling", "warehouse", "stream",
                      "analytics", "stats", "workloads")
-
-#: Non-monotonic clock reads (``perf_counter``/``monotonic`` are fine:
-#: the obs layer times with them and never feeds them into results).
-_WALL_CLOCK_CALLS = frozenset({
-    "time.time", "time.time_ns", "time.localtime", "time.ctime",
-    "time.gmtime", "datetime.now", "datetime.utcnow", "datetime.today",
-    "datetime.datetime.now", "datetime.datetime.utcnow",
-    "datetime.date.today", "date.today",
-})
 
 
 def _on_sampling_path(sf: SourceFile) -> bool:

@@ -38,7 +38,13 @@ _BUILTIN_EXCEPTIONS = frozenset(
       "a raise site uses a bare builtin instead of a ReproError type")
 def check_raises(sf: SourceFile) -> Iterator[Finding]:
     """Every ``raise`` must use a ``repro.errors`` type or an
-    allowlisted protocol builtin."""
+    allowlisted protocol builtin.
+
+    Test modules are exempt: failure-injection tests raise stdlib
+    exceptions *on purpose* to exercise error paths.
+    """
+    if sf.is_test_module():
+        return
     for node in ast.walk(sf.tree):
         if not isinstance(node, ast.Raise) or node.exc is None:
             continue

@@ -1,0 +1,106 @@
+"""RPR07x — executor safety.
+
+:class:`~repro.warehouse.parallel.ProcessExecutor` runs tasks in
+worker *processes*: the callable is pickled, shipped, and executed in
+a copy of the interpreter.  Two classes of bug follow, both invisible
+to file-local rules because the submitted callable usually lives in
+another module:
+
+* **RPR071** — the submitted task (or anything it transitively
+  calls) mutates module-global or outer-scope state.  The mutation
+  happens in the worker's copy and is silently discarded when the
+  worker exits; the parent never sees it.  The finding prints the
+  call chain down to the offending write.
+
+* **RPR072** — the submitted callable is a lambda or a local
+  (nested) def.  Neither can be pickled, so the submission fails at
+  runtime — but only on the process-executor path, which tests that
+  default to ``SerialExecutor`` never exercise.
+
+Both rules key off the ``submits`` records the callgraph summarizer
+extracts: submissions via ``.map``/``.submit`` on a receiver that is
+provably a process pool (a direct ``ProcessExecutor(...)`` /
+``ProcessPoolExecutor(...)`` construction, or a local/module name
+bound to one, including ``with ... as pool:``).  Thread and serial
+executors share the parent's memory and accept any callable, so they
+are exempt by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.dataflow import SHARED_MUTATION, analyze_project
+from repro.analysis.framework import Finding, Project, rule
+
+
+@rule("RPR071", "process-task-shared-state",
+      "a process-executor task mutates module-global or outer-scope "
+      "state", scope="project")
+def check_process_shared_state(project: Project) -> Iterator[Finding]:
+    """Resolve each process-pool submission through the call graph
+    and flag tasks whose transitive effects include shared mutation."""
+    graph = analyze_project(project)
+    for key in sorted(graph.defs):
+        mod, rec = graph.defs[key]
+        qual = key.split(":", 1)[1]
+        for sub in rec.get("submits", ()):
+            fn = sub["fn"]
+            if fn["kind"] != "ref":
+                continue
+            target = graph.resolve(mod, qual, fn["name"])
+            if target is None:
+                continue
+            if SHARED_MUTATION not in graph.effects[target]:
+                continue
+            yield Finding(
+                path=graph.modules[mod]["path"], line=sub["line"],
+                col=sub["col"], code="RPR071",
+                message=(
+                    f"task `{fn['name']}` submitted to a process "
+                    "executor mutates shared state via "
+                    f"{graph.chain(target, SHARED_MUTATION)}; writes "
+                    "made in a worker process are silently lost — "
+                    "return results to the parent instead"))
+
+
+@rule("RPR072", "unpicklable-process-task",
+      "a lambda or local def is submitted to a process executor",
+      scope="project")
+def check_unpicklable_task(project: Project) -> Iterator[Finding]:
+    """Flag submissions of callables pickle cannot ship: lambdas and
+    defs nested inside another function."""
+    graph = analyze_project(project)
+    for key in sorted(graph.defs):
+        mod, rec = graph.defs[key]
+        qual = key.split(":", 1)[1]
+        for sub in rec.get("submits", ()):
+            fn = sub["fn"]
+            path = graph.modules[mod]["path"]
+            if fn["kind"] == "lambda":
+                label = f"`{fn['name']}` (a lambda)" if fn["name"] \
+                    else "a lambda"
+                yield Finding(
+                    path=path, line=sub["line"], col=sub["col"],
+                    code="RPR072",
+                    message=(
+                        f"{label} is submitted to a process executor "
+                        "but cannot be pickled; promote it to a "
+                        "module-level function (see sample_partition)"))
+                continue
+            if fn["kind"] != "ref":
+                continue
+            target = graph.resolve(mod, qual, fn["name"])
+            if target is None or ".<locals>." not in target:
+                continue
+            yield Finding(
+                path=path, line=sub["line"], col=sub["col"],
+                code="RPR072",
+                message=(
+                    f"`{fn['name']}` is a local def (nested inside "
+                    f"`{target.split(':', 1)[1].split('.<locals>.')[0]}`"
+                    "): pickle cannot ship it to a worker process; "
+                    "promote it to module level"))
+
+
+__all__ = ["check_process_shared_state", "check_unpicklable_task"]

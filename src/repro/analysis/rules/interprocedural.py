@@ -1,0 +1,116 @@
+"""RPR06x — cross-module determinism.
+
+The file-scoped determinism rules (RPR01x) see one AST at a time: a
+sampler that reaches ``time.time()`` *through a helper in another
+module* passes them clean.  These rules close that hole with the
+project call graph (:mod:`repro.analysis.dataflow`):
+
+* **RPR061** — a public function in a sampling/merge package
+  (``core/``, ``sampling/``, ``stream/``, ``warehouse/``)
+  transitively reaches a nondeterministic effect.  The finding prints
+  the full offending call chain, e.g.::
+
+      `warehouse.ingest.ingest_partition` transitively reaches a
+      wall-clock read via ingest_partition (src/.../ingest.py:40)
+      -> _route (src/.../splitter.py:18) -> time.time() (line 24)
+
+  Only *transitive* (cross-function) reaches are reported — a local
+  ``time.time()`` in the entry point itself is already RPR011's
+  finding, and duplicating it would force double suppressions.
+
+* **RPR062** — a function that takes an RNG handle (an ``rng`` /
+  ``*_rng`` parameter or a ``*Rng``-annotated one) and draws from it,
+  but *also* draws from a second independent generator (an unguarded
+  fresh ``*Rng(...)`` construction, or the process-global ``random``
+  module).  Mixing generator paths breaks substream independence: the
+  second source is not derived from the caller's seed, so the
+  function's output is no longer a pure function of the handle it was
+  given.  A guarded default (``if rng is None: rng =
+  SplittableRng(seed)``) is the sanctioned idiom and is not flagged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.dataflow import (EFFECT_LABELS, GLOBAL_RNG,
+                                     NONDETERMINISTIC_EFFECTS,
+                                     analyze_project)
+from repro.analysis.framework import (Finding, Project, SourceFile,
+                                      rule)
+
+#: Packages whose public functions are sampling/merge entry points.
+ENTRY_PACKAGES = ("core", "sampling", "stream", "warehouse")
+
+
+@rule("RPR061", "cross-module-nondeterminism",
+      "a sampling entry point transitively reaches a nondeterministic "
+      "effect", scope="project")
+def check_cross_module_determinism(project: Project
+                                   ) -> Iterator[Finding]:
+    """Walk every public sampling-package function's transitive
+    effect set and report nondeterministic reaches with the chain."""
+    graph = analyze_project(project)
+    for key in sorted(graph.defs):
+        mod, rec = graph.defs[key]
+        if mod.split(".", 1)[0] not in ENTRY_PACKAGES:
+            continue
+        if not rec.get("public"):
+            continue
+        for effect in NONDETERMINISTIC_EFFECTS:
+            witness = graph.effects[key].get(effect)
+            if witness is None or witness[0] != "via":
+                # Local effects are the file-scoped rules' findings.
+                continue
+            path, line, col = graph.location(key)
+            yield Finding(
+                path=path, line=line, col=col, code="RPR061",
+                message=(
+                    f"`{graph.display(key)}` transitively reaches "
+                    f"{EFFECT_LABELS[effect]} via "
+                    f"{graph.chain(key, effect)}; sampling results "
+                    "must be a pure function of the seed "
+                    "(docs/determinism.md)"))
+
+
+@rule("RPR062", "mixed-rng-sources",
+      "a function draws from its rng parameter and a second "
+      "independent generator")
+def check_mixed_rng_sources(sf: SourceFile) -> Iterator[Finding]:
+    """Flag rng-parameterized functions that also draw from a fresh
+    unguarded ``*Rng(...)`` or the global ``random`` module."""
+    summ = sf.summary("callgraph")
+    if not summ:
+        return
+    for qual in sorted(summ["functions"]):
+        rec = summ["functions"][qual]
+        if not rec["rng_params"] or not rec["rng_draws"]:
+            continue
+        param = rec["rng_params"][0]
+        for fresh in rec["fresh_rng"]:
+            if fresh["guarded"]:
+                continue
+            yield Finding(
+                path=sf.display_path, line=fresh["line"],
+                col=fresh["col"], code="RPR062",
+                message=(
+                    f"`{qual}` draws from its `{param}` handle but "
+                    f"also constructs `{fresh['name']}(...)` — an "
+                    "independent generator not derived from the "
+                    "caller's seed; spawn a labelled substream "
+                    "(rng.spawn) or derive a child seed instead"))
+        for effect, detail, line in rec["effects"]:
+            if effect != GLOBAL_RNG:
+                continue
+            yield Finding(
+                path=sf.display_path, line=line, col=rec["col"],
+                code="RPR062",
+                message=(
+                    f"`{qual}` draws from its `{param}` handle but "
+                    f"also from the process-global generator "
+                    f"(`{detail}`); mixed sources break substream "
+                    "independence"))
+
+
+__all__ = ["check_cross_module_determinism",
+           "check_mixed_rng_sources", "ENTRY_PACKAGES"]

@@ -1,13 +1,17 @@
-"""Lock discipline: obs shared state mutates only under ``_lock``.
+"""Lock discipline: classes owning ``self._lock`` mutate under it.
 
 One ``MetricsRegistry`` is shared by every thread of a
-``ThreadExecutor`` run, and span sinks receive spans from all
-threads.  The obs classes therefore follow one convention: a class
-that owns shared mutable state creates ``self._lock`` in
-``__init__`` and takes it around **every** mutation.  This rule makes
-the convention machine-checked: inside ``src/repro/obs/``, any class
-whose ``__init__`` creates ``self._lock`` may only mutate its
-underscore attributes inside a ``with self._lock:`` block.
+``ThreadExecutor`` run, warehouse stores are updated by concurrent
+ingests, and span sinks receive spans from all threads.  Such classes
+follow one convention: a class that owns shared mutable state creates
+``self._lock`` in ``__init__`` and takes it around **every**
+mutation.  This rule makes the convention machine-checked —
+*project-wide*: any class, wherever it lives, whose ``__init__``
+creates ``self._lock`` may only mutate its underscore attributes
+inside a ``with self._lock:`` block.  (Classes that never create a
+``self._lock`` opt out by construction; the rule enforces the
+convention where it is claimed, it does not demand locking
+everywhere.)
 
 Reads stay unflagged on purpose — the registry deliberately reads
 ``self._metrics`` outside the lock on the double-checked fast path,
@@ -20,13 +24,8 @@ import ast
 from typing import Iterator, Optional
 
 from repro.analysis.framework import Finding, SourceFile, rule
-
-#: Method calls that mutate a container in place.
-_MUTATING_METHODS = frozenset({
-    "append", "appendleft", "extend", "insert", "pop", "popleft",
-    "popitem", "remove", "clear", "update", "add", "discard",
-    "setdefault", "write", "writelines",
-})
+# Canonical table shared with the interprocedural effect engine.
+from repro.analysis.dataflow import MUTATING_METHODS as _MUTATING_METHODS
 
 
 def _self_attr(node: ast.AST) -> Optional[str]:
@@ -50,6 +49,8 @@ def _guarded_attr(node: ast.AST) -> Optional[str]:
         targets = node.targets
     elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
         targets = [node.target]
+    elif isinstance(node, ast.Delete):
+        targets = list(node.targets)
     elif isinstance(node, ast.Call):
         func = node.func
         if isinstance(func, ast.Attribute) and \
@@ -81,11 +82,11 @@ def _unlocked_mutations(node: ast.AST, locked: bool
 
 
 @rule("RPR041", "lock-discipline",
-      "obs shared state is mutated outside `with self._lock`")
+      "shared state is mutated outside `with self._lock`")
 def check_lock_discipline(sf: SourceFile) -> Iterator[Finding]:
-    """In obs classes owning ``self._lock``, every write to a
+    """In any class owning ``self._lock``, every write to a
     ``self._*`` attribute must happen under the lock."""
-    if not sf.in_package("obs"):
+    if sf.is_test_module():
         return
     for node in ast.walk(sf.tree):
         if not isinstance(node, ast.ClassDef):

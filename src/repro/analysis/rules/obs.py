@@ -13,7 +13,13 @@ enforce three invariants:
 * every **documented** name is emitted (no ghost rows doc → code).
 
 The ``obs`` package itself is exempt: it takes caller-chosen names as
-parameters and only ever *defines* the instruments.
+parameters and only ever *defines* the instruments.  Test modules are
+exempt too: tests emit scratch names into throwaway registries, not
+into the library's contract.
+
+The cross-file directions (RPR022/RPR023) consume the ``obs_names``
+**module summary** rather than walking ASTs, so they keep working on
+warm cache runs where unchanged files are never re-parsed.
 """
 
 from __future__ import annotations
@@ -22,7 +28,8 @@ import ast
 import re
 from typing import Iterator, List, Optional, Tuple
 
-from repro.analysis.framework import Finding, Project, SourceFile, rule
+from repro.analysis.framework import (Finding, Project, SourceFile,
+                                      rule, summarizer)
 from repro.analysis.astutil import dotted_name
 
 #: Registry methods that bind a metric name at the call site.
@@ -76,17 +83,27 @@ def _literal_name(expr: ast.AST) -> Optional[str]:
     return None
 
 
-def emitted_names(project: Project
-                  ) -> List[Tuple[str, SourceFile, int]]:
-    """Every literal instrument name emitted outside the obs package."""
-    names: List[Tuple[str, SourceFile, int]] = []
-    for sf in project.files:
-        if sf.tree is None or sf.in_package("obs"):
-            continue
+@summarizer("obs_names")
+def obs_names_summary(sf: SourceFile) -> dict:
+    """Per-file digest for the contract cross-check: the literal
+    instrument names the file emits, plus whether it belongs to the
+    obs package (the contract's implementation)."""
+    names: List[List[object]] = []
+    if not sf.in_package("obs") and not sf.is_test_module():
         for call, expr in instrument_name_exprs(sf.tree):
             name = _literal_name(expr)
             if name is not None:
-                names.append((name, sf, call.lineno))
+                names.append([name, call.lineno])
+    return {"is_obs": sf.in_package("obs"), "names": names}
+
+
+def emitted_names(project: Project) -> List[Tuple[str, object, int]]:
+    """Every literal instrument name emitted outside the obs package
+    (and outside tests), as ``(name, file_view, line)``."""
+    names: List[Tuple[str, object, int]] = []
+    for view, summ in project.summaries("obs_names"):
+        for name, line in summ["names"]:
+            names.append((name, view, line))
     return names
 
 
@@ -104,7 +121,7 @@ def documented_names(text: str) -> List[Tuple[str, int]]:
 def check_literal_names(sf: SourceFile) -> Iterator[Finding]:
     """Names built at runtime defeat the contract check and create
     unbounded metric cardinality."""
-    if sf.in_package("obs"):
+    if sf.in_package("obs") or sf.is_test_module():
         return
     for call, expr in instrument_name_exprs(sf.tree):
         if _literal_name(expr) is None:
@@ -136,8 +153,17 @@ def check_names_documented(project: Project) -> Iterator[Finding]:
       "the contract doc documents a name no code emits",
       scope="project")
 def check_no_ghost_names(project: Project) -> Iterator[Finding]:
-    """Doc → code direction: contract rows must not document ghosts."""
+    """Doc → code direction: contract rows must not document ghosts.
+
+    Only meaningful when the obs implementation itself is in view: a
+    partial run (``repro lint tests``) sees none of the library's
+    emission sites, and flagging every contract row as a ghost there
+    would be pure noise.
+    """
     if project.contract_doc is None:
+        return
+    if not any(summ["is_obs"]
+               for _, summ in project.summaries("obs_names")):
         return
     doc = project.contract_doc.read_text(encoding="utf-8")
     emitted = {name for name, _, _ in emitted_names(project)}
@@ -152,5 +178,5 @@ def check_no_ghost_names(project: Project) -> Iterator[Finding]:
 
 
 __all__ = ["instrument_name_exprs", "emitted_names", "documented_names",
-           "check_literal_names", "check_names_documented",
-           "check_no_ghost_names"]
+           "obs_names_summary", "check_literal_names",
+           "check_names_documented", "check_no_ghost_names"]

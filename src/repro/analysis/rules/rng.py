@@ -17,22 +17,11 @@ from typing import Iterator
 
 from repro.analysis.framework import Finding, SourceFile, rule
 from repro.analysis.astutil import walk_calls
-
-#: Module-level draw/state functions of the stdlib ``random`` module.
-_RANDOM_MODULE_FNS = frozenset({
-    "random", "randint", "randrange", "choice", "choices", "shuffle",
-    "sample", "uniform", "triangular", "gauss", "normalvariate",
-    "lognormvariate", "expovariate", "betavariate", "gammavariate",
-    "paretovariate", "weibullvariate", "vonmisesvariate", "seed",
-    "getrandbits", "randbytes", "getstate", "setstate",
-})
-
-#: Entropy sources that bypass the seed-splitting discipline entirely.
-_ENTROPY_CALLS = frozenset({
-    "os.urandom", "secrets.token_bytes", "secrets.token_hex",
-    "secrets.token_urlsafe", "secrets.randbelow", "secrets.choice",
-    "secrets.randbits", "uuid.uuid1", "uuid.uuid4",
-})
+# Canonical tables shared with the interprocedural effect engine, so
+# the RPR00x family and RPR061's taint tracking can never drift.
+from repro.analysis.dataflow import ENTROPY_CALLS as _ENTROPY_CALLS
+from repro.analysis.dataflow import \
+    RANDOM_MODULE_FNS as _RANDOM_MODULE_FNS
 
 #: Wall-clock calls that make a seed expression time-dependent.
 _CLOCK_CALLS = (

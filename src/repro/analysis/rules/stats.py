@@ -50,13 +50,6 @@ _PVALUE_NAME_RE = re.compile(r"^p_?val(ue)?s?$", re.IGNORECASE)
 _THRESHOLD_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
 
 
-def _is_test_file(sf: SourceFile) -> bool:
-    parts = sf.package_parts
-    if not parts:
-        return False
-    return parts[-1].startswith("test_") or "tests" in parts[:-1]
-
-
 def _is_producer_call(node: ast.AST) -> bool:
     if not isinstance(node, ast.Call):
         return False
@@ -104,7 +97,7 @@ def _is_pvalue_expr(node: ast.AST, tainted: Set[str]) -> bool:
       "a test asserts on a single uncorrected p-value")
 def check_pvalue_asserts(sf: SourceFile) -> Iterator[Finding]:
     """Flag bare p-value threshold asserts in test modules."""
-    if not _is_test_file(sf):
+    if not sf.is_test_module():
         return
     assert sf.tree is not None
     tainted = _tainted_names(sf.tree)

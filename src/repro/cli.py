@@ -158,12 +158,21 @@ def build_parser() -> argparse.ArgumentParser:
                         default="text", dest="format",
                         help="report format (default: text)")
     p_lint.add_argument("--select", default=None,
-                        help="comma-separated RPR0xx codes to run "
+                        help="comma-separated RPR0xx codes and/or "
+                             "RPR06x-style family prefixes to run "
                              "(default: all rules)")
     p_lint.add_argument("--contract-doc", default=None,
                         help="observability contract page for the obs "
                              "rules (default: auto-discover "
                              "docs/observability.md above the paths)")
+    p_lint.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="parse files on N threads (0 = one per "
+                             "CPU; default: 1)")
+    p_lint.add_argument("--cache", default=None, metavar="PATH",
+                        help="incremental cache file (default: "
+                             ".repro-lint-cache.json)")
+    p_lint.add_argument("--no-cache", action="store_true",
+                        help="disable the incremental cache entirely")
     p_lint.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
 
@@ -360,8 +369,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         return 0
     select = args.select.split(",") if args.select else None
     contract = args.contract_doc if args.contract_doc else "auto"
+    cache = None
+    if not args.no_cache:
+        from repro.analysis.cache import DEFAULT_CACHE_PATH, LintCache
+
+        cache = LintCache(args.cache or DEFAULT_CACHE_PATH)
     findings, project = run_lint(args.paths, contract_doc=contract,
-                                 select=select)
+                                 select=select, jobs=args.jobs,
+                                 cache=cache)
     checked = len(project.files)
     if args.format == "json":
         print(render_json(findings, checked_files=checked, indent=1))

@@ -20,6 +20,7 @@ import gzip
 import json
 import os
 import tempfile
+import threading
 from typing import Dict, Iterator
 
 from repro.core.footprint import FootprintModel
@@ -77,14 +78,22 @@ def sample_from_dict(data: dict) -> WarehouseSample:
 
 
 class InMemoryStore:
-    """Dict-backed sample store (the default)."""
+    """Dict-backed sample store (the default).
+
+    Thread-safe: a ``ThreadExecutor`` ingest writes partitions
+    concurrently, so every mutation takes ``self._lock`` (the lock
+    discipline RPR041 enforces).  Reads stay lock-free — a dict read
+    racing a ``put`` sees either the old or the new sample, both fine.
+    """
 
     def __init__(self) -> None:
         self._samples: Dict[PartitionKey, WarehouseSample] = {}
+        self._lock = threading.Lock()
 
     def put(self, key: PartitionKey, sample: WarehouseSample) -> None:
         """Store (or replace) the sample for ``key``."""
-        self._samples[key] = sample
+        with self._lock:
+            self._samples[key] = sample
 
     def get(self, key: PartitionKey) -> WarehouseSample:
         """Fetch the sample for ``key``.
@@ -98,10 +107,11 @@ class InMemoryStore:
 
     def delete(self, key: PartitionKey) -> None:
         """Remove the sample for ``key`` (missing keys raise)."""
-        try:
-            del self._samples[key]
-        except KeyError:
-            raise PartitionNotFoundError(str(key)) from None
+        with self._lock:
+            try:
+                del self._samples[key]
+            except KeyError:
+                raise PartitionNotFoundError(str(key)) from None
 
     def __contains__(self, key: PartitionKey) -> bool:
         return key in self._samples
@@ -142,7 +152,10 @@ class FileStore:
                 f"cannot create store directory {directory!r}: {exc}"
             ) from exc
         # Map key -> filename; rebuilt from disk on construction.
+        # Mutated under self._lock: concurrent ingests may put() into
+        # the same store from several threads.
         self._index: Dict[PartitionKey, str] = {}
+        self._lock = threading.Lock()
         self._load_index()
 
     @staticmethod
@@ -154,18 +167,19 @@ class FileStore:
             return json.load(f)
 
     def _load_index(self) -> None:
-        for name in os.listdir(self._dir):
-            if not (name.endswith(".sample.json")
-                    or name.endswith(".sample.json.gz")):
-                continue
-            path = os.path.join(self._dir, name)
-            try:
-                data = self._read_document(path)
-                key = PartitionKey.parse(data["key"])
-            except (OSError, ValueError, KeyError, EOFError) as exc:
-                raise StorageError(
-                    f"corrupt sample file {path!r}: {exc}") from exc
-            self._index[key] = name
+        with self._lock:
+            for name in os.listdir(self._dir):
+                if not (name.endswith(".sample.json")
+                        or name.endswith(".sample.json.gz")):
+                    continue
+                path = os.path.join(self._dir, name)
+                try:
+                    data = self._read_document(path)
+                    key = PartitionKey.parse(data["key"])
+                except (OSError, ValueError, KeyError, EOFError) as exc:
+                    raise StorageError(
+                        f"corrupt sample file {path!r}: {exc}") from exc
+                self._index[key] = name
 
     def _path(self, key: PartitionKey) -> str:
         name = self._index.get(key)
@@ -177,23 +191,25 @@ class FileStore:
         """Store (or replace) the sample for ``key``, atomically."""
         document = sample_to_dict(sample)
         document["key"] = str(key)
-        path = self._path(key)
         payload = json.dumps(document, separators=(",", ":")) \
             .encode("utf-8")
-        if path.endswith(".gz"):
-            payload = gzip.compress(payload)
-        fd, tmp = tempfile.mkstemp(dir=self._dir, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as f:
-                f.write(payload)
-            os.replace(tmp, path)
-        except OSError as exc:
+        with self._lock:
+            path = self._path(key)
+            if path.endswith(".gz"):
+                payload = gzip.compress(payload)
+            fd, tmp = tempfile.mkstemp(dir=self._dir, suffix=".tmp")
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise StorageError(f"cannot write {path!r}: {exc}") from exc
-        self._index[key] = os.path.basename(path)
+                with os.fdopen(fd, "wb") as f:
+                    f.write(payload)
+                os.replace(tmp, path)
+            except OSError as exc:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise StorageError(
+                    f"cannot write {path!r}: {exc}") from exc
+            self._index[key] = os.path.basename(path)
 
     def get(self, key: PartitionKey) -> WarehouseSample:
         """Load the sample for ``key`` from disk."""
@@ -208,14 +224,16 @@ class FileStore:
 
     def delete(self, key: PartitionKey) -> None:
         """Remove the sample file for ``key``."""
-        if key not in self._index:
-            raise PartitionNotFoundError(str(key))
-        path = self._path(key)
-        try:
-            os.unlink(path)
-        except OSError as exc:
-            raise StorageError(f"cannot delete {path!r}: {exc}") from exc
-        del self._index[key]
+        with self._lock:
+            if key not in self._index:
+                raise PartitionNotFoundError(str(key))
+            path = self._path(key)
+            try:
+                os.unlink(path)
+            except OSError as exc:
+                raise StorageError(
+                    f"cannot delete {path!r}: {exc}") from exc
+            del self._index[key]
 
     def __contains__(self, key: PartitionKey) -> bool:
         return key in self._index

@@ -250,7 +250,9 @@ class TestObsContract:
         assert "not.in.doc" in found[0].message
 
     def test_ghost_doc_row_flagged(self, tmp_path):
-        found = lint_tree(tmp_path, {"core/x.py": """\
+        found = lint_tree(tmp_path, {
+            "obs/__init__.py": "",
+            "core/x.py": """\
             def work(reg):
                 reg.counter("foo.bar").inc()
             """}, doc=_DOC_WITH_FOO + "    | `ghost.name` | gauge |\n",
@@ -258,6 +260,16 @@ class TestObsContract:
         assert codes(found) == ["RPR023"]
         assert "ghost.name" in found[0].message
         assert found[0].path.endswith("observability.md")
+
+    def test_ghost_rows_need_obs_in_view(self, tmp_path):
+        # A partial run without the obs implementation (e.g. linting
+        # only tests/) must not flag every contract row as a ghost.
+        found = lint_tree(tmp_path, {"core/x.py": """\
+            def work(reg):
+                reg.counter("foo.bar").inc()
+            """}, doc=_DOC_WITH_FOO + "    | `ghost.name` | gauge |\n",
+            select=["RPR023"])
+        assert found == []
 
     def test_traced_timer_keyword_is_resolved(self, tmp_path):
         found = lint_tree(tmp_path, {"core/x.py": """\
@@ -399,11 +411,41 @@ class TestLockDiscipline:
             """})
         assert found == []
 
-    def test_outside_obs_is_exempt(self, tmp_path):
+    def test_any_package_is_covered(self, tmp_path):
+        # RPR041 is project-wide: any class claiming the self._lock
+        # convention is held to it, wherever it lives.
         found = lint_tree(tmp_path, {"core/x.py": """\
             import threading
 
             class State:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+
+                def bump(self):
+                    self._n += 1
+            """})
+        assert codes(found) == ["RPR041"]
+
+    def test_unlocked_delete_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"warehouse/x.py": """\
+            import threading
+
+            class Index:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries = {}
+
+                def drop(self, key):
+                    del self._entries[key]
+            """})
+        assert codes(found) == ["RPR041"]
+
+    def test_test_modules_are_exempt(self, tmp_path):
+        found = lint_tree(tmp_path, {"tests/helper.py": """\
+            import threading
+
+            class FakeStore:
                 def __init__(self):
                     self._lock = threading.Lock()
                     self._n = 0
@@ -520,6 +562,78 @@ class TestSuppressions:
                 return random.choice(xs)
             """})
         assert codes(found) == ["RPR002"]
+
+    def test_noqa_anywhere_in_multiline_statement(self, tmp_path):
+        # The statement spans three physical lines; the noqa sits on
+        # the *last* one but the finding anchors on the first.  Any
+        # physical line of the statement must suppress the whole
+        # statement.
+        found = lint_tree(tmp_path, {"core/x.py": """\
+            import random
+
+            xs = random.choice(
+                [1, 2,
+                 3])  # repro: noqa[RPR002]
+            """})
+        assert codes(found) == ["RPR001"]
+
+    def test_noqa_on_first_line_covers_continuation(self, tmp_path):
+        found = lint_tree(tmp_path, {"core/x.py": """\
+            import random
+
+            xs = random.choice(  # repro: noqa[RPR002]
+                [1, 2,
+                 3])
+            """})
+        assert codes(found) == ["RPR001"]
+
+    def test_multiline_noqa_does_not_leak_to_neighbors(self, tmp_path):
+        # Suppression stops at the statement boundary: the second
+        # choice() call on the following statement still fires.
+        found = lint_tree(tmp_path, {"core/x.py": """\
+            import random  # repro: noqa[RPR001]
+
+            xs = random.choice(
+                [1, 2])  # repro: noqa[RPR002]
+            ys = random.choice([3, 4])
+            """})
+        assert codes(found) == ["RPR002"]
+
+
+class TestSelection:
+    SOURCE = {"core/x.py": "import random\nbad = hash(3)\n"}
+
+    def test_comma_separated_tokens(self, tmp_path):
+        found = lint_tree(tmp_path, self.SOURCE,
+                          select=["RPR001,RPR012"])
+        assert codes(found) == ["RPR001", "RPR012"]
+
+    def test_family_prefix_expands(self, tmp_path):
+        found = lint_tree(tmp_path, self.SOURCE, select=["RPR01x"])
+        assert codes(found) == ["RPR012"]
+
+    def test_family_prefix_is_case_insensitive(self, tmp_path):
+        found = lint_tree(tmp_path, self.SOURCE, select=["rpr01X"])
+        assert codes(found) == ["RPR012"]
+
+    def test_unknown_code_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="RPR999"):
+            lint_tree(tmp_path, self.SOURCE, select=["RPR999"])
+
+    def test_empty_family_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="RPR09X"):
+            lint_tree(tmp_path, self.SOURCE, select=["RPR09x"])
+
+    def test_expand_select_mixes_codes_and_families(self):
+        from repro.analysis import expand_select
+
+        got = expand_select(["RPR061", "RPR07x"])
+        assert got == {"RPR061", "RPR071", "RPR072"}
+
+    def test_expand_select_none_passthrough(self):
+        from repro.analysis import expand_select
+
+        assert expand_select(None) is None
 
 
 class TestReporters:

@@ -237,6 +237,12 @@ class TestModuleEntry:
 
 
 class TestLint:
+    @pytest.fixture(autouse=True)
+    def _isolate_cache(self, tmp_path, monkeypatch):
+        # The CLI writes .repro-lint-cache.json into the CWD by
+        # default; keep it inside the test's tmp dir.
+        monkeypatch.chdir(tmp_path)
+
     @pytest.fixture()
     def clean_pkg(self, tmp_path):
         pkg = tmp_path / "pkg"
@@ -296,3 +302,56 @@ class TestLint:
             os.path.abspath(__file__))), "src", "repro")
         rc = main(["lint", src])
         assert rc == 0, capsys.readouterr().out
+
+    def test_family_select(self, clean_pkg, capsys):
+        (clean_pkg / "core" / "bad.py").write_text(
+            "import random\nx = hash(3)\n")
+        rc = main(["lint", str(clean_pkg), "--select", "RPR00x"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "RPR001" in out and "RPR012" not in out
+
+    def test_unknown_select_exits_two(self, clean_pkg, capsys):
+        rc = main(["lint", str(clean_pkg), "--select", "RPR999"])
+        assert rc == 2
+        assert "RPR999" in capsys.readouterr().err
+
+    def test_cache_file_written_and_warm_run_matches(
+            self, clean_pkg, tmp_path, capsys):
+        cache = tmp_path / "lint-cache.json"
+        (clean_pkg / "core" / "bad.py").write_text("x = hash(3)\n")
+        rc = main(["lint", str(clean_pkg), "--cache", str(cache)])
+        cold = capsys.readouterr().out
+        assert rc == 1 and cache.exists()
+        rc = main(["lint", str(clean_pkg), "--cache", str(cache)])
+        warm = capsys.readouterr().out
+        assert rc == 1
+        assert warm == cold
+
+    def test_no_cache_writes_nothing(self, clean_pkg, tmp_path):
+        rc = main(["lint", str(clean_pkg), "--no-cache"])
+        assert rc == 0
+        assert not (tmp_path / ".repro-lint-cache.json").exists()
+
+    def test_default_cache_lands_in_cwd(self, clean_pkg, tmp_path):
+        rc = main(["lint", str(clean_pkg)])
+        assert rc == 0
+        assert (tmp_path / ".repro-lint-cache.json").exists()
+
+    def test_jobs_matches_serial(self, clean_pkg, capsys):
+        (clean_pkg / "core" / "bad.py").write_text(
+            "import random\nx = hash(3)\n")
+        rc = main(["lint", str(clean_pkg), "--no-cache"])
+        serial = capsys.readouterr().out
+        assert rc == 1
+        rc = main(["lint", str(clean_pkg), "--no-cache", "--jobs", "4"])
+        parallel = capsys.readouterr().out
+        assert rc == 1
+        assert parallel == serial
+
+    def test_list_rules_includes_new_families(self, capsys):
+        rc = main(["lint", "--list-rules"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for code in ("RPR061", "RPR062", "RPR071", "RPR072"):
+            assert code in out

@@ -1,0 +1,324 @@
+"""Rule-level tests for the interprocedural families.
+
+Each rule gets a seeded violation (detected, with the right message
+shape) and a clean twin (not detected).  Fixture trees are written
+under ``tmp_path`` and linted through the public :func:`run_lint`
+entry point, so suppression and selection behave exactly as in the
+CLI.
+
+* RPR061 — cross-module nondeterminism with the call chain rendered
+* RPR062 — mixed RNG sources (fresh generator / global random)
+* RPR071 — process-executor task mutating shared state
+* RPR072 — lambda / local def submitted to a process executor
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import run_lint
+
+
+def lint_tree(tmp_path, files, *, select=None):
+    root = tmp_path / "pkg"
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    findings, _ = run_lint([str(root)], contract_doc=None,
+                           select=select)
+    return findings
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+#: A minimal in-fixture process executor (mirrors warehouse.parallel).
+_POOL = """\
+    class ProcessExecutor:
+        def __init__(self, max_workers=None):
+            self._max_workers = max_workers
+
+        def map(self, fn, items):
+            return [fn(i) for i in items]
+    """
+
+
+class TestRPR061CrossModuleDeterminism:
+    FILES = {
+        "core/entry.py": """\
+            from repro.util.helper import route
+
+            def ingest(values):
+                return route(values)
+            """,
+        "util/helper.py": """\
+            import time
+
+            def route(values):
+                return time.time(), values
+            """,
+    }
+
+    def test_transitive_clock_read_flagged_with_chain(self, tmp_path):
+        found = lint_tree(tmp_path, self.FILES, select=["RPR061"])
+        assert codes(found) == ["RPR061"]
+        message = found[0].message
+        # The full offending chain is rendered in the finding.
+        assert "core.entry.ingest" in message
+        assert "route" in message
+        assert "time.time() (line 4)" in message
+        assert found[0].path.endswith("core/entry.py")
+
+    def test_helper_package_alone_is_not_an_entry(self, tmp_path):
+        # util/ is not a sampling package: no RPR061 there, even
+        # though route() has the effect locally.
+        found = lint_tree(tmp_path, {
+            "util/helper.py": self.FILES["util/helper.py"]},
+            select=["RPR061"])
+        assert found == []
+
+    def test_local_effect_is_not_duplicated(self, tmp_path):
+        # A wall-clock read *inside* the entry point is RPR011's
+        # finding; RPR061 only reports transitive reaches.
+        found = lint_tree(tmp_path, {"core/entry.py": """\
+            import time
+
+            def ingest(values):
+                return time.time(), values
+            """}, select=["RPR061"])
+        assert found == []
+
+    def test_private_functions_are_not_entry_points(self, tmp_path):
+        files = dict(self.FILES)
+        files["core/entry.py"] = files["core/entry.py"].replace(
+            "def ingest", "def _ingest")
+        found = lint_tree(tmp_path, files, select=["RPR061"])
+        assert found == []
+
+    def test_noqa_on_def_line_suppresses(self, tmp_path):
+        files = dict(self.FILES)
+        files["core/entry.py"] = files["core/entry.py"].replace(
+            "def ingest(values):",
+            "def ingest(values):  # repro: noqa[RPR061]")
+        found = lint_tree(tmp_path, files, select=["RPR061"])
+        assert found == []
+
+    def test_clean_twin_passes(self, tmp_path):
+        found = lint_tree(tmp_path, {
+            "core/entry.py": self.FILES["core/entry.py"],
+            "util/helper.py": """\
+                def route(values):
+                    return sorted(values)
+                """}, select=["RPR061"])
+        assert found == []
+
+
+class TestRPR062MixedRngSources:
+    def test_fresh_generator_beside_handle_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"core/x.py": """\
+            from repro.rng import SplittableRng
+
+            def draw_pair(rng):
+                a = rng.next_float()
+                other = SplittableRng(123)
+                return a, other.next_float()
+            """}, select=["RPR062"])
+        assert codes(found) == ["RPR062"]
+        assert "draw_pair" in found[0].message
+        assert "SplittableRng" in found[0].message
+
+    def test_guarded_default_is_clean(self, tmp_path):
+        found = lint_tree(tmp_path, {"core/x.py": """\
+            from repro.rng import SplittableRng
+
+            def draw(n, rng=None):
+                if rng is None:
+                    rng = SplittableRng(7)
+                return rng.next_float()
+
+            def draw_or(n, rng=None):
+                rng = rng or SplittableRng(7)
+                return rng.next_float()
+            """}, select=["RPR062"])
+        assert found == []
+
+    def test_global_random_beside_handle_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"core/x.py": """\
+            import random
+
+            def draw(rng):
+                a = rng.next_float()
+                return a + random.random()
+            """}, select=["RPR062"])
+        assert codes(found) == ["RPR062"]
+        assert "process-global" in found[0].message
+
+    def test_pass_through_without_draw_is_clean(self, tmp_path):
+        # Forwarding the handle while constructing a sampler is the
+        # factory idiom (make_sampler): no draw, no mixing.
+        found = lint_tree(tmp_path, {"core/x.py": """\
+            from repro.rng import SplittableRng
+
+            def make(scheme, rng):
+                return Sampler(scheme, rng=rng)
+            """}, select=["RPR062"])
+        assert found == []
+
+
+class TestRPR071ProcessSharedState:
+    def test_mutating_task_flagged_with_chain(self, tmp_path):
+        found = lint_tree(tmp_path, {
+            "warehouse/pool.py": _POOL,
+            "warehouse/jobs.py": """\
+                from repro.warehouse.pool import ProcessExecutor
+
+                _SEEN = []
+
+                def collect(task):
+                    _SEEN.append(task)
+                    return task
+
+                def run(tasks):
+                    ex = ProcessExecutor()
+                    return ex.map(collect, tasks)
+                """}, select=["RPR071"])
+        assert codes(found) == ["RPR071"]
+        assert "collect" in found[0].message
+        assert "_SEEN" in found[0].message
+        assert found[0].path.endswith("jobs.py")
+
+    def test_transitive_mutation_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {
+            "warehouse/pool.py": _POOL,
+            "warehouse/jobs.py": """\
+                from repro.warehouse.pool import ProcessExecutor
+
+                _SEEN = []
+
+                def _note(task):
+                    _SEEN.append(task)
+
+                def collect(task):
+                    _note(task)
+                    return task
+
+                def run(tasks):
+                    with ProcessExecutor() as pool:
+                        return pool.map(collect, tasks)
+                """}, select=["RPR071"])
+        assert codes(found) == ["RPR071"]
+        assert "_note" in found[0].message
+
+    def test_pure_task_is_clean(self, tmp_path):
+        found = lint_tree(tmp_path, {
+            "warehouse/pool.py": _POOL,
+            "warehouse/jobs.py": """\
+                from repro.warehouse.pool import ProcessExecutor
+
+                def double(task):
+                    return task * 2
+
+                def run(tasks):
+                    ex = ProcessExecutor()
+                    return ex.map(double, tasks)
+                """}, select=["RPR071"])
+        assert found == []
+
+    def test_thread_executor_is_exempt(self, tmp_path):
+        found = lint_tree(tmp_path, {
+            "warehouse/jobs.py": """\
+                class ThreadExecutor:
+                    def map(self, fn, items):
+                        return [fn(i) for i in items]
+
+                _SEEN = []
+
+                def collect(task):
+                    _SEEN.append(task)
+                    return task
+
+                def run(tasks):
+                    ex = ThreadExecutor()
+                    return ex.map(collect, tasks)
+                """}, select=["RPR071"])
+        assert found == []
+
+
+class TestRPR072UnpicklableTask:
+    def test_lambda_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {
+            "warehouse/pool.py": _POOL,
+            "warehouse/jobs.py": """\
+                from repro.warehouse.pool import ProcessExecutor
+
+                def run(tasks):
+                    ex = ProcessExecutor()
+                    return ex.map(lambda t: t + 1, tasks)
+                """}, select=["RPR072"])
+        assert codes(found) == ["RPR072"]
+        assert "lambda" in found[0].message
+
+    def test_local_def_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {
+            "warehouse/pool.py": _POOL,
+            "warehouse/jobs.py": """\
+                from repro.warehouse.pool import ProcessExecutor
+
+                def run(tasks):
+                    def worker(t):
+                        return t * 2
+                    ex = ProcessExecutor()
+                    return ex.map(worker, tasks)
+                """}, select=["RPR072"])
+        assert codes(found) == ["RPR072"]
+        assert "worker" in found[0].message
+        assert "local def" in found[0].message
+
+    def test_named_lambda_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {
+            "warehouse/jobs.py": _POOL + """\
+
+    def run(tasks):
+        bump = lambda t: t + 1
+        ex = ProcessExecutor()
+        return ex.map(bump, tasks)
+    """}, select=["RPR072"])
+        assert codes(found) == ["RPR072"]
+        assert "bump" in found[0].message
+
+    def test_module_level_function_is_clean(self, tmp_path):
+        found = lint_tree(tmp_path, {
+            "warehouse/pool.py": _POOL,
+            "warehouse/jobs.py": """\
+                from repro.warehouse.pool import ProcessExecutor
+
+                def double(t):
+                    return t * 2
+
+                def run(tasks):
+                    ex = ProcessExecutor()
+                    return ex.map(double, tasks)
+                """}, select=["RPR072"])
+        assert found == []
+
+    def test_direct_ctor_receiver_detected(self, tmp_path):
+        found = lint_tree(tmp_path, {
+            "warehouse/jobs.py": _POOL + """\
+
+    def run(tasks):
+        return ProcessExecutor().map(lambda t: t, tasks)
+    """}, select=["RPR072"])
+        assert codes(found) == ["RPR072"]
+
+
+def test_real_tree_is_clean_under_new_families(tmp_path):
+    # The shipped tree must carry zero unsuppressed RPR06x/RPR07x
+    # findings (tentpole acceptance criterion).
+    from pathlib import Path
+
+    src = Path(__file__).resolve().parent.parent / "src" / "repro"
+    found, _ = run_lint([str(src)],
+                        select=["RPR06x", "RPR07x"])
+    assert not found, "\n".join(f.render() for f in found)

@@ -1,0 +1,226 @@
+"""The incremental cache: warm runs must be byte-identical to cold
+runs while re-parsing only what changed.
+
+Covers the invalidation triggers (file edit, catalog bump, spelled
+path change), tolerance of corrupt cache documents, the ``--no-cache``
+escape hatch at the API level, ``--jobs`` equivalence, and a
+hypothesis property test generating random file trees and edits.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import LintCache, run_lint
+
+#: A tree with one finding per file so cache hits are observable in
+#: the findings themselves, not just in parse counts.
+TREE = {
+    "core/a.py": """\
+        import time
+
+        def sample_budget(n):
+            return n * time.time()
+        """,
+    "core/b.py": """\
+        import random
+
+        def jitter():
+            return random.random()
+        """,
+    "warehouse/c.py": """\
+        def merge(parts):
+            return sorted(parts)
+        """,
+}
+
+
+def write_tree(root, files):
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return root
+
+
+def render(findings):
+    return [f.render() for f in findings]
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    return write_tree(tmp_path / "pkg", TREE)
+
+
+def run(tree, cache):
+    return run_lint([str(tree)], contract_doc=None, cache=cache)
+
+
+class TestWarmRuns:
+    def test_warm_run_is_byte_identical(self, tree, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        cold, _ = run(tree, LintCache(cache_path))
+        warm, _ = run(tree, LintCache(cache_path))
+        assert render(warm) == render(cold)
+        assert cold  # the tree is seeded with real findings
+
+    def test_warm_run_parses_nothing(self, tree, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        run(tree, LintCache(cache_path))
+        warm_cache = LintCache(cache_path)
+        _, project = run(tree, warm_cache)
+        assert project.parsed == []
+        assert warm_cache.hits == len(TREE)
+        assert warm_cache.misses == 0
+
+    def test_edit_reparses_only_the_changed_file(self, tree, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        run(tree, LintCache(cache_path))
+        target = tree / "warehouse" / "c.py"
+        target.write_text("def merge(parts):\n    return parts\n",
+                          encoding="utf-8")
+        warm_cache = LintCache(cache_path)
+        _, project = run(tree, warm_cache)
+        assert [sf.display_path for sf in project.parsed] == \
+            [str(target)]
+        assert warm_cache.misses == 1
+
+    def test_cross_file_finding_tracks_edits(self, tree, tmp_path):
+        # Project rules rerun from merged summaries, so an RPR061
+        # chain anchored in an *unchanged* file must still disappear
+        # when the effect source is edited away.
+        files = {
+            "core/entry.py": """\
+                from repro.util.helper import route
+
+                def ingest(values):
+                    return route(values)
+                """,
+            "util/helper.py": """\
+                import time
+
+                def route(values):
+                    return time.time(), values
+                """,
+        }
+        root = write_tree(tmp_path / "xpkg", files)
+        cache_path = tmp_path / "xcache.json"
+        cold, _ = run_lint([str(root)], contract_doc=None,
+                           select=["RPR061"],
+                           cache=LintCache(cache_path))
+        assert [f.code for f in cold] == ["RPR061"]
+        (root / "util" / "helper.py").write_text(
+            "def route(values):\n    return sorted(values)\n",
+            encoding="utf-8")
+        warm_cache = LintCache(cache_path)
+        warm, project = run_lint([str(root)], contract_doc=None,
+                                 select=["RPR061"], cache=warm_cache)
+        assert warm == []
+        # entry.py (where the finding anchored) was not re-parsed.
+        assert [sf.display_path for sf in project.parsed] == \
+            [str(root / "util" / "helper.py")]
+
+
+class TestInvalidation:
+    def test_catalog_bump_invalidates_everything(self, tree, tmp_path,
+                                                 monkeypatch):
+        cache_path = tmp_path / "cache.json"
+        run(tree, LintCache(cache_path))
+        import repro.analysis.rules as rules_pkg
+        monkeypatch.setattr(rules_pkg, "CATALOG_VERSION",
+                            rules_pkg.CATALOG_VERSION + ".test")
+        bumped = LintCache(cache_path)
+        _, project = run(tree, bumped)
+        assert len(project.parsed) == len(TREE)
+        assert bumped.hits == 0
+
+    def test_corrupt_cache_is_ignored(self, tree, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        cold, _ = run(tree, None)
+        cache_path.write_text("{not json", encoding="utf-8")
+        warm, project = run(tree, LintCache(cache_path))
+        assert render(warm) == render(cold)
+        assert len(project.parsed) == len(TREE)
+
+    def test_wrong_format_version_is_ignored(self, tree, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        run(tree, LintCache(cache_path))
+        doc = json.loads(cache_path.read_text(encoding="utf-8"))
+        doc["version"] = doc["version"] + 1
+        cache_path.write_text(json.dumps(doc), encoding="utf-8")
+        stale = LintCache(cache_path)
+        _, project = run(tree, stale)
+        assert len(project.parsed) == len(TREE)
+
+    def test_no_cache_always_parses(self, tree, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        run(tree, LintCache(cache_path))
+        _, project = run(tree, None)  # the --no-cache path
+        assert len(project.parsed) == len(TREE)
+
+    def test_cache_file_written_atomically_and_reloadable(
+            self, tree, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        run(tree, LintCache(cache_path))
+        doc = json.loads(cache_path.read_text(encoding="utf-8"))
+        assert set(doc) >= {"version", "catalog", "files"}
+        assert len(doc["files"]) == len(TREE)
+
+
+class TestJobs:
+    def test_parallel_load_matches_serial(self, tree):
+        serial, _ = run_lint([str(tree)], contract_doc=None, jobs=1)
+        parallel, _ = run_lint([str(tree)], contract_doc=None, jobs=4)
+        assert render(parallel) == render(serial)
+
+    def test_jobs_zero_means_cpu_count(self, tree):
+        auto, _ = run_lint([str(tree)], contract_doc=None, jobs=0)
+        serial, _ = run_lint([str(tree)], contract_doc=None, jobs=1)
+        assert render(auto) == render(serial)
+
+
+# -- property test: cold and warm runs agree on arbitrary trees -------
+
+_SNIPPETS = (
+    "def clean(xs):\n    return sorted(xs)\n",
+    "import time\n\ndef stamp():\n    return time.time()\n",
+    "import random\n\ndef jitter():\n    return random.random()\n",
+    "_CACHE = {}\n\ndef remember(k, v):\n    _CACHE[k] = v\n",
+    "def sample_rate(n, rng):\n    return rng.next_float() * n\n",
+)
+
+_tree_strategy = st.dictionaries(
+    keys=st.sampled_from(
+        ["core/a.py", "core/b.py", "util/c.py", "warehouse/d.py"]),
+    values=st.sampled_from(range(len(_SNIPPETS))),
+    min_size=1, max_size=4)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(layout=_tree_strategy,
+       edit=st.sampled_from(range(len(_SNIPPETS))))
+def test_cold_and_warm_findings_agree(tmp_path_factory, layout, edit):
+    """For any generated tree and any single-file edit, a warm run
+    over the edited tree renders exactly the findings a cold run
+    over the same tree renders."""
+    base = tmp_path_factory.mktemp("prop")
+    root = write_tree(
+        base / "pkg", {rel: _SNIPPETS[i] for rel, i in layout.items()})
+    cache_path = base / "cache.json"
+    run_lint([str(root)], contract_doc=None,
+             cache=LintCache(cache_path))
+
+    # Edit one file (possibly to identical content — also a case).
+    victim = sorted(layout)[0]
+    (root / victim).write_text(_SNIPPETS[edit], encoding="utf-8")
+
+    warm, _ = run_lint([str(root)], contract_doc=None,
+                       cache=LintCache(cache_path))
+    cold, _ = run_lint([str(root)], contract_doc=None, cache=None)
+    assert render(warm) == render(cold)

@@ -1,19 +1,20 @@
 """Tier-1 gate: the shipped tree passes its own invariant checker.
 
-``repro lint src/repro`` must exit 0 — every RNG-discipline,
-determinism, obs-contract, error-discipline, lock-discipline, and
-stats-discipline rule holds over the whole library; ``tests/`` must
-additionally keep RPR051 (no bare p-value asserts).  Seeding any violation (a bare
-``random.random()`` in ``core/``, an f-string span name, an
-undocumented metric) fails this test with the offending ``RPR0xx``
-finding rendered in the assertion message.
+``repro lint src/repro tests`` must exit 0 — every RNG-discipline,
+determinism, obs-contract, error-discipline, lock-discipline,
+stats-discipline, interprocedural-determinism, and executor-safety
+rule holds over the whole library *and* the test suite.  Seeding any
+violation (a bare ``random.random()`` in ``core/``, an f-string span
+name, a public sampling entry point that transitively reads the
+clock, a lambda handed to ``ProcessExecutor``) fails this test with
+the offending ``RPR0xx`` finding rendered in the assertion message.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
 
-from repro.analysis import all_rules, run_lint
+from repro.analysis import all_rules, analyze_project, run_lint
 
 REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src" / "repro"
@@ -25,6 +26,18 @@ def test_src_repro_is_lint_clean():
     assert len(project.files) > 50  # the whole tree was actually walked
     assert not findings, (
         "repro lint found invariant violations in src/repro:\n  "
+        + "\n  ".join(f.render() for f in findings))
+
+
+def test_full_tree_is_lint_clean():
+    # The CI invocation: source and tests in one project, all rules.
+    # Test modules are exempt from the in-library-only families
+    # (RPR021, RPR031, RPR041) by scoping, not by suppression, so
+    # this passing means zero unsuppressed findings anywhere.
+    findings, project = run_lint([str(SRC), str(TESTS)])
+    assert len(project.files) > 100
+    assert not findings, (
+        "repro lint found invariant violations in the full tree:\n  "
         + "\n  ".join(f.render() for f in findings))
 
 
@@ -47,10 +60,36 @@ def test_contract_doc_was_discovered():
     assert project.contract_doc.name == "observability.md"
 
 
+def test_call_graph_covers_the_tree():
+    # The interprocedural layer actually sees the library: the graph
+    # has hundreds of defs and resolves cross-module edges.  A broken
+    # summarizer would silently turn RPR06x/RPR07x into no-ops, which
+    # this guards against.
+    _, project = run_lint([str(SRC)])
+    graph = analyze_project(project)
+    assert len(graph.defs) > 500
+    assert sum(len(edges) for edges in graph._edges.values()) > 300
+
+
+def test_sampling_entry_points_are_deterministic():
+    # The paper's core claim, checked interprocedurally: no public
+    # function in the sampling packages transitively reaches wall
+    # clock, salted hash, global RNG, or OS entropy.
+    findings, _ = run_lint([str(SRC)], select=["RPR061"])
+    assert not findings, "\n".join(f.render() for f in findings)
+
+
+def test_process_tasks_are_safe():
+    findings, _ = run_lint([str(SRC)], select=["RPR07x"])
+    assert not findings, "\n".join(f.render() for f in findings)
+
+
 def test_all_rule_families_are_registered():
     codes = {r.code for r in all_rules()}
     # At least one rule per family: RNG (00x), determinism (01x),
-    # obs contract (02x), errors (03x), locks (04x), stats (05x).
-    for family in ("RPR00", "RPR01", "RPR02", "RPR03", "RPR04", "RPR05"):
+    # obs contract (02x), errors (03x), locks (04x), stats (05x),
+    # interprocedural determinism (06x), executor safety (07x).
+    for family in ("RPR00", "RPR01", "RPR02", "RPR03", "RPR04",
+                   "RPR05", "RPR06", "RPR07"):
         assert any(code.startswith(family) for code in codes), family
-    assert len(codes) >= 10
+    assert len(codes) >= 14
