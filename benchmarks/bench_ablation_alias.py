@@ -11,8 +11,7 @@ cache, and compares the wall time.
 
 from __future__ import annotations
 
-import time
-
+from repro.bench import wall_timer
 from repro.bench.report import print_table
 from repro.core.hybrid_reservoir import AlgorithmHR
 from repro.core.merge import hr_merge, merge_tree
@@ -46,14 +45,13 @@ def test_ablation_alias(benchmark, scale, rng):
         bound=scale.bound_values)
 
     def run_both():
-        t0 = time.perf_counter()
-        merged_plain = _merge_all(samples, rng.spawn("plain"), None)
-        plain_s = time.perf_counter() - t0
+        with wall_timer() as plain_t:
+            merged_plain = _merge_all(samples, rng.spawn("plain"), None)
         cache = CachedHypergeometric()
-        t0 = time.perf_counter()
-        merged_cached = _merge_all(samples, rng.spawn("cached"), cache)
-        cached_s = time.perf_counter() - t0
-        return plain_s, cached_s, merged_plain, merged_cached, len(cache)
+        with wall_timer() as cached_t:
+            merged_cached = _merge_all(samples, rng.spawn("cached"), cache)
+        return (plain_t.seconds, cached_t.seconds, merged_plain,
+                merged_cached, len(cache))
 
     plain_s, cached_s, merged_plain, merged_cached, cache_entries = \
         benchmark.pedantic(run_both, rounds=1, iterations=1)

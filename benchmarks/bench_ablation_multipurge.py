@@ -9,8 +9,7 @@ measures both claims on the uniform workload.
 
 from __future__ import annotations
 
-import time
-
+from repro.bench import wall_timer
 from repro.bench.report import print_table
 from repro.core.hybrid_bernoulli import AlgorithmHB
 from repro.core.multi_purge import MultiPurgeBernoulli
@@ -30,10 +29,10 @@ def _run_variants(rng, *, population, bound, repeats):
         for rep in range(repeats):
             data = gen.generate(population, rng.spawn("data", name, rep))
             sampler = factory(rng.spawn("samp", name, rep))
-            start = time.perf_counter()
-            sampler.feed_many(data)
-            sample = sampler.finalize()
-            seconds.append(time.perf_counter() - start)
+            with wall_timer() as t:
+                sampler.feed_many(data)
+                sample = sampler.finalize()
+            seconds.append(t.seconds)
             sizes.append(float(sample.size))
         rows.append((name, mean(seconds), mean(sizes),
                      coefficient_of_variation(sizes)))

@@ -18,8 +18,7 @@ for the bounded samplers, which is the point of implementing skips.
 
 from __future__ import annotations
 
-import time
-
+from repro.bench import wall_timer
 from repro.bench.report import print_table
 from repro.warehouse.parallel import make_sampler
 from repro.workloads.generators import UniformGenerator
@@ -32,16 +31,15 @@ def _throughput(scheme, values, rng, mode):
     sampler = make_sampler(scheme, population_size=len(values),
                            bound_values=BOUND, exceedance_p=0.001,
                            sb_rate=BOUND / len(values), rng=rng)
-    start = time.perf_counter()
-    if mode == "stream":
-        feed = sampler.feed
-        for v in values:
-            feed(v)
-    else:
-        sampler.feed_many(values)
-    elapsed = time.perf_counter() - start
+    with wall_timer() as t:
+        if mode == "stream":
+            feed = sampler.feed
+            for v in values:
+                feed(v)
+        else:
+            sampler.feed_many(values)
     sampler.finalize()
-    return len(values) / elapsed
+    return len(values) / t.seconds
 
 
 def test_throughput(benchmark, rng):

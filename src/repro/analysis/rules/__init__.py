@@ -12,7 +12,7 @@ from __future__ import annotations
 #: Bumped whenever a rule's *behavior* changes without its code or
 #: scope changing (the incremental cache folds this into its key, so
 #: a bump drops every cached finding at once).
-CATALOG_VERSION = "4"
+CATALOG_VERSION = "5"
 
 from repro.analysis import callgraph as _callgraph  # noqa: F401,E402
 from repro.analysis.rules import determinism as _determinism  # noqa: F401,E402
@@ -23,3 +23,4 @@ from repro.analysis.rules import locks as _locks  # noqa: F401,E402
 from repro.analysis.rules import obs as _obs  # noqa: F401,E402
 from repro.analysis.rules import rng as _rng  # noqa: F401,E402
 from repro.analysis.rules import stats as _stats  # noqa: F401,E402
+from repro.analysis.rules import timing as _timing  # noqa: F401,E402

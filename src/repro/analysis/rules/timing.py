@@ -1,0 +1,89 @@
+"""Timing discipline: raw clock reads belong to bench and obs only.
+
+The library's timing contract (``docs/observability.md``) routes every
+duration through :func:`repro.obs.clock.monotonic` (library and test
+code) or the bench package's :func:`repro.bench.wall_timer`; only
+``repro/bench`` and ``repro/obs`` may call ``time.perf_counter`` &
+friends directly.  That makes "who reads clocks, and why" auditable by
+construction: determinism review (wall clock feeding sampling decisions
+is RPR011's job and the dataflow lattice's) only ever needs to look at
+two packages.
+
+RPR081 enforces the *monotonic* half of the discipline — it flags raw
+``time.*`` clock reads (``perf_counter``, ``monotonic``,
+``process_time``, ``time``, …, plus their ``_ns`` variants) anywhere
+outside those two packages, however the name was imported.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.astutil import walk_calls
+from repro.analysis.framework import Finding, SourceFile, rule
+
+#: Every clock-reading callable of the stdlib ``time`` module.
+TIMING_CALLS = frozenset({
+    "time", "time_ns",
+    "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns",
+    "process_time", "process_time_ns",
+    "thread_time", "thread_time_ns",
+})
+
+#: Packages allowed to read clocks directly: obs owns the clock front,
+#: bench measures wall time for a living.
+CLOCK_PACKAGES = ("bench", "obs")
+
+
+def _time_bindings(tree: ast.AST) -> tuple[Set[str], Set[str]]:
+    """Names bound to the ``time`` module and to its clock functions.
+
+    Returns ``(module_aliases, function_aliases)``: the first holds
+    every local name for the module itself (``import time``,
+    ``import time as t``), the second every local name for one of its
+    clock callables (``from time import perf_counter as pc``).
+    """
+    modules: Set[str] = set()
+    functions: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    modules.add(alias.asname or alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "time" and node.level == 0:
+                for alias in node.names:
+                    if alias.name in TIMING_CALLS:
+                        functions.add(alias.asname or alias.name)
+    return modules, functions
+
+
+@rule("RPR081", "raw-clock-read",
+      "a raw time.* clock read outside repro/bench and repro/obs")
+def check_raw_clock_read(sf: SourceFile) -> Iterator[Finding]:
+    """Flag direct ``time`` clock calls outside the clock-owning packages.
+
+    Library and test code should call
+    :func:`repro.obs.clock.monotonic`; benchmark scripts should use
+    :func:`repro.bench.wall_timer`.  Catches dotted reads through the
+    module (under any ``import time as ...`` alias) and bare reads of
+    ``from time import ...`` bindings (under any rename).
+    """
+    if sf.in_package(*CLOCK_PACKAGES):
+        return
+    modules, functions = _time_bindings(sf.tree)
+    for call, name in walk_calls(sf.tree):
+        if name is None:
+            continue
+        head, _, attr = name.rpartition(".")
+        hit = (attr in TIMING_CALLS and head in modules) if head \
+            else (attr in functions)
+        if hit:
+            yield sf.finding(
+                call, "RPR081",
+                f"raw clock read `{name}()`; time through "
+                "repro.obs.clock.monotonic (library/tests) or "
+                "repro.bench.wall_timer (benchmarks) so timing "
+                "stays auditable (docs/observability.md)")

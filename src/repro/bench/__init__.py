@@ -1,8 +1,15 @@
 """Benchmark harness: the partition -> parallel-sample -> serial-merge
-pipeline of Section 5, figure-reproduction drivers, and table printing."""
+pipeline of Section 5, figure-reproduction drivers, table printing, the
+:func:`wall_timer` every benchmark script times with, and the pinned
+regression suite behind ``repro bench run`` / ``--compare``."""
 
 from repro.bench.harness import PipelineResult, repeat_pipeline, run_pipeline
+from repro.bench.regression import (BenchResult, compare_reports,
+                                    load_report, run_core_suite,
+                                    run_merge_suite, validate_report,
+                                    write_report)
 from repro.bench.report import format_table, print_table
+from repro.bench.timing import WallTimer, wall_timer
 
 __all__ = [
     "run_pipeline",
@@ -10,4 +17,13 @@ __all__ = [
     "PipelineResult",
     "format_table",
     "print_table",
+    "WallTimer",
+    "wall_timer",
+    "BenchResult",
+    "run_core_suite",
+    "run_merge_suite",
+    "validate_report",
+    "load_report",
+    "write_report",
+    "compare_reports",
 ]

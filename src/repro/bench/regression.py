@@ -1,0 +1,320 @@
+"""The pinned regression-bench suite behind ``repro bench run``.
+
+Every PR that claims a speedup needs a number, and every PR that costs
+one needs to be caught; this module is the measurement loop for both.
+``run_core_suite`` times batch-ingest throughput per scheme and
+merge-on-demand query latency; ``run_merge_suite`` times 2/4/8/16-way
+merge trees serial vs parallel.  Both write one report each
+(``BENCH_core.json`` / ``BENCH_merge.json``, schema ``repro-bench/1``)
+at the repo root, and :func:`compare_reports` diffs two reports and
+flags entries slower than a threshold ratio — the check
+``repro bench --compare`` runs in CI.
+
+Methodology: every workload is deterministic from the suite seed (same
+data, same sample sizes every run), each entry reports the **minimum**
+over its repeats (the standard noise-robust statistic for wall-clock
+microbenchmarks), and comparisons require both a ratio beyond the
+threshold *and* an absolute slowdown beyond ``min_seconds`` so
+sub-millisecond entries cannot flag on scheduler jitter.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.timing import wall_timer
+from repro.errors import ConfigurationError
+from repro.rng import SplittableRng
+
+__all__ = [
+    "SCHEMA",
+    "CORE_FILENAME",
+    "MERGE_FILENAME",
+    "DEFAULT_THRESHOLD",
+    "BenchResult",
+    "run_core_suite",
+    "run_merge_suite",
+    "report_dict",
+    "validate_report",
+    "load_report",
+    "write_report",
+    "compare_reports",
+]
+
+SCHEMA = "repro-bench/1"
+CORE_FILENAME = "BENCH_core.json"
+MERGE_FILENAME = "BENCH_merge.json"
+
+#: A candidate entry flags as a regression when it is more than this
+#: many times slower than the baseline (and slower by ``min_seconds``).
+DEFAULT_THRESHOLD = 1.25
+
+#: Absolute slack: ratio violations faster than this are ignored, so
+#: microsecond-scale entries cannot regress on scheduler noise alone.
+DEFAULT_MIN_SECONDS = 0.005
+
+_INGEST_SCHEMES = ("hb", "hr", "sb", "hb-mp")
+_MERGE_PARTITIONS = (2, 4, 8, 16)
+_MERGE_WORKERS = 2
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One timed workload: identity (name + params) and its seconds."""
+
+    name: str
+    params: Dict[str, object]
+    seconds: float
+    repeats: int
+
+    def key(self) -> Tuple[object, ...]:
+        """Identity for cross-report matching (name + sorted params)."""
+        return (self.name, tuple(sorted(self.params.items())))
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "params": dict(self.params),
+                "seconds": self.seconds, "repeats": self.repeats}
+
+
+def _time_min(fn, repeats: int) -> float:
+    """Minimum wall time of ``fn()`` over ``repeats`` runs."""
+    best = float("inf")
+    for _ in range(repeats):
+        with wall_timer() as t:
+            fn()
+        best = min(best, t.seconds)
+    return best
+
+
+def run_core_suite(*, seed: int = 2006, quick: bool = False
+                   ) -> List[BenchResult]:
+    """Batch-ingest throughput per scheme + warehouse query latency.
+
+    ``quick`` shrinks the workload (CI smoke); timings are then only
+    informational, but the report shape is identical.
+    """
+    from repro.analytics.estimators import estimate_avg
+    from repro.warehouse.warehouse import SampleWarehouse
+
+    values_total = 4_000 if quick else 20_000
+    partitions = 8
+    repeats = 2 if quick else 3
+    results: List[BenchResult] = []
+    data = list(range(values_total))
+
+    for scheme in _INGEST_SCHEMES:
+        def ingest(scheme: str = scheme) -> None:
+            wh = SampleWarehouse(bound_values=256, scheme=scheme,
+                                 sb_rate=0.05, rng=SplittableRng(seed))
+            wh.ingest_batch("bench.d", data, partitions=partitions)
+
+        results.append(BenchResult(
+            name="ingest.batch",
+            params={"scheme": scheme, "values": values_total,
+                    "partitions": partitions},
+            seconds=_time_min(ingest, repeats),
+            repeats=repeats,
+        ))
+
+    wh = SampleWarehouse(bound_values=256, scheme="hr",
+                         rng=SplittableRng(seed))
+    wh.ingest_batch("bench.q", data, partitions=partitions)
+
+    def query() -> None:
+        sample = wh.sample_of("bench.q")
+        estimate_avg(sample)
+
+    results.append(BenchResult(
+        name="warehouse.query",
+        params={"scheme": "hr", "values": values_total,
+                "partitions": partitions},
+        seconds=_time_min(query, repeats),
+        repeats=repeats,
+    ))
+    return results
+
+
+def _merge_inputs(partitions: int, values_per: int, seed: int):
+    """Deterministic per-partition HR samples for the merge bench."""
+    from repro.warehouse.parallel import SampleTask, sample_partition
+
+    rng = SplittableRng(seed)
+    data_rng = rng.spawn("data")
+    samples = []
+    for i in range(partitions):
+        values = [data_rng.randrange(100_000) for _ in range(values_per)]
+        samples.append(sample_partition(SampleTask(
+            values=values, scheme="hr", bound_values=128,
+            seed=rng.spawn("part", i).seed_value)))
+    return samples
+
+
+def run_merge_suite(*, seed: int = 2006, quick: bool = False
+                    ) -> List[BenchResult]:
+    """2/4/8/16-partition merge trees, serial vs parallel.
+
+    The parallel entries run on a two-worker :class:`ThreadExecutor`
+    (threads, not processes: merge nodes are milliseconds, so process
+    spawn cost would swamp the thing being measured; the differential
+    tests cover process-pool byte-identity separately).  Serial and
+    parallel merge the *same* inputs with the *same* rng, so the pair
+    is the paper's Figures 9-14 speedup question in miniature.
+    """
+    from repro.core.merge import merge_tree
+    from repro.warehouse.parallel import ThreadExecutor
+
+    values_per = 800 if quick else 3_000
+    repeats = 2 if quick else 3
+    results: List[BenchResult] = []
+    executor = ThreadExecutor(max_workers=_MERGE_WORKERS)
+
+    for partitions in _MERGE_PARTITIONS:
+        samples = _merge_inputs(partitions, values_per, seed)
+        rng = SplittableRng(seed)
+
+        def serial() -> None:
+            merge_tree(samples, rng=rng, mode="serial")
+
+        def parallel() -> None:
+            merge_tree(samples, rng=rng, mode="parallel",
+                       executor=executor)
+
+        results.append(BenchResult(
+            name="merge.tree",
+            params={"partitions": partitions, "mode": "serial",
+                    "values_per_partition": values_per},
+            seconds=_time_min(serial, repeats),
+            repeats=repeats,
+        ))
+        results.append(BenchResult(
+            name="merge.tree",
+            params={"partitions": partitions, "mode": "parallel",
+                    "workers": _MERGE_WORKERS,
+                    "values_per_partition": values_per},
+            seconds=_time_min(parallel, repeats),
+            repeats=repeats,
+        ))
+    return results
+
+
+def report_dict(suite: str, results: Sequence[BenchResult], *,
+                seed: int, quick: bool) -> dict:
+    """Assemble the ``repro-bench/1`` report structure."""
+    return {
+        "schema": SCHEMA,
+        "suite": suite,
+        "seed": seed,
+        "quick": quick,
+        "results": [r.to_dict() for r in results],
+    }
+
+
+def validate_report(report: dict) -> None:
+    """Raise :class:`ConfigurationError` unless ``report`` is well-formed."""
+    if not isinstance(report, dict):
+        raise ConfigurationError("bench report must be a JSON object")
+    if report.get("schema") != SCHEMA:
+        raise ConfigurationError(
+            f"unsupported bench schema {report.get('schema')!r}; "
+            f"expected {SCHEMA!r}")
+    for field, kind in (("suite", str), ("seed", int), ("quick", bool),
+                        ("results", list)):
+        if not isinstance(report.get(field), kind):
+            raise ConfigurationError(
+                f"bench report field {field!r} must be {kind.__name__}")
+    for i, entry in enumerate(report["results"]):
+        if not isinstance(entry, dict):
+            raise ConfigurationError(f"results[{i}] must be an object")
+        if not isinstance(entry.get("name"), str):
+            raise ConfigurationError(f"results[{i}].name must be a string")
+        if not isinstance(entry.get("params"), dict):
+            raise ConfigurationError(
+                f"results[{i}].params must be an object")
+        seconds = entry.get("seconds")
+        if not isinstance(seconds, (int, float)) or seconds < 0:
+            raise ConfigurationError(
+                f"results[{i}].seconds must be a non-negative number")
+        repeats = entry.get("repeats")
+        if not isinstance(repeats, int) or repeats <= 0:
+            raise ConfigurationError(
+                f"results[{i}].repeats must be a positive integer")
+
+
+def _results_of(report: dict) -> List[BenchResult]:
+    return [BenchResult(name=e["name"], params=e["params"],
+                        seconds=float(e["seconds"]), repeats=e["repeats"])
+            for e in report["results"]]
+
+
+def load_report(path: str) -> dict:
+    """Read and validate a bench report file."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read bench report: {exc}")
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"bench report is not valid JSON: {exc}")
+    validate_report(report)
+    return report
+
+
+def write_report(report: dict, path: str) -> None:
+    """Validate and write one report (stable key order, trailing newline)."""
+    validate_report(report)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One candidate entry slower than its baseline beyond the threshold."""
+
+    name: str
+    params: Dict[str, object]
+    baseline_seconds: float
+    candidate_seconds: float
+
+    @property
+    def ratio(self) -> float:
+        return self.candidate_seconds / self.baseline_seconds
+
+    def describe(self) -> str:
+        params = ", ".join(f"{k}={v}"
+                           for k, v in sorted(self.params.items()))
+        return (f"{self.name}[{params}]: {self.baseline_seconds:.6f}s -> "
+                f"{self.candidate_seconds:.6f}s ({self.ratio:.2f}x)")
+
+
+def compare_reports(baseline: dict, candidate: dict, *,
+                    threshold: float = DEFAULT_THRESHOLD,
+                    min_seconds: float = DEFAULT_MIN_SECONDS
+                    ) -> List[Regression]:
+    """Entries of ``candidate`` that regressed against ``baseline``.
+
+    Matched on :meth:`BenchResult.key`; entries present in only one
+    report are ignored (suites may grow).  An entry regresses when
+    ``candidate > baseline * threshold`` **and** the absolute slowdown
+    exceeds ``min_seconds``.
+    """
+    validate_report(baseline)
+    validate_report(candidate)
+    if threshold <= 1.0:
+        raise ConfigurationError(
+            f"threshold must be > 1.0, got {threshold}")
+    base_by_key = {r.key(): r for r in _results_of(baseline)}
+    regressions: List[Regression] = []
+    for cand in _results_of(candidate):
+        base = base_by_key.get(cand.key())
+        if base is None or base.seconds <= 0.0:
+            continue
+        if (cand.seconds > base.seconds * threshold
+                and cand.seconds - base.seconds > min_seconds):
+            regressions.append(Regression(
+                name=cand.name, params=cand.params,
+                baseline_seconds=base.seconds,
+                candidate_seconds=cand.seconds))
+    return regressions

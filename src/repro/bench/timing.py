@@ -1,0 +1,48 @@
+"""The bench package's wall-clock timer.
+
+Benchmarks are the one place outside ``repro.obs`` allowed to read
+clocks directly (lint rule RPR081); everything they time should still
+go through one front so scripts agree on the clock and the idiom::
+
+    from repro.bench import wall_timer
+
+    with wall_timer() as t:
+        expensive_call()
+    print(t.seconds)
+
+The timer reads ``time.perf_counter`` — monotonic, high resolution,
+and the same clock ``repro.obs.clock.monotonic`` wraps — so bench
+numbers and obs ``*.seconds`` histograms are directly comparable.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["WallTimer", "wall_timer"]
+
+
+class WallTimer:
+    """Context manager measuring the wall time of its ``with`` block.
+
+    ``seconds`` is ``0.0`` until the block exits, then holds the
+    elapsed wall time.  Re-entering restarts the measurement.
+    """
+
+    __slots__ = ("seconds", "_start")
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "WallTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+def wall_timer() -> WallTimer:
+    """A fresh :class:`WallTimer` (the spelling benchmarks should use)."""
+    return WallTimer()

@@ -32,7 +32,7 @@ from typing import List, Optional, Sequence
 from repro.analytics.estimators import (estimate_avg, estimate_count,
                                         estimate_quantile, estimate_sum)
 from repro.bench.report import format_table
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.rng import SplittableRng
 from repro.warehouse.rollup import temporal_rollup
 from repro.warehouse.warehouse import SampleWarehouse
@@ -126,10 +126,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_rollup.add_argument("--store-as", default=None,
                           help="re-ingest rollups under this dataset name")
 
-    p_bench = sub.add_parser("bench", help="regenerate a paper figure")
-    p_bench.add_argument("--figure", required=True,
-                         choices=["fig05", "s33"])
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the regression bench suite, compare two runs, or "
+             "regenerate a paper figure")
+    p_bench.add_argument("action", nargs="?", choices=["run"],
+                         help="'run' executes the pinned suite and writes "
+                              "BENCH_core.json + BENCH_merge.json")
+    p_bench.add_argument("--figure", choices=["fig05", "s33"],
+                         help="regenerate one paper figure instead")
     p_bench.add_argument("--trials", type=int, default=2000)
+    p_bench.add_argument("--quick", action="store_true",
+                         help="shrunk workloads (CI smoke; timings "
+                              "informational)")
+    p_bench.add_argument("--out-dir", default=".",
+                         help="where 'run' writes the BENCH_*.json files")
+    p_bench.add_argument("--compare", metavar="BASELINE",
+                         help="baseline BENCH_*.json; flags regressions "
+                              "and exits 1 if any")
+    p_bench.add_argument("--candidate", metavar="NEW",
+                         help="candidate report for --compare (default: "
+                              "re-run the baseline's suite fresh)")
+    p_bench.add_argument("--threshold", type=float, default=1.25,
+                         help="regression ratio for --compare "
+                              "(default 1.25)")
 
     p_audit = sub.add_parser("audit", help="verify warehouse consistency")
     p_audit.add_argument("--warehouse", required=True)
@@ -288,7 +308,7 @@ def _cmd_rollup(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_bench(args: argparse.Namespace) -> int:
+def _bench_figure(args: argparse.Namespace) -> int:
     if args.figure == "fig05":
         from repro.bench.experiments import FIG05_HEADERS, fig05_qapprox
 
@@ -308,6 +328,82 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     ok = counts["H1"] > 0 and counts["H2"] > 0 and counts["H3"] == 0
     print("non-uniformity demonstrated" if ok else "UNEXPECTED OUTCOME")
     return 0 if ok else 1
+
+
+def _bench_suite_table(results) -> List[tuple]:
+    rows = []
+    for r in results:
+        params = ", ".join(f"{k}={v}"
+                           for k, v in sorted(r.params.items()))
+        rows.append((r.name, params, f"{r.seconds * 1000:.3f}",
+                     r.repeats))
+    return rows
+
+
+def _bench_run(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.bench.regression import (CORE_FILENAME, MERGE_FILENAME,
+                                        report_dict, run_core_suite,
+                                        run_merge_suite, write_report)
+
+    headers = ("workload", "params", "min ms", "repeats")
+    written = []
+    for suite, runner, filename in (
+            ("core", run_core_suite, CORE_FILENAME),
+            ("merge", run_merge_suite, MERGE_FILENAME)):
+        results = runner(seed=args.seed, quick=args.quick)
+        print(format_table(headers, _bench_suite_table(results),
+                           title=f"bench suite: {suite}"
+                                 + (" (quick)" if args.quick else "")))
+        path = os.path.join(args.out_dir, filename)
+        write_report(report_dict(suite, results, seed=args.seed,
+                                 quick=args.quick), path)
+        written.append(path)
+    print("wrote " + ", ".join(written))
+    return 0
+
+
+def _bench_compare(args: argparse.Namespace) -> int:
+    from repro.bench.regression import (compare_reports, load_report,
+                                        report_dict, run_core_suite,
+                                        run_merge_suite)
+
+    baseline = load_report(args.compare)
+    if args.candidate is not None:
+        candidate = load_report(args.candidate)
+    else:
+        suites = {"core": run_core_suite, "merge": run_merge_suite}
+        runner = suites.get(baseline["suite"])
+        if runner is None:
+            raise ConfigurationError(
+                f"baseline has unknown suite {baseline['suite']!r}; "
+                "pass --candidate explicitly")
+        results = runner(seed=baseline["seed"], quick=baseline["quick"])
+        candidate = report_dict(baseline["suite"], results,
+                                seed=baseline["seed"],
+                                quick=baseline["quick"])
+    regressions = compare_reports(baseline, candidate,
+                                  threshold=args.threshold)
+    if not regressions:
+        print(f"no regressions beyond {args.threshold:.2f}x "
+              f"({len(candidate['results'])} entries compared)")
+        return 0
+    print(f"{len(regressions)} regression(s) beyond {args.threshold:.2f}x:")
+    for reg in regressions:
+        print(f"  {reg.describe()}")
+    return 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.figure is not None:
+        return _bench_figure(args)
+    if args.compare is not None:
+        return _bench_compare(args)
+    if args.action == "run":
+        return _bench_run(args)
+    raise ConfigurationError(
+        "nothing to do: give 'run', --compare BASELINE, or --figure")
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:

@@ -16,9 +16,12 @@ a warehouse needs around them:
 * :func:`merge_samples` — scheme-aware dispatch used by the warehouse.
 * :func:`sb_union` — Algorithm SB's plain union (with rate equalization
   when partitions were sampled at different rates).
-* :func:`merge_tree` — fold many per-partition samples into one, either
-  serially (the paper's experimental setup) or as a balanced binary tree
-  (the layout that makes the alias-table optimization shine).
+* :func:`merge_tree` — fold many per-partition samples into one over a
+  balanced binary plan whose nodes draw from independent RNG substreams
+  (``rng.spawn("merge", level, index)``), so the merged sample is a pure
+  function of the inputs and the seed — independent of evaluation order,
+  executor, and worker count.  ``mode="parallel"`` evaluates each level
+  concurrently through a warehouse executor.
 
 All merges require the parent partitions to be **disjoint**; the library
 cannot verify disjointness from the samples alone, so the warehouse layer
@@ -27,6 +30,7 @@ is responsible for only merging samples of distinct partitions.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from repro.core.histogram import CompactHistogram
@@ -37,6 +41,7 @@ from repro.core.purge import (purge_bernoulli, purge_reservoir,
                               purge_reservoir_concat)
 from repro.core.sample import WarehouseSample
 from repro.errors import ConfigurationError, IncompatibleSamplesError
+from repro.obs.clock import monotonic
 from repro.obs.runtime import OBS
 from repro.obs.tracing import traced
 from repro.rng import SplittableRng
@@ -306,43 +311,111 @@ def merge_samples(s1: WarehouseSample, s2: WarehouseSample, *,
     return hb_merge(s1, s2, rng=rng, hyper_cache=hyper_cache)
 
 
+# One alias-table cache per process.  Thread workers share it (the cache
+# locks its own mutations); each process-pool worker imports this module
+# fresh and warms its own copy.  Eagerly constructed so executing
+# _merge_node never writes module state.
+_NODE_CACHE = CachedHypergeometric()
+
+_MERGE_MODES = ("serial", "balanced", "parallel")
+
+
+@dataclass(frozen=True)
+class _MergeNodeTask:
+    """One node of the merge plan: two samples plus the node's seed.
+
+    Module-level and frozen so a :class:`ProcessExecutor` can pickle it.
+    """
+
+    left: WarehouseSample
+    right: WarehouseSample
+    seed: int
+
+
+def _merge_node(task: _MergeNodeTask) -> WarehouseSample:
+    """Evaluate one merge node from its own RNG substream.
+
+    The node's rng is rebuilt from the task seed, so the draw sequence
+    depends only on ``(left, right, seed)`` — never on which worker runs
+    the node or in what order.  All nodes route through the per-process
+    :data:`_NODE_CACHE`: alias tables are pure functions of
+    ``(n1, n2, k)``, so cache hits and rebuilt misses consume the rng
+    identically, keeping output independent of cache state.
+    """
+    rng = SplittableRng(task.seed)
+    return merge_samples(task.left, task.right, rng=rng,
+                         hyper_cache=_NODE_CACHE)
+
+
 @traced("merge.tree", timer="merge.tree.seconds")
 def merge_tree(samples: Sequence[WarehouseSample], *,
                rng: SplittableRng,
                mode: str = "serial",
-               merger: Optional[MergeFn] = None) -> WarehouseSample:
+               merger: Optional[MergeFn] = None,
+               executor=None) -> WarehouseSample:
     """Fold many per-partition samples into one sample of their union.
 
-    ``mode="serial"`` merges left to right (the paper's experimental
-    setup: partition samples are collected in parallel, then merged
-    serially pairwise).  ``mode="balanced"`` merges as a balanced binary
-    tree, which keeps partition sizes symmetric so alias tables can be
-    reused across a level (Section 4.2).
+    Every mode evaluates the same **balanced binary plan**: level by
+    level, adjacent pairs merge, and each node draws from its own RNG
+    substream ``rng.spawn("merge", level, index)``.  Because node seeds
+    are positional — not threaded through a shared generator — the
+    merged sample is a pure function of the inputs and the seed,
+    byte-identical across modes, executors, and worker counts
+    (the "tree-shape independence" invariant in docs/determinism.md).
 
-    ``merger`` defaults to :func:`merge_samples` with a shared
-    :class:`CachedHypergeometric`.
+    * ``mode="serial"`` and ``mode="balanced"`` evaluate the plan inline
+      (they are aliases kept for API stability; both keep partition
+      sizes symmetric so alias tables are reused across each level,
+      Section 4.2).
+    * ``mode="parallel"`` evaluates each level's nodes concurrently via
+      ``executor`` (any ``repro.warehouse.parallel`` executor).  With
+      ``executor=None`` it degrades to inline evaluation.
+
+    On odd-sized levels the **last** sample is carried into the next
+    level, where it joins the front pairing — so a carried sample waits
+    exactly one level instead of riding the tail to the root (which
+    would degenerate the tree on non-power-of-two partition counts).
+
+    ``merger`` overrides the per-node evaluation with a caller-supplied
+    pairwise merge (applied over the same balanced plan); it is
+    incompatible with ``mode="parallel"`` because closures cannot be
+    shipped to process pools and would reintroduce order-dependent rng
+    consumption.
     """
     if not samples:
         raise ConfigurationError("merge_tree needs at least one sample")
-    if merger is None:
-        cache = CachedHypergeometric()
+    if mode not in _MERGE_MODES:
+        raise ConfigurationError(f"unknown merge mode {mode!r}")
+    if executor is not None and mode != "parallel":
+        raise ConfigurationError(
+            f"executor requires mode='parallel', got mode={mode!r}")
+    if merger is not None and mode == "parallel":
+        raise ConfigurationError(
+            "a custom merger cannot run under mode='parallel'; "
+            "use mode='serial' or mode='balanced'")
 
-        def merger(a: WarehouseSample, b: WarehouseSample) -> WarehouseSample:
-            return merge_samples(a, b, rng=rng, hyper_cache=cache)
-
-    if mode == "serial":
-        acc = samples[0]
-        for s in samples[1:]:
-            acc = merger(acc, s)
-        return acc
-    if mode == "balanced":
-        level: List[WarehouseSample] = list(samples)
-        while len(level) > 1:
-            nxt: List[WarehouseSample] = []
-            for i in range(0, len(level) - 1, 2):
-                nxt.append(merger(level[i], level[i + 1]))
-            if len(level) % 2:
-                nxt.append(level[-1])
-            level = nxt
-        return level[0]
-    raise ConfigurationError(f"unknown merge mode {mode!r}")
+    level: List[WarehouseSample] = list(samples)
+    level_index = 0
+    while len(level) > 1:
+        started = monotonic() if OBS.enabled else 0.0
+        carry = level.pop() if len(level) % 2 else None
+        if merger is not None:
+            merged = [merger(level[i], level[i + 1])
+                      for i in range(0, len(level), 2)]
+        else:
+            tasks = [
+                _MergeNodeTask(
+                    level[i], level[i + 1],
+                    rng.spawn("merge", level_index, i // 2).seed_value)
+                for i in range(0, len(level), 2)
+            ]
+            if mode == "parallel" and executor is not None:
+                merged = executor.map(_merge_node, tasks)
+            else:
+                merged = [_merge_node(t) for t in tasks]
+        level = ([carry] if carry is not None else []) + list(merged)
+        if OBS.enabled:
+            OBS.registry.histogram("merge.tree.level.seconds").observe(
+                monotonic() - started)
+        level_index += 1
+    return level[0]

@@ -24,6 +24,7 @@ Quick start::
     print(trace.render())     # the nested span tree of the whole run
 """
 
+from repro.obs.clock import monotonic
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.runtime import (OBS, NullRegistry, NullSink, capture,
                                disable, enable)
@@ -31,6 +32,8 @@ from repro.obs.tracing import (JsonlSink, RingBufferSink, Span, TeeSink,
                                read_spans, render_spans, span, traced)
 
 __all__ = [
+    # clock
+    "monotonic",
     # state
     "OBS",
     "enable",

@@ -1,0 +1,34 @@
+"""The library's monotonic clock front.
+
+Every duration the library measures — executor task times, stream
+partition cuts, verify-check sweeps, per-level merge timings — goes
+through this one function instead of calling ``time.perf_counter``
+directly.  Two invariants hang off that:
+
+* **Timing discipline is lintable.**  Rule RPR081 forbids raw
+  ``time.*`` clock reads outside ``repro/obs`` and ``repro/bench``, so
+  "who reads clocks, and why" reduces to grepping two packages; the
+  rest of the tree provably times through this front (or through the
+  bench harness's :func:`repro.bench.wall_timer`).
+* **Determinism stays auditable.**  The clock here is monotonic and
+  never feeds sampling decisions — the wall-clock sources that *would*
+  break the pure-function-of-the-seed guarantee (``time.time``,
+  ``datetime.now``) are a separate, always-forbidden family (RPR011
+  and the dataflow effect lattice).
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["monotonic"]
+
+
+def monotonic() -> float:
+    """Seconds on the high-resolution monotonic clock.
+
+    Differences of two readings are wall-clock durations; the absolute
+    value is meaningless.  This is the clock all ``*.seconds`` metrics
+    in ``docs/observability.md`` are fed with.
+    """
+    return time.perf_counter()

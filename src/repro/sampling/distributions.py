@@ -16,9 +16,11 @@
 from __future__ import annotations
 
 import math
+import threading
 from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+from repro.obs.runtime import OBS
 from repro.rng import SplittableRng
 
 __all__ = [
@@ -187,10 +189,22 @@ class CachedHypergeometric:
     recurs at every level, so caching the alias tables makes repeated
     ``HRMerge`` calls O(1) in distribution setup after the first merge at
     each level (the paper's Section 4.2 optimization).
+
+    The cache is safe to share across ``ThreadExecutor`` workers: the
+    table dict is mutated only under an internal lock, and a stored
+    :class:`AliasTable` is immutable after construction.  Worker
+    *processes* cannot share it — each process keeps its own instance
+    (see ``repro.core.merge._NODE_CACHE``) and warms it independently.
+    Cache state never influences draw *values*: an alias table is a pure
+    function of ``(n1, n2, k)``, so a hit and a rebuilt miss consume the
+    rng identically.  Hits and misses are counted through ``repro.obs``
+    (``merge.hyper_cache.hit`` / ``merge.hyper_cache.miss``) so the
+    Section 4.2 reuse is observable per run.
     """
 
     def __init__(self) -> None:
         self._tables: Dict[Tuple[int, int, int], AliasTable] = {}
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._tables)
@@ -198,10 +212,17 @@ class CachedHypergeometric:
     def sample(self, n1: int, n2: int, k: int, rng: SplittableRng) -> int:
         """Draw ``L`` per eq. (2), building/reusing an alias table."""
         key = (n1, n2, k)
+        # Double-checked fast path: dict reads are safe without the
+        # lock, and a racing rebuild produces an identical table.
         table = self._tables.get(key)
         if table is None:
-            table = AliasTable(hypergeometric_pmf(n1, n2, k))
-            self._tables[key] = table
+            if OBS.enabled:
+                OBS.registry.counter("merge.hyper_cache.miss").inc()
+            built = AliasTable(hypergeometric_pmf(n1, n2, k))
+            with self._lock:
+                table = self._tables.setdefault(key, built)
+        elif OBS.enabled:
+            OBS.registry.counter("merge.hyper_cache.hit").inc()
         # Alias tables cover indices 0..k, matching the pmf vector.
         return table.sample(rng)
 

@@ -37,12 +37,12 @@ rule rejects).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.obs import OBS
+from repro.obs.clock import monotonic
 from repro.rng import SplittableRng
 from repro.testkit.corrections import METHODS, adjust_pvalues
 
@@ -251,7 +251,7 @@ class Battery:
         reg = OBS.registry
         for result in results:
             check = result.check
-            t0 = time.perf_counter()
+            t0 = monotonic()
             for s in range(n_seeds):
                 child = rng.spawn("verify", check.name, s)
                 outcome = check.fn(child, scale)
@@ -263,7 +263,7 @@ class Battery:
                     result.pvalues.append(p)
                 else:
                     result.failures.extend(str(m) for m in outcome)
-            result.seconds = time.perf_counter() - t0
+            result.seconds = monotonic() - t0
             if OBS.enabled:
                 reg.counter("verify.checks").inc()
                 reg.histogram("verify.check.seconds").observe(

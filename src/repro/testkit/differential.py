@@ -15,10 +15,14 @@ means agreement):
   canonical serialization (histogram pairs sorted) because
   ``CompactHistogram.join`` is free to reorder its insertion-ordered
   backing dict.
-
-For merge shapes that consume randomness (HB/HR), fold order changes
-the rng stream, so serial and balanced agree only in law — that is the
-statistical ``merge.tree.homogeneity`` check, not a differential one.
+* :func:`merge_engine_differential` — every ``merge_tree`` evaluation
+  strategy (serial, balanced, parallel-inline, parallel on thread and
+  process pools at several worker counts) must produce **byte-identical**
+  samples for the same seed, on *any* inputs.  Since every mode
+  evaluates the same balanced plan and each node draws from its own
+  ``rng.spawn("merge", level, index)`` substream, randomness-consuming
+  merges (HB/HR) are covered too — this is the "tree-shape independence"
+  invariant of docs/determinism.md, checked exactly rather than in law.
 """
 
 from __future__ import annotations
@@ -35,6 +39,7 @@ from repro.warehouse.parallel import (ProcessExecutor, SampleTask,
 from repro.warehouse.storage import sample_to_dict
 
 __all__ = ["executor_differential", "merge_tree_differential",
+           "merge_engine_differential",
            "serialize_exact", "serialize_canonical"]
 
 
@@ -100,3 +105,36 @@ def merge_tree_differential(samples: Sequence[WarehouseSample], *,
         return [f"merge_tree({label}) serial vs balanced diverged: "
                 f"{got} != {want}"]
     return []
+
+
+def merge_engine_differential(samples: Sequence[WarehouseSample], *,
+                              rng: SplittableRng,
+                              worker_counts: Sequence[int] = (1, 2, 4),
+                              label: str = "inputs") -> List[str]:
+    """Failure messages unless every merge engine agrees byte-exactly.
+
+    The serial mode is the reference; balanced, executor-less parallel,
+    and parallel on thread/process pools at each worker count must all
+    serialize identically.  ``rng.spawn`` derives substreams without
+    consuming state, so reusing one ``rng`` across runs is sound — all
+    runs see the same per-node seeds.
+    """
+    reference = serialize_exact(merge_tree(samples, rng=rng,
+                                           mode="serial"))
+    variants = [("balanced", dict(mode="balanced")),
+                ("parallel/inline", dict(mode="parallel"))]
+    for workers in worker_counts:
+        variants.append((f"parallel/thread[{workers}]",
+                         dict(mode="parallel",
+                              executor=ThreadExecutor(workers))))
+        variants.append((f"parallel/process[{workers}]",
+                         dict(mode="parallel",
+                              executor=ProcessExecutor(workers))))
+    failures: List[str] = []
+    for name, kwargs in variants:
+        got = serialize_exact(merge_tree(samples, rng=rng, **kwargs))
+        if got != reference:
+            failures.append(
+                f"merge_tree({label}) {name} diverged from serial: "
+                f"{got} != {reference}")
+    return failures

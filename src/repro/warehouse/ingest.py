@@ -22,11 +22,11 @@ Two ways values reach the warehouse:
 
 from __future__ import annotations
 
-import time
 from typing import Iterable, List, Optional, Protocol, Sequence, TypeVar
 
 from repro.core.sample import WarehouseSample
 from repro.errors import ConfigurationError, ProtocolError
+from repro.obs.clock import monotonic
 from repro.obs.runtime import OBS
 from repro.obs.tracing import span
 from repro.rng import SplittableRng
@@ -166,7 +166,7 @@ class StreamIngestor:
         self._closed = False
         self._sampler = None
         self._emitted: List[PartitionKey] = []
-        self._partition_t0 = time.perf_counter()
+        self._partition_t0 = monotonic()
 
     @property
     def emitted(self) -> List[PartitionKey]:
@@ -194,7 +194,7 @@ class StreamIngestor:
             raise ProtocolError("ingestor already closed")
         if self._sampler is None:
             self._sampler = self._new_sampler()
-            self._partition_t0 = time.perf_counter()
+            self._partition_t0 = monotonic()
         self._sampler.feed(value)
         if self._policy.should_cut(self._sampler):
             self._finalize_current()
@@ -213,7 +213,7 @@ class StreamIngestor:
             key = PartitionKey(self._dataset, self._stream, self._seq)
             self._sink(key, sample)
         if OBS.enabled:
-            elapsed = time.perf_counter() - self._partition_t0
+            elapsed = monotonic() - self._partition_t0
             reg = OBS.registry
             reg.counter("ingest.stream.cuts").inc()
             reg.counter("ingest.stream.arrivals").add(seen)

@@ -21,7 +21,8 @@ identical whichever executor runs them, in whatever order.
 from __future__ import annotations
 
 import concurrent.futures
-import time
+import os
+import pickle
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
@@ -31,6 +32,7 @@ from repro.core.multi_purge import MultiPurgeBernoulli
 from repro.core.sample import WarehouseSample
 from repro.core.stratified_bernoulli import AlgorithmSB
 from repro.errors import ConfigurationError
+from repro.obs.clock import monotonic
 from repro.obs.runtime import OBS
 from repro.rng import SplittableRng
 
@@ -123,9 +125,9 @@ class _TimedTask:
         self._fn = fn
 
     def __call__(self, item: T) -> Tuple[float, R]:
-        t0 = time.perf_counter()
+        t0 = monotonic()
         result = self._fn(item)
-        return time.perf_counter() - t0, result
+        return monotonic() - t0, result
 
 
 def _record_tasks(metric: str,
@@ -172,6 +174,22 @@ class ThreadExecutor:
                                  list(pool.map(_TimedTask(fn), items)))
 
 
+def _record_pickle_times(items: Sequence[T]) -> None:
+    """Record the parent-side pickling cost of each submitted task.
+
+    ``ProcessPoolExecutor`` pickles every task on submission; that cost
+    is otherwise invisible in ``repro obs`` because it lands in the
+    parent, not the worker.  Measuring means pickling each item once
+    more here — acceptable because this only runs while metrics are
+    enabled, and the extra dumps never reaches a worker.
+    """
+    seconds = OBS.registry.histogram("parallel.task.pickle.seconds")
+    for item in items:
+        t0 = monotonic()
+        pickle.dumps(item)
+        seconds.observe(monotonic() - t0)
+
+
 class ProcessExecutor:
     """Run tasks on a process pool (CPU-bound sampling).
 
@@ -183,10 +201,22 @@ class ProcessExecutor:
         self._max_workers = max_workers
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
-        """Apply ``fn`` to every item across processes, preserving order."""
+        """Apply ``fn`` to every item across processes, preserving order.
+
+        Tasks are submitted with an explicit chunksize of roughly four
+        chunks per worker — enough batching to amortize per-task pickle
+        round-trips, small enough that the pool still load-balances.
+        The default (chunksize 1) pickles every task's full value list
+        as its own IPC message, which dominates wall time for many
+        small partitions.
+        """
+        workers = self._max_workers or os.cpu_count() or 1
+        chunksize = max(1, -(-len(items) // (workers * 4)))
         with concurrent.futures.ProcessPoolExecutor(
                 max_workers=self._max_workers) as pool:
             if not OBS.enabled:
-                return list(pool.map(fn, items))
-            return _record_tasks("parallel.task.seconds.process",
-                                 list(pool.map(_TimedTask(fn), items)))
+                return list(pool.map(fn, items, chunksize=chunksize))
+            _record_pickle_times(items)
+            return _record_tasks(
+                "parallel.task.seconds.process",
+                list(pool.map(_TimedTask(fn), items, chunksize=chunksize)))

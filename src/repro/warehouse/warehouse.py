@@ -240,13 +240,17 @@ class SampleWarehouse:
     def sample_of(self, dataset: str, *,
                   keys: Optional[Iterable[PartitionKey]] = None,
                   labels: Optional[Iterable[str]] = None,
-                  mode: str = "serial") -> WarehouseSample:
+                  mode: str = "serial",
+                  executor=None) -> WarehouseSample:
         """A uniform sample of the union of the selected partitions.
 
         Selection: explicit ``keys``, or all active partitions carrying
         one of ``labels``, or (default) every active partition of the
-        dataset.  ``mode`` is the merge-tree shape ("serial" or
-        "balanced").
+        dataset.  ``mode`` is the merge-tree evaluation strategy
+        ("serial", "balanced", or "parallel"); with ``mode="parallel"``
+        an ``executor`` from :mod:`repro.warehouse.parallel` runs each
+        merge level concurrently.  All modes return byte-identical
+        samples for the same warehouse seed (see docs/determinism.md).
         """
         if keys is not None and labels is not None:
             raise ConfigurationError("give keys or labels, not both")
@@ -262,7 +266,7 @@ class SampleWarehouse:
                 f"no partitions selected for dataset {dataset!r}")
         samples = [self._store.get(k) for k in keys]
         return merge_tree(samples, rng=self._rng.spawn("merge", dataset),
-                          mode=mode)
+                          mode=mode, executor=executor)
 
     def stratified_sample_of(self, dataset: str, *,
                              keys: Optional[Iterable[PartitionKey]] = None,

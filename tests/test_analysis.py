@@ -103,8 +103,9 @@ class TestRngDiscipline:
             def fresh():
                 return SplittableRng(int(time.time()))
             """})
-        # The clock read also trips the determinism rule — both fire.
-        assert sorted(set(codes(found))) == ["RPR004", "RPR011"]
+        # The clock read also trips the determinism and timing-discipline
+        # rules — all three fire.
+        assert sorted(set(codes(found))) == ["RPR004", "RPR011", "RPR081"]
 
     def test_derived_seed_is_clean(self, tmp_path):
         found = lint_tree(tmp_path, {"core/x.py": """\
@@ -124,16 +125,21 @@ class TestDeterminism:
             def label():
                 return time.time()
             """})
-        assert codes(found) == ["RPR011"]
+        # RPR011 (determinism) and RPR081 (timing discipline) both fire
+        # on a wall-clock read inside a sampling package.
+        assert codes(found) == ["RPR011", "RPR081"]
 
-    def test_monotonic_clock_is_clean(self, tmp_path):
+    def test_monotonic_clock_not_a_determinism_problem(self, tmp_path):
+        # A monotonic read never feeds sampling decisions, so the
+        # determinism family stays quiet; only the timing-discipline
+        # rule asks it to go through repro.obs.clock.
         found = lint_tree(tmp_path, {"warehouse/x.py": """\
             import time
 
             def elapsed(t0):
                 return time.perf_counter() - t0
             """})
-        assert found == []
+        assert codes(found) == ["RPR081"]
 
     def test_wall_clock_off_sampling_path_is_clean(self, tmp_path):
         found = lint_tree(tmp_path, {"bench/x.py": """\
@@ -188,6 +194,71 @@ class TestDeterminism:
                 for v in sorted(set(values)):
                     yield v
             """})
+        assert found == []
+
+
+class TestTimingDiscipline:
+    def test_perf_counter_outside_clock_packages_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"core/x.py": """\
+            import time
+
+            def elapsed(t0):
+                return time.perf_counter() - t0
+            """}, select=["RPR081"])
+        assert codes(found) == ["RPR081"]
+
+    def test_module_alias_caught(self, tmp_path):
+        found = lint_tree(tmp_path, {"warehouse/x.py": """\
+            import time as clock
+
+            def stamp():
+                return clock.monotonic_ns()
+            """}, select=["RPR081"])
+        assert codes(found) == ["RPR081"]
+
+    def test_from_import_rename_caught(self, tmp_path):
+        found = lint_tree(tmp_path, {"stream/x.py": """\
+            from time import perf_counter as pc
+
+            def elapsed(t0):
+                return pc() - t0
+            """}, select=["RPR081"])
+        assert codes(found) == ["RPR081"]
+
+    def test_bench_and_obs_are_exempt(self, tmp_path):
+        found = lint_tree(tmp_path, {
+            "bench/x.py": """\
+                import time
+
+                def t():
+                    return time.perf_counter()
+                """,
+            "obs/x.py": """\
+                from time import monotonic
+
+                def t():
+                    return monotonic()
+                """}, select=["RPR081"])
+        assert found == []
+
+    def test_non_clock_time_functions_are_clean(self, tmp_path):
+        # time.sleep and unrelated bare names must not trip the rule.
+        found = lint_tree(tmp_path, {"core/x.py": """\
+            import time
+
+            def nap(monotonic):
+                time.sleep(0.1)
+                return monotonic()
+            """}, select=["RPR081"])
+        assert found == []
+
+    def test_obs_clock_front_is_clean(self, tmp_path):
+        found = lint_tree(tmp_path, {"warehouse/x.py": """\
+            from repro.obs.clock import monotonic
+
+            def elapsed(t0):
+                return monotonic() - t0
+            """}, select=["RPR081"])
         assert found == []
 
 

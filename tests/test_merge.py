@@ -343,6 +343,51 @@ class TestMergeTree:
         merge_tree(samples, rng=rng, merger=merger)
         assert len(calls) == 3
 
+    def test_odd_carry_joins_next_level_front(self, rng):
+        # Five single-value exhaustive samples of distinct population
+        # sizes make each merge's operands readable off its output.
+        # The unpaired fifth sample (pop 30) must be carried into the
+        # NEXT level's first pairing — not ride the tail to the root:
+        # level 0: (30,30) (30,30) carry 30
+        # level 1: (30,60) carry 60 -> (60,90) at the root.
+        calls = []
+
+        def merger(a, b):
+            calls.append((a.population_size, b.population_size))
+            return hr_merge(a, b, rng=rng)
+
+        pops = [30, 30, 30, 30, 30]
+        samples = [hr_sample(list(range(sum(pops[:i]),
+                                        sum(pops[:i + 1]))), 30,
+                             rng.spawn(i)) for i in range(len(pops))]
+        merged = merge_tree(samples, rng=rng, merger=merger)
+        assert merged.population_size == 150
+        assert calls == [(30, 30), (30, 30), (30, 60), (60, 90)]
+
+    def test_parallel_mode_covers_population(self, rng):
+        samples = [hr_sample(list(range(i * 2000, (i + 1) * 2000)), 64,
+                             rng.spawn(i)) for i in range(7)]
+        m = merge_tree(samples, rng=rng, mode="parallel")
+        assert m.population_size == 14_000
+        assert m.size == 64
+        assert set(m.values()) <= set(range(14_000))
+
+    def test_parallel_rejects_custom_merger(self, rng):
+        samples = [hr_sample(list(range(100)), 16, rng.spawn(i))
+                   for i in range(2)]
+        with pytest.raises(ConfigurationError):
+            merge_tree(samples, rng=rng, mode="parallel",
+                       merger=lambda a, b: a)
+
+    def test_executor_requires_parallel_mode(self, rng):
+        from repro.warehouse.parallel import ThreadExecutor
+
+        samples = [hr_sample(list(range(100)), 16, rng.spawn(i))
+                   for i in range(2)]
+        with pytest.raises(ConfigurationError):
+            merge_tree(samples, rng=rng, mode="serial",
+                       executor=ThreadExecutor(2))
+
 
 class TestMergeProperties:
     @given(st.integers(min_value=2, max_value=6),

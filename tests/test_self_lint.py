@@ -88,8 +88,9 @@ def test_all_rule_families_are_registered():
     codes = {r.code for r in all_rules()}
     # At least one rule per family: RNG (00x), determinism (01x),
     # obs contract (02x), errors (03x), locks (04x), stats (05x),
-    # interprocedural determinism (06x), executor safety (07x).
+    # interprocedural determinism (06x), executor safety (07x),
+    # timing discipline (08x).
     for family in ("RPR00", "RPR01", "RPR02", "RPR03", "RPR04",
-                   "RPR05", "RPR06", "RPR07"):
+                   "RPR05", "RPR06", "RPR07", "RPR08"):
         assert any(code.startswith(family) for code in codes), family
-    assert len(codes) >= 14
+    assert len(codes) >= 15
