@@ -1,0 +1,122 @@
+"""Kernel-backend quickstart: pick a backend, batch-draw, time a merge.
+
+Run:  python examples/kernels.py
+
+The randomness-consuming inner loops (eq. (3) pmf, hypergeometric
+draws, the Fig. 3/4 purges) run on a **kernel backend** — vectorized
+numpy when installed (``pip install repro[perf]``), a byte-stable
+pure-Python reference otherwise.  See ``docs/performance.md`` for the
+selection rules and ``docs/determinism.md`` for what is (and is not)
+byte-identical across backends.
+
+The docstring examples below are executed by the test suite
+(``tests/test_doctests.py``), so this quickstart cannot rot.  They pin
+the ``python`` backend wherever exact draw values are asserted, so
+they pass on any interpreter, with or without numpy, under any
+``REPRO_KERNEL_BACKEND`` setting; timings are printed by ``__main__``
+only and never asserted.
+"""
+
+from repro import SplittableRng
+from repro.kernels import (active_backend, available_backends,
+                           draw_hypergeometric_batch, hypergeometric_pmf,
+                           use_backend)
+
+
+def backend_tour():
+    """The selection surface in one place.
+
+    Examples
+    --------
+    The pure-Python reference is always available, and whatever was
+    selected at import (``REPRO_KERNEL_BACKEND``, default ``auto``) is
+    one of the available backends:
+
+    >>> "python" in available_backends()
+    True
+    >>> active_backend() in available_backends()
+    True
+
+    The eq. (3) pmf is the same *law* on every backend — a merge of
+    two 2-element SRSs splits its draw 1/6 : 4/6 : 1/6:
+
+    >>> [round(p, 4) for p in hypergeometric_pmf(2, 2, 2)]
+    [0.1667, 0.6667, 0.1667]
+
+    Exact draw *bytes* are a per-backend contract.  Pinning a backend
+    with ``use_backend`` makes them reproducible anywhere:
+
+    >>> with use_backend("python"):
+    ...     draws = draw_hypergeometric_batch(40, 60, 12,
+    ...                                       SplittableRng(7), 8)
+    >>> draws
+    [4, 3, 5, 3, 5, 4, 2, 5]
+    >>> with use_backend("python"):
+    ...     draws == draw_hypergeometric_batch(40, 60, 12,
+    ...                                        SplittableRng(7), 8)
+    True
+    """
+    return active_backend()
+
+
+def timed_merge(partitions=8, values_per=4_000, bound=512, seed=2006):
+    """Time one merge tree serial vs parallel on the active backend.
+
+    Returns ``(serial_seconds, parallel_seconds, identical)`` where
+    ``identical`` is the byte-equality of the two merged samples —
+    the tree-shape-independence guarantee, which must hold on every
+    backend, executor, and worker count.
+
+    Examples
+    --------
+    >>> serial_s, parallel_s, identical = timed_merge(partitions=4,
+    ...                                               values_per=500,
+    ...                                               bound=64)
+    >>> identical
+    True
+    >>> serial_s > 0 and parallel_s > 0
+    True
+    """
+    from repro.bench.timing import wall_timer
+    from repro.core.merge import merge_tree
+    from repro.warehouse.parallel import (SampleTask, ThreadExecutor,
+                                          sample_partition)
+    from repro.warehouse.storage import sample_to_dict
+
+    rng = SplittableRng(seed)
+    data_rng = rng.spawn("data")
+    samples = [
+        sample_partition(SampleTask(
+            values=[data_rng.randrange(100_000)
+                    for _ in range(values_per)],
+            scheme="hr", bound_values=bound,
+            seed=rng.spawn("part", i).seed_value))
+        for i in range(partitions)
+    ]
+
+    with wall_timer() as t_serial:
+        serial = merge_tree(samples, rng=rng, mode="serial")
+    with ThreadExecutor(max_workers=4) as executor:
+        with wall_timer() as t_parallel:
+            parallel = merge_tree(samples, rng=rng, mode="parallel",
+                                  executor=executor)
+    identical = sample_to_dict(serial) == sample_to_dict(parallel)
+    return t_serial.seconds, t_parallel.seconds, identical
+
+
+def main():
+    print(f"available backends: {', '.join(available_backends())}")
+    print(f"active backend:     {backend_tour()}")
+    for backend in available_backends():
+        with use_backend(backend):
+            serial_s, parallel_s, identical = timed_merge()
+            print(f"[{backend:>6}] merge_tree 8x4000 serial "
+                  f"{serial_s * 1e3:7.2f} ms | parallel[4] "
+                  f"{parallel_s * 1e3:7.2f} ms | byte-identical: "
+                  f"{identical}")
+    print("(see docs/performance.md before reading anything into "
+          "single-run timings)")
+
+
+if __name__ == "__main__":
+    main()

@@ -56,7 +56,8 @@ from repro.analysis.dataflow import (ENTROPY, ENTROPY_CALLS, FILESYSTEM,
                                      FILESYSTEM_CALLS, GLOBAL_RNG,
                                      MUTATING_METHODS, RANDOM_MODULE_FNS,
                                      SALTED_HASH, SHARED_MUTATION,
-                                     WALL_CLOCK, WALL_CLOCK_CALLS)
+                                     WALL_CLOCK, WALL_CLOCK_CALLS,
+                                     is_seeded_numpy_ctor)
 from repro.analysis.framework import SourceFile, summarizer
 
 __all__ = ["callgraph_summary", "module_id"]
@@ -372,8 +373,12 @@ class _FunctionScan:
         if canon in WALL_CLOCK_CALLS:
             self._effect(WALL_CLOCK, f"{raw}()", call.lineno)
         elif canon in ENTROPY_CALLS or canon == "random.SystemRandom" \
-                or canon.startswith("numpy.random.") \
-                or raw.startswith("np.random."):
+                or ((canon.startswith("numpy.random.")
+                     or raw.startswith("np.random."))
+                    and not is_seeded_numpy_ctor(raw, call)):
+            # Seeded numpy generator construction is deterministic
+            # (RPR003 sanctions it the same way); everything else
+            # under numpy.random taints as entropy.
             self._effect(ENTROPY, f"{raw}()", call.lineno)
         elif raw in ("hash", "id"):
             self._effect(SALTED_HASH, f"{raw}()", call.lineno)

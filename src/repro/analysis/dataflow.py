@@ -48,8 +48,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 __all__ = ["WALL_CLOCK", "SALTED_HASH", "GLOBAL_RNG", "ENTROPY",
            "FILESYSTEM", "SHARED_MUTATION", "NONDETERMINISTIC_EFFECTS",
            "EFFECT_LABELS", "WALL_CLOCK_CALLS", "ENTROPY_CALLS",
-           "RANDOM_MODULE_FNS", "FILESYSTEM_CALLS", "MUTATING_METHODS",
-           "CallGraph", "analyze_project"]
+           "RANDOM_MODULE_FNS", "NUMPY_SEEDED_CTORS",
+           "is_seeded_numpy_ctor", "FILESYSTEM_CALLS",
+           "MUTATING_METHODS", "CallGraph", "analyze_project"]
 
 # ----------------------------------------------------------------------
 # The effect lattice
@@ -99,6 +100,32 @@ ENTROPY_CALLS = frozenset({
     "secrets.token_urlsafe", "secrets.randbelow", "secrets.choice",
     "secrets.randbits", "uuid.uuid1", "uuid.uuid4",
 })
+
+#: Terminal names of numpy generator/bit-generator constructors that
+#: are deterministic when given an explicit seed.  RPR003 and the
+#: interprocedural effect engine both sanction a call like
+#: ``np.random.PCG64(derive_seed(...))`` — construction *with at least
+#: one argument* — while still flagging unseeded construction and every
+#: module-level ``np.random.*`` draw (which consume global or OS
+#: entropy).  Kept here so the rule and the taint engine cannot drift.
+NUMPY_SEEDED_CTORS = frozenset({
+    "default_rng", "Generator", "SeedSequence",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+})
+
+
+def is_seeded_numpy_ctor(name: str, call) -> bool:
+    """True for a seeded ``numpy.random`` generator construction.
+
+    ``name`` is the dotted call name (``numpy.random.*`` or
+    ``np.random.*``); ``call`` is the ``ast.Call`` node.  Seeded means
+    at least one positional or keyword argument — the zero-argument
+    forms fall back to OS entropy and stay banned.
+    """
+    terminal = name.rsplit(".", 1)[-1]
+    return terminal in NUMPY_SEEDED_CTORS and bool(
+        getattr(call, "args", None) or getattr(call, "keywords", None))
+
 
 #: Module-level draw/state functions of the stdlib ``random`` module.
 RANDOM_MODULE_FNS = frozenset({

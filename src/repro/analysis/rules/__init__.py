@@ -12,13 +12,14 @@ from __future__ import annotations
 #: Bumped whenever a rule's *behavior* changes without its code or
 #: scope changing (the incremental cache folds this into its key, so
 #: a bump drops every cached finding at once).
-CATALOG_VERSION = "5"
+CATALOG_VERSION = "6"
 
 from repro.analysis import callgraph as _callgraph  # noqa: F401,E402
 from repro.analysis.rules import determinism as _determinism  # noqa: F401,E402
 from repro.analysis.rules import errors as _errors  # noqa: F401,E402
 from repro.analysis.rules import executors as _executors  # noqa: F401,E402
 from repro.analysis.rules import interprocedural as _interprocedural  # noqa: F401,E402
+from repro.analysis.rules import kernels as _kernels  # noqa: F401,E402
 from repro.analysis.rules import locks as _locks  # noqa: F401,E402
 from repro.analysis.rules import obs as _obs  # noqa: F401,E402
 from repro.analysis.rules import rng as _rng  # noqa: F401,E402

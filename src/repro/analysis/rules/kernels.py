@@ -1,0 +1,63 @@
+"""Kernel-backend discipline: vectorized backends stay vectorized.
+
+The point of :mod:`repro.kernels` is that a kernel op is *one*
+generator call, not a Python-level loop of scalar draws — that is
+where the merge tree's speedup comes from, and a per-element draw
+loop silently reintroduces the GIL-bound hot path the kernel layer
+exists to remove.  ``kernels/python.py`` is the sanctioned exception:
+it *is* the reference per-element implementation the vectorized
+backends are checked against.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import walk_calls
+from repro.analysis.dataflow import RANDOM_MODULE_FNS
+from repro.analysis.framework import Finding, SourceFile, rule
+
+#: Scalar draw methods of SplittableRng (stdlib surface plus the
+#: discrete variates the samplers add).
+_DRAW_METHODS = frozenset(RANDOM_MODULE_FNS) | {
+    "bernoulli", "binomial", "geometric", "next_skip",
+}
+
+_LOOP_NODES = (ast.For, ast.AsyncFor, ast.While, ast.ListComp,
+               ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+@rule("RPR091", "kernel-python-rng-loop",
+      "a vectorized kernel backend draws from a Python RNG per element")
+def check_kernel_rng_loops(sf: SourceFile) -> Iterator[Finding]:
+    """Ban per-element RNG draw loops in vectorized kernel backends.
+
+    Applies to every module under ``repro/kernels/`` except the
+    pure-Python reference backend (``kernels/python.py``).  Any scalar
+    draw — a ``rng.<draw>()`` / generator method call — inside a
+    ``for``/``while`` loop or a comprehension is flagged: a vectorized
+    backend must hoist the randomness into one batched generator call.
+    """
+    if not sf.in_package("kernels") or sf.is_module("kernels/python.py"):
+        return
+    seen = set()  # nested loops walk the same calls; flag each once
+    for loop in ast.walk(sf.tree):
+        if not isinstance(loop, _LOOP_NODES):
+            continue
+        for call, name in walk_calls(loop):
+            if name is None or "." not in name:
+                continue
+            where = (call.lineno, call.col_offset)
+            if where in seen:
+                continue
+            if name.rsplit(".", 1)[-1] in _DRAW_METHODS:
+                seen.add(where)
+                yield sf.finding(
+                    call, "RPR091",
+                    f"`{name}()` draws per element inside a loop in a "
+                    "vectorized kernel backend; batch the draw into a "
+                    "single generator call (see docs/performance.md)")
+
+
+__all__ = ["check_kernel_rng_loops"]

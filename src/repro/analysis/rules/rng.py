@@ -22,6 +22,7 @@ from repro.analysis.astutil import walk_calls
 from repro.analysis.dataflow import ENTROPY_CALLS as _ENTROPY_CALLS
 from repro.analysis.dataflow import \
     RANDOM_MODULE_FNS as _RANDOM_MODULE_FNS
+from repro.analysis.dataflow import is_seeded_numpy_ctor
 
 #: Wall-clock calls that make a seed expression time-dependent.
 _CLOCK_CALLS = (
@@ -80,7 +81,14 @@ def check_module_random(sf: SourceFile) -> Iterator[Finding]:
 @rule("RPR003", "entropy-source",
       "randomness is taken from a non-derivable entropy source")
 def check_entropy_sources(sf: SourceFile) -> Iterator[Finding]:
-    """Ban ``os.urandom`` / ``secrets`` / ``uuid4`` / ``numpy.random``."""
+    """Ban ``os.urandom`` / ``secrets`` / ``uuid4`` / ``numpy.random``.
+
+    One sanctioned exception: *seeded* construction of a numpy
+    generator (``np.random.PCG64(seed)``, ``default_rng(seed)``, ...)
+    is deterministic and is how the numpy kernel backend derives its
+    vectorized streams from a ``SplittableRng``.  The zero-argument
+    forms (OS entropy) and every module-level draw stay banned.
+    """
     for call, name in walk_calls(sf.tree):
         if name in _ENTROPY_CALLS:
             yield sf.finding(
@@ -90,6 +98,8 @@ def check_entropy_sources(sf: SourceFile) -> Iterator[Finding]:
         elif name is not None and (
                 name.startswith("numpy.random.")
                 or name.startswith("np.random.")):
+            if is_seeded_numpy_ctor(name, call):
+                continue
             yield sf.finding(
                 call, "RPR003",
                 f"`{name}()` bypasses the SplittableRng discipline; "

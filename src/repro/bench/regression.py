@@ -59,6 +59,15 @@ _INGEST_SCHEMES = ("hb", "hr", "sb", "hb-mp")
 _MERGE_PARTITIONS = (2, 4, 8, 16)
 _MERGE_WORKERS = 2
 
+#: The heavy merge entries: wide-histogram workloads sized so the
+#: kernel layer's vectorized inner loops dominate wall time.  These
+#: carry a ``backend`` param (the active kernel backend), so reports
+#: taken on different backends never silently compare against each
+#: other.
+_HEAVY_PARTITIONS = (8, 16)
+_HEAVY_WORKERS = 4
+_HEAVY_BOUND = 4_096
+
 
 @dataclass(frozen=True)
 class BenchResult:
@@ -136,7 +145,8 @@ def run_core_suite(*, seed: int = 2006, quick: bool = False
     return results
 
 
-def _merge_inputs(partitions: int, values_per: int, seed: int):
+def _merge_inputs(partitions: int, values_per: int, seed: int, *,
+                  bound: int = 128):
     """Deterministic per-partition HR samples for the merge bench."""
     from repro.warehouse.parallel import SampleTask, sample_partition
 
@@ -146,7 +156,7 @@ def _merge_inputs(partitions: int, values_per: int, seed: int):
     for i in range(partitions):
         values = [data_rng.randrange(100_000) for _ in range(values_per)]
         samples.append(sample_partition(SampleTask(
-            values=values, scheme="hr", bound_values=128,
+            values=values, scheme="hr", bound_values=bound,
             seed=rng.spawn("part", i).seed_value)))
     return samples
 
@@ -161,41 +171,81 @@ def run_merge_suite(*, seed: int = 2006, quick: bool = False
     tests cover process-pool byte-identity separately).  Serial and
     parallel merge the *same* inputs with the *same* rng, so the pair
     is the paper's Figures 9-14 speedup question in miniature.
+
+    On top of the pinned light entries (whose params never change, so
+    reports stay comparable across releases), the suite times *heavy*
+    entries — 8/16 partitions, ``_HEAVY_BOUND``-value histograms,
+    four workers — where the kernel layer's vectorized merge loops
+    dominate.  Heavy entries carry the active kernel backend as a
+    param; see docs/performance.md for how to read them.
     """
     from repro.core.merge import merge_tree
+    from repro.kernels import active_backend
     from repro.warehouse.parallel import ThreadExecutor
 
     values_per = 800 if quick else 3_000
+    heavy_values_per = 2_048 if quick else 16_384
     repeats = 2 if quick else 3
     results: List[BenchResult] = []
-    executor = ThreadExecutor(max_workers=_MERGE_WORKERS)
 
-    for partitions in _MERGE_PARTITIONS:
-        samples = _merge_inputs(partitions, values_per, seed)
-        rng = SplittableRng(seed)
+    with ThreadExecutor(max_workers=_MERGE_WORKERS) as executor:
+        for partitions in _MERGE_PARTITIONS:
+            samples = _merge_inputs(partitions, values_per, seed)
+            rng = SplittableRng(seed)
 
-        def serial() -> None:
-            merge_tree(samples, rng=rng, mode="serial")
+            def serial() -> None:
+                merge_tree(samples, rng=rng, mode="serial")
 
-        def parallel() -> None:
-            merge_tree(samples, rng=rng, mode="parallel",
-                       executor=executor)
+            def parallel() -> None:
+                merge_tree(samples, rng=rng, mode="parallel",
+                           executor=executor)
 
-        results.append(BenchResult(
-            name="merge.tree",
-            params={"partitions": partitions, "mode": "serial",
-                    "values_per_partition": values_per},
-            seconds=_time_min(serial, repeats),
-            repeats=repeats,
-        ))
-        results.append(BenchResult(
-            name="merge.tree",
-            params={"partitions": partitions, "mode": "parallel",
-                    "workers": _MERGE_WORKERS,
-                    "values_per_partition": values_per},
-            seconds=_time_min(parallel, repeats),
-            repeats=repeats,
-        ))
+            results.append(BenchResult(
+                name="merge.tree",
+                params={"partitions": partitions, "mode": "serial",
+                        "values_per_partition": values_per},
+                seconds=_time_min(serial, repeats),
+                repeats=repeats,
+            ))
+            results.append(BenchResult(
+                name="merge.tree",
+                params={"partitions": partitions, "mode": "parallel",
+                        "workers": _MERGE_WORKERS,
+                        "values_per_partition": values_per},
+                seconds=_time_min(parallel, repeats),
+                repeats=repeats,
+            ))
+
+    backend = active_backend()
+    with ThreadExecutor(max_workers=_HEAVY_WORKERS) as executor:
+        for partitions in _HEAVY_PARTITIONS:
+            samples = _merge_inputs(partitions, heavy_values_per, seed,
+                                    bound=_HEAVY_BOUND)
+            rng = SplittableRng(seed)
+
+            def serial() -> None:
+                merge_tree(samples, rng=rng, mode="serial")
+
+            def parallel() -> None:
+                merge_tree(samples, rng=rng, mode="parallel",
+                           executor=executor)
+
+            common = {"partitions": partitions, "bound": _HEAVY_BOUND,
+                      "values_per_partition": heavy_values_per,
+                      "backend": backend}
+            results.append(BenchResult(
+                name="merge.tree.heavy",
+                params={**common, "mode": "serial"},
+                seconds=_time_min(serial, repeats),
+                repeats=repeats,
+            ))
+            results.append(BenchResult(
+                name="merge.tree.heavy",
+                params={**common, "mode": "parallel",
+                        "workers": _HEAVY_WORKERS},
+                seconds=_time_min(parallel, repeats),
+                repeats=repeats,
+            ))
     return results
 
 

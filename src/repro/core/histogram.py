@@ -14,7 +14,8 @@ HRMerge) live here too.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, List, Tuple
+from collections import Counter
+from typing import Dict, Hashable, Iterable, Iterator, List, Sequence, Tuple
 
 from repro.core.footprint import FootprintModel
 from repro.errors import ConfigurationError
@@ -64,6 +65,37 @@ class CompactHistogram:
         hist = cls()
         for v, n in pairs:
             hist.insert_count(v, n)
+        return hist
+
+    @classmethod
+    def from_unique_counts(cls, values: Sequence[Value],
+                           counts: Sequence[int]) -> "CompactHistogram":
+        """Build from parallel ``values``/``counts`` sequences, fast.
+
+        The kernel-assembly constructor: values must be distinct and
+        counts positive (both are checked cheaply), which lets the
+        histogram skip the per-value ``insert_count`` bookkeeping and
+        build its backing dict in one C-speed pass.  Insertion order
+        follows ``values``, matching what repeated ``insert_count``
+        calls would produce.
+        """
+        values = list(values)
+        counts = list(counts)
+        if len(values) != len(counts):
+            raise ConfigurationError(
+                f"values and counts must pair up: {len(values)} values "
+                f"vs {len(counts)} counts")
+        if counts and min(counts) <= 0:
+            raise ConfigurationError("counts must be positive")
+        mapping = dict(zip(values, counts))
+        if len(mapping) != len(values):
+            raise ConfigurationError(
+                "from_unique_counts requires distinct values; use "
+                "from_pairs to accumulate duplicates")
+        hist = cls()
+        hist._counts = mapping
+        hist._size = sum(counts)
+        hist._singletons = counts.count(1)
         return hist
 
     def copy(self) -> "CompactHistogram":
@@ -184,6 +216,18 @@ class CompactHistogram:
         """Iterate the distinct values."""
         return iter(self._counts)
 
+    def value_list(self) -> List[Value]:
+        """The distinct values as a list, in insertion order (C-speed)."""
+        return list(self._counts)
+
+    def count_list(self) -> List[int]:
+        """The counts as a list, aligned with :meth:`value_list`.
+
+        The kernel functions (:mod:`repro.kernels`) take run lengths in
+        this form so a whole purge is one vectorized draw.
+        """
+        return list(self._counts.values())
+
     def expand(self) -> List[Value]:
         """The bag of values (each value repeated by its count)."""
         out: List[Value] = []
@@ -199,9 +243,21 @@ class CompactHistogram:
         """
         bigger, smaller = (self, other) if self.distinct >= other.distinct \
             else (other, self)
-        result = bigger.copy()
-        for v, n in smaller.pairs():
-            result.insert_count(v, n)
+        merged = Counter(bigger._counts)
+        merged.update(smaller._counts)  # C-speed count summation
+        result = CompactHistogram()
+        result._counts = dict(merged)
+        result._size = bigger._size + smaller._size
+        # Only values present in both operands can change singleton
+        # status (their joined count is >= 2), so adjust over the
+        # overlap instead of rescanning the whole result.
+        singletons = bigger._singletons + smaller._singletons
+        for v in bigger._counts.keys() & smaller._counts.keys():
+            if bigger._counts[v] == 1:
+                singletons -= 1
+            if smaller._counts[v] == 1:
+                singletons -= 1
+        result._singletons = singletons
         return result
 
     def joined_footprint(self, other: "CompactHistogram",
@@ -227,6 +283,15 @@ class CompactHistogram:
     # ------------------------------------------------------------------
     # Dunder conveniences
     # ------------------------------------------------------------------
+    def __getstate__(self):
+        # Compact pickle state (a bare tuple instead of the slot
+        # mapping); merge-node payloads shipped to process pools ride
+        # on this.
+        return (self._counts, self._size, self._singletons)
+
+    def __setstate__(self, state) -> None:
+        self._counts, self._size, self._singletons = state
+
     def __len__(self) -> int:
         """Number of data elements, matching the paper's |S|."""
         return self._size

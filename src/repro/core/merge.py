@@ -26,6 +26,11 @@ a warehouse needs around them:
 All merges require the parent partitions to be **disjoint**; the library
 cannot verify disjointness from the samples alone, so the warehouse layer
 is responsible for only merging samples of distinct partitions.
+
+The randomized inner loops (the eq. (2) draw here, the purges it calls)
+dispatch through :mod:`repro.kernels`, so a merge runs vectorized on
+the numpy backend and byte-identically to the historical code on the
+pure-Python fallback; see docs/performance.md.
 """
 
 from __future__ import annotations
@@ -41,12 +46,12 @@ from repro.core.purge import (purge_bernoulli, purge_reservoir,
                               purge_reservoir_concat)
 from repro.core.sample import WarehouseSample
 from repro.errors import ConfigurationError, IncompatibleSamplesError
+from repro.kernels import active_backend, draw_hypergeometric, use_backend
 from repro.obs.clock import monotonic
 from repro.obs.runtime import OBS
 from repro.obs.tracing import traced
 from repro.rng import SplittableRng
-from repro.sampling.distributions import (CachedHypergeometric,
-                                          sample_hypergeometric)
+from repro.sampling.distributions import CachedHypergeometric
 from repro.sampling.exceedance import rate_for_bound
 
 __all__ = ["hb_merge", "hr_merge", "merge_samples", "sb_union", "merge_tree"]
@@ -182,7 +187,10 @@ def hr_merge(s1: WarehouseSample, s2: WarehouseSample, *,
     method:
         ``"inversion"`` (default) or ``"alias"`` for the ``L`` draw; a
         ``cache`` (see :class:`CachedHypergeometric`) overrides both and
-        should be supplied when many merges share the same sizes.
+        should be supplied when many merges share the same sizes.  Both
+        knobs steer the pure-Python kernel backend only — the numpy
+        backend draws through its own cached cumulative pmf (see
+        :func:`repro.kernels.draw_hypergeometric`).
     scheme:
         Scheme label for the output (``hb_merge`` routes mixed merges
         here and wants the result to stay labelled ``"hb"``).
@@ -221,10 +229,8 @@ def hr_merge(s1: WarehouseSample, s2: WarehouseSample, *,
         )
 
     n1, n2 = s1.population_size, s2.population_size
-    if cache is not None:
-        take_first = cache.sample(n1, n2, k, rng)
-    else:
-        take_first = sample_hypergeometric(n1, n2, k, rng, method=method)
+    take_first = draw_hypergeometric(n1, n2, k, rng, cache=cache,
+                                     method=method)
     if OBS.enabled:
         reg = OBS.registry
         reg.histogram("merge.hr.draw_l").observe(take_first)
@@ -320,29 +326,82 @@ _NODE_CACHE = CachedHypergeometric()
 _MERGE_MODES = ("serial", "balanced", "parallel")
 
 
+def _pack_sample(sample: WarehouseSample) -> tuple:
+    """Slim pickle payload for one sample: histogram pairs + scalars.
+
+    A merge node needs the compact histogram and the merge-relevant
+    metadata — not the default dataclass pickle with its per-field
+    names.  Values within one histogram are distinct by construction,
+    so the pairs round-trip through ``from_unique_counts``.
+    """
+    hist = sample.histogram
+    return (hist.value_list(), hist.count_list(), sample.kind.name,
+            sample.population_size, sample.bound_values, sample.rate,
+            sample.scheme, sample.exceedance_p)
+
+
+def _unpack_sample(state: tuple, model) -> WarehouseSample:
+    (values, counts, kind, population, bound, rate, scheme,
+     exceedance_p) = state
+    return WarehouseSample(
+        histogram=CompactHistogram.from_unique_counts(values, counts),
+        kind=SampleKind[kind], population_size=population,
+        bound_values=bound, rate=rate, scheme=scheme,
+        exceedance_p=exceedance_p, model=model)
+
+
 @dataclass(frozen=True)
 class _MergeNodeTask:
     """One node of the merge plan: two samples plus the node's seed.
 
     Module-level and frozen so a :class:`ProcessExecutor` can pickle it.
+    ``backend`` records the kernel backend the plan was built under, so
+    a worker process evaluates the node with the same kernels whatever
+    its own environment resolved to.  Pickling goes through
+    :func:`_pack_sample` — compact histogram pairs plus merge metadata,
+    with the (shared) footprint model serialized once — instead of the
+    full sample objects, which shrinks process-pool payloads (see
+    ``parallel.task.pickle.seconds`` in ``repro obs``).
     """
 
     left: WarehouseSample
     right: WarehouseSample
     seed: int
+    backend: str = ""
+
+    def __getstate__(self) -> tuple:
+        models = (self.left.model,) if self.left.model == self.right.model \
+            else (self.left.model, self.right.model)
+        return (_pack_sample(self.left), _pack_sample(self.right),
+                self.seed, self.backend, models)
+
+    def __setstate__(self, state: tuple) -> None:
+        left, right, seed, backend, models = state
+        object.__setattr__(self, "left", _unpack_sample(left, models[0]))
+        object.__setattr__(self, "right", _unpack_sample(right, models[-1]))
+        object.__setattr__(self, "seed", seed)
+        object.__setattr__(self, "backend", backend)
 
 
 def _merge_node(task: _MergeNodeTask) -> WarehouseSample:
     """Evaluate one merge node from its own RNG substream.
 
     The node's rng is rebuilt from the task seed, so the draw sequence
-    depends only on ``(left, right, seed)`` — never on which worker runs
-    the node or in what order.  All nodes route through the per-process
-    :data:`_NODE_CACHE`: alias tables are pure functions of
-    ``(n1, n2, k)``, so cache hits and rebuilt misses consume the rng
-    identically, keeping output independent of cache state.
+    depends only on ``(left, right, seed)`` and the kernel backend —
+    never on which worker runs the node or in what order.  All nodes
+    route through the per-process :data:`_NODE_CACHE`: alias tables are
+    pure functions of ``(n1, n2, k)``, so cache hits and rebuilt misses
+    consume the rng identically, keeping output independent of cache
+    state.  The backend pinned at plan time is re-selected here only if
+    the evaluating process resolved a different one (possible for a
+    process pool spawned under another environment); in-process workers
+    see a no-op, so thread pools never touch the global selection.
     """
     rng = SplittableRng(task.seed)
+    if task.backend and task.backend != active_backend():
+        with use_backend(task.backend):
+            return merge_samples(task.left, task.right, rng=rng,
+                                 hyper_cache=_NODE_CACHE)
     return merge_samples(task.left, task.right, rng=rng,
                          hyper_cache=_NODE_CACHE)
 
@@ -403,10 +462,12 @@ def merge_tree(samples: Sequence[WarehouseSample], *,
             merged = [merger(level[i], level[i + 1])
                       for i in range(0, len(level), 2)]
         else:
+            backend = active_backend()
             tasks = [
                 _MergeNodeTask(
                     level[i], level[i + 1],
-                    rng.spawn("merge", level_index, i // 2).seed_value)
+                    rng.spawn("merge", level_index, i // 2).seed_value,
+                    backend)
                 for i in range(0, len(level), 2)
             ]
             if mode == "parallel" and executor is not None:

@@ -6,11 +6,17 @@
   of data elements — the point of the compact representation.
 * :func:`purge_reservoir` — take a simple random subsample of a given size
   from the bag a compact histogram represents, *without expanding it*
-  (Figure 4).  Uses skip-based reservoir sampling over the implicit
-  concatenation of value runs; victim selection among the already-included
-  elements uses a Fenwick (binary-indexed) tree so each eviction costs
-  O(log #distinct) instead of the O(#distinct) linear scan in the paper's
-  pseudocode.
+  (Figure 4).
+
+Both inner loops dispatch through :mod:`repro.kernels`: the numpy
+backend draws every run's kept count in a single vectorized generator
+call, the pure-Python backend runs the paper's loops verbatim
+(skip-based reservoir sampling with Fenwick-tree victim selection on
+the reservoir side).  Result assembly is shared and backend-agnostic —
+surviving ``(value, count)`` pairs are rebuilt through the trusted
+:meth:`~repro.core.histogram.CompactHistogram.from_unique_counts`
+constructor, so a purge does no per-element Python work beyond the
+python-backend draws themselves.
 
 Both functions return new histograms and leave their input untouched —
 mutation-free purges make the merge functions easier to reason about (the
@@ -19,90 +25,25 @@ paper's pseudocode purges in place).
 
 from __future__ import annotations
 
-from typing import List
+from itertools import compress
+from typing import List, Sequence
 
 from repro.core.histogram import CompactHistogram
 from repro.errors import ConfigurationError
+from repro.kernels import binomial_counts, srs_counts
+from repro.kernels.python import FenwickTree  # re-exported for back-compat
 from repro.rng import SplittableRng
-from repro.sampling.skip import SkipGenerator
 
 __all__ = ["purge_bernoulli", "purge_reservoir", "purge_reservoir_concat",
            "FenwickTree"]
 
 
-class FenwickTree:
-    """Binary-indexed tree over non-negative integer counts.
-
-    Supports point updates and *prefix-sum search* (find the first index
-    whose cumulative count reaches a target) in O(log n) — exactly the
-    operation Figure 4's victim-selection step needs (its line 9 computes
-    the same thing by linear scan).
-    """
-
-    def __init__(self, size: int) -> None:
-        if size < 0:
-            raise ConfigurationError(f"size must be >= 0, got {size}")
-        self._size = size
-        self._tree = [0] * (size + 1)
-        self._total = 0
-
-    @property
-    def total(self) -> int:
-        """Sum of all counts."""
-        return self._total
-
-    def add(self, index: int, delta: int) -> None:
-        """Add ``delta`` to the count at ``index`` (0-based)."""
-        if not 0 <= index < self._size:
-            raise ConfigurationError(
-                f"index {index} out of range [0, {self._size})")
-        self._total += delta
-        i = index + 1
-        while i <= self._size:
-            self._tree[i] += delta
-            i += i & (-i)
-
-    def prefix_sum(self, index: int) -> int:
-        """Sum of counts at positions ``0..index`` inclusive."""
-        total = 0
-        i = min(index + 1, self._size)
-        while i > 0:
-            total += self._tree[i]
-            i -= i & (-i)
-        return total
-
-    def find_by_rank(self, rank: int) -> int:
-        """Smallest index whose prefix sum is >= ``rank`` (1-based rank).
-
-        This selects the ``rank``-th data element when counts are run
-        lengths: if counts are ``[3, 0, 2]`` then ranks 1..3 map to index
-        0 and ranks 4..5 to index 2.
-        """
-        if not 1 <= rank <= self._total:
-            raise ConfigurationError(
-                f"rank {rank} out of range [1, {self._total}]")
-        index = 0
-        remaining = rank
-        bit = 1
-        while bit * 2 <= self._size:
-            bit *= 2
-        while bit:
-            nxt = index + bit
-            if nxt <= self._size and self._tree[nxt] < remaining:
-                index = nxt
-                remaining -= self._tree[nxt]
-            bit //= 2
-        return index  # 0-based position
-
-    def counts(self) -> List[int]:
-        """Materialize the per-index counts (O(n log n); for finalization)."""
-        out = []
-        prev = 0
-        for i in range(self._size):
-            cur = self.prefix_sum(i)
-            out.append(cur - prev)
-            prev = cur
-        return out
+def _histogram_from_kept(values: Sequence, kept: List[int]
+                         ) -> CompactHistogram:
+    """Assemble the surviving pairs of a purge (values are distinct)."""
+    flags = [n > 0 for n in kept]
+    return CompactHistogram.from_unique_counts(
+        list(compress(values, flags)), list(compress(kept, flags)))
 
 
 def purge_bernoulli(histogram: CompactHistogram, q: float,
@@ -114,49 +55,26 @@ def purge_bernoulli(histogram: CompactHistogram, q: float,
     """
     if not 0.0 <= q <= 1.0:
         raise ConfigurationError(f"rate must be in [0, 1], got {q}")
-    result = CompactHistogram()
     if q == 0.0:
-        return result
+        return CompactHistogram()
     if q == 1.0:
         return histogram.copy()
-    for value, n in histogram.pairs():
-        kept = rng.binomial(n, q)
-        if kept > 0:
-            result.insert_count(value, kept)
-    return result
+    kept = binomial_counts(histogram.count_list(), q, rng)
+    return _histogram_from_kept(histogram.value_list(), kept)
 
 
 def _purge_reservoir_entries(entries: List[tuple], size: int,
                              rng: SplittableRng) -> CompactHistogram:
-    """Figure 4's core loop over explicit ``(value, run)`` entries.
+    """Figure 4's loop over explicit ``(value, run)`` entries.
 
     The same value may appear in several entries (when purging a
     concatenation of histograms); the final re-insertion coalesces them.
     """
-    tree = FenwickTree(len(entries))
-    skips = SkipGenerator(size, rng)
-
-    included = 0          # L in Figure 4
-    boundary = 0          # b: upper element index of the current bucket
-    processed = 0         # elements of the implicit stream processed
-    next_insert = 1       # j: 1-based index of the next element to include
-    for position, (_value, run) in enumerate(entries):
-        boundary += run
-        while next_insert <= boundary:
-            if included == size:
-                victim_rank = rng.randrange(size) + 1
-                victim = tree.find_by_rank(victim_rank)
-                tree.add(victim, -1)
-                included -= 1
-            tree.add(position, 1)
-            included += 1
-            processed = next_insert
-            next_insert = processed + skips.next_skip(processed)
-
+    kept = srs_counts([run for _value, run in entries], size, rng)
     result = CompactHistogram()
-    for (value, _run), kept in zip(entries, tree.counts()):
-        if kept > 0:
-            result.insert_count(value, kept)
+    for (value, _run), n in zip(entries, kept):
+        if n > 0:
+            result.insert_count(value, n)
     return result
 
 
@@ -164,10 +82,8 @@ def purge_reservoir(histogram: CompactHistogram, size: int,
                     rng: SplittableRng) -> CompactHistogram:
     """Figure 4: a simple random subsample of ``size`` elements.
 
-    Performs reservoir sampling of the bag ``expand(histogram)`` without
-    materializing it: value runs form "buckets" ``(b_prev, b]`` on the
-    implicit element axis; skips land inside buckets to include elements,
-    and a Fenwick tree over the output counts picks eviction victims.
+    Subsamples the bag ``expand(histogram)`` without materializing it —
+    one :func:`repro.kernels.srs_counts` call over the value runs.
 
     ``size >= histogram.size`` returns a copy (nothing to purge);
     ``size == 0`` returns an empty histogram.
@@ -178,7 +94,8 @@ def purge_reservoir(histogram: CompactHistogram, size: int,
         return CompactHistogram()
     if size >= histogram.size:
         return histogram.copy()
-    return _purge_reservoir_entries(list(histogram.pairs()), size, rng)
+    kept = srs_counts(histogram.count_list(), size, rng)
+    return _histogram_from_kept(histogram.value_list(), kept)
 
 
 def purge_reservoir_concat(first: CompactHistogram,

@@ -1,0 +1,190 @@
+"""The numpy kernel backend — each kernel op is one vectorized call.
+
+Draw semantics match the python backend's laws exactly (same pmfs, same
+support); only the *stream consumption* differs, which is why
+determinism is a per-backend contract (docs/determinism.md):
+
+* the eq. (3) recursion runs as one ``cumprod`` per directed walk from
+  the mode, and draws invert a cached cumulative pmf with
+  ``searchsorted`` (the cdf cache is this backend's analogue of the
+  Section 4.2 alias-table cache and reports through the same
+  ``merge.hyper_cache.hit`` / ``merge.hyper_cache.miss`` counters);
+* Figure 3's per-run Binomials are a single ``Generator.binomial`` call
+  over the run-length vector;
+* Figure 4's simple random subsample over runs is a single
+  ``Generator.multivariate_hypergeometric`` draw — the distribution of
+  surviving counts per run under an SRS is exactly that law.
+
+Each :class:`~repro.rng.SplittableRng` lazily owns one
+``numpy.random.Generator`` seeded from its own stream
+(``rng.getrandbits(64)``), so kernel draws remain a pure function of
+the rng's state and the call sequence — byte-identical across
+executors and worker counts, like every other consumer of the
+seed-splitting discipline.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.obs.runtime import OBS
+from repro.rng import SplittableRng
+from repro.sampling.distributions import hypergeometric_logpmf_term
+
+__all__ = ["hypergeometric_pmf", "draw_hypergeometric",
+           "draw_hypergeometric_batch", "binomial_counts", "srs_counts"]
+
+#: Attribute under which a SplittableRng carries its numpy generator.
+_GEN_ATTR = "_repro_numpy_generator"
+
+
+def _generator(rng: SplittableRng) -> "np.random.Generator":
+    """The rng's lazily-created numpy generator (seeded from its stream).
+
+    Seeding consumes 64 bits of the Python stream once per rng, so the
+    generator — and every vectorized draw after it — is a deterministic
+    function of the rng's seed and prior consumption.
+    """
+    gen = getattr(rng, _GEN_ATTR, None)
+    if gen is None:
+        gen = np.random.Generator(np.random.PCG64(rng.getrandbits(64)))
+        setattr(rng, _GEN_ATTR, gen)
+    return gen
+
+
+def _validate(n1: int, n2: int, k: int) -> None:
+    if n1 < 0 or n2 < 0:
+        raise ConfigurationError(
+            f"population sizes must be >= 0, got {n1}, {n2}")
+    if not 0 <= k <= n1 + n2:
+        raise ConfigurationError(
+            f"draw size k={k} must be in [0, {n1 + n2}]")
+
+
+def _pmf_array(n1: int, n2: int, k: int) -> "np.ndarray":
+    """Eq. (3) as two cumulative products walking outward from the mode."""
+    _validate(n1, n2, k)
+    lo = max(0, k - n2)
+    hi = min(k, n1)
+    mode = min(hi, max(lo, (k + 1) * (n1 + 1) // (n1 + n2 + 2)))
+    pmf = np.zeros(k + 1)
+    pmf[mode] = math.exp(hypergeometric_logpmf_term(n1, n2, k, mode))
+    if hi > mode:
+        # P(l+1)/P(l) = (k-l)(n1-l) / ((l+1)(n2-k+l+1)) for l = mode..hi-1
+        ls = np.arange(mode, hi, dtype=np.float64)
+        up = ((k - ls) * (n1 - ls)) / ((ls + 1.0) * (n2 - k + ls + 1.0))
+        pmf[mode + 1:hi + 1] = pmf[mode] * np.cumprod(up)
+    if mode > lo:
+        # inverse ratio for l = mode..lo+1, walking downward
+        ls = np.arange(mode, lo, -1, dtype=np.float64)
+        down = (ls * (n2 - k + ls)) / ((k - ls + 1.0) * (n1 - ls + 1.0))
+        pmf[lo:mode] = (pmf[mode] * np.cumprod(down))[::-1]
+    total = float(pmf.sum())
+    if not math.isclose(total, 1.0, rel_tol=1e-9, abs_tol=1e-12):
+        pmf = pmf / total
+    return pmf
+
+
+def hypergeometric_pmf(n1: int, n2: int, k: int) -> List[float]:
+    """The probability vector ``P(0..k)`` of eq. (2)."""
+    return _pmf_array(n1, n2, k).tolist()
+
+
+# Cumulative-pmf cache keyed by (n1, n2, k) — the same role (and the
+# same hit/miss counters) as CachedHypergeometric's alias tables on the
+# python backend.  Shared across threads: reads are lock-free, inserts
+# go through setdefault under the lock, and a racing rebuild produces
+# an identical array.  Cache state never affects draw values.
+_CDF_CACHE: Dict[Tuple[int, int, int], "np.ndarray"] = {}
+_CDF_LOCK = threading.Lock()
+
+
+def _cdf(n1: int, n2: int, k: int) -> "np.ndarray":
+    key = (n1, n2, k)
+    cdf = _CDF_CACHE.get(key)
+    if cdf is None:
+        if OBS.enabled:
+            OBS.registry.counter("merge.hyper_cache.miss").inc()
+        built = np.cumsum(_pmf_array(n1, n2, k))
+        with _CDF_LOCK:
+            cdf = _CDF_CACHE.setdefault(key, built)
+    elif OBS.enabled:
+        OBS.registry.counter("merge.hyper_cache.hit").inc()
+    return cdf
+
+
+def draw_hypergeometric(n1: int, n2: int, k: int, rng: SplittableRng, *,
+                        cache=None, method: str = "inversion") -> int:
+    """One eq. (2) draw by cdf inversion (one ``searchsorted``).
+
+    ``cache`` and ``method`` are python-backend knobs; this backend's
+    module-level cdf cache subsumes both, so they are accepted and
+    ignored.
+    """
+    del cache, method
+    cdf = _cdf(n1, n2, k)
+    u = _generator(rng).random()
+    return int(min(np.searchsorted(cdf, u, side="left"), k))
+
+
+def draw_hypergeometric_batch(n1: int, n2: int, k: int,
+                              rng: SplittableRng, count: int, *,
+                              cache=None,
+                              method: str = "inversion") -> List[int]:
+    """``count`` eq. (2) draws from one uniform vector."""
+    del cache, method
+    if count < 0:
+        raise ConfigurationError(f"count must be >= 0, got {count}")
+    if count == 0:
+        return []
+    cdf = _cdf(n1, n2, k)
+    us = _generator(rng).random(count)
+    draws = np.minimum(np.searchsorted(cdf, us, side="left"), k)
+    return [int(x) for x in draws]
+
+
+def binomial_counts(counts: Sequence[int], q: float,
+                    rng: SplittableRng) -> List[int]:
+    """All of Figure 3's Binomial draws as one vectorized call."""
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"rate must be in [0, 1], got {q}")
+    arr = np.asarray(counts if isinstance(counts, (list, tuple))
+                     else list(counts), dtype=np.int64)
+    if arr.size == 0:
+        return []
+    if arr.min() < 0:
+        raise ConfigurationError("run lengths must be >= 0")
+    return _generator(rng).binomial(arr, q).tolist()
+
+
+def srs_counts(runs: Sequence[int], size: int,
+               rng: SplittableRng) -> List[int]:
+    """Figure 4 as one multivariate hypergeometric draw.
+
+    Drawing ``size`` elements uniformly without replacement from the
+    concatenated runs leaves each run with counts distributed exactly
+    as ``multivariate_hypergeometric(runs, size)`` — the same law the
+    python backend's reservoir loop realizes one element at a time.
+    """
+    arr = np.asarray(runs if isinstance(runs, (list, tuple))
+                     else list(runs), dtype=np.int64)
+    total = int(arr.sum())
+    if not 0 <= size <= total:
+        raise ConfigurationError(
+            f"size must be in [0, {total}], got {size}")
+    if size == 0:
+        return [0] * int(arr.size)
+    if size == total:
+        return arr.tolist()
+    # "count" needs O(sum(runs)) scratch; "marginals" walks the runs.
+    # The choice is a pure function of the inputs, keeping draws
+    # deterministic for a given rng state.
+    method = "count" if total <= 1_000_000 else "marginals"
+    draw = _generator(rng).multivariate_hypergeometric(arr, size,
+                                                       method=method)
+    return draw.tolist()

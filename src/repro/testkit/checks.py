@@ -24,6 +24,17 @@ check                            claim
                                  byte-for-byte
 ``differential.merge_tree``      serial vs balanced folds agree on
                                  deterministic merges
+``kernels.hypergeom.gof``        the active kernel backend's batched
+                                 eq. (3) draw matches the closed-form
+                                 pmf
+``kernels.binomial.law``         ``binomial_counts`` keeps each run
+                                 Binomial(n, q) on the active backend
+``kernels.srs.law``              ``srs_counts`` realizes the exact
+                                 multivariate hypergeometric law
+``kernels.pmf.crosscheck``       numpy and python backends compute the
+                                 same eq. (3) pmf (skipped sans numpy)
+``differential.merge_engine``    (deep) every merge engine mode/
+                                 executor/backend agrees byte-exactly
 ``hr.uniformity.subset``         (deep) HR: all k-subsets equally
                                  likely, not just inclusion marginals
 ``purge.reservoir.subset``       (deep) Figure 4 purge draws uniform
@@ -58,6 +69,9 @@ from repro.core.histogram import CompactHistogram
 from repro.core.merge import hr_merge, merge_tree
 from repro.core.purge import purge_bernoulli, purge_reservoir
 from repro.errors import ConfigurationError
+from repro.kernels import (binomial_counts, draw_hypergeometric_batch,
+                           numpy_available, srs_counts, use_backend)
+from repro.kernels import hypergeometric_pmf as kernel_pmf
 from repro.rng import SplittableRng
 from repro.sampling.distributions import (hypergeometric_pmf,
                                           sample_hypergeometric)
@@ -68,6 +82,7 @@ from repro.stats.uniformity import (chi_square_homogeneity,
                                     subset_frequency_test)
 from repro.testkit.battery import Battery
 from repro.testkit.differential import (executor_differential,
+                                        merge_engine_differential,
                                         merge_tree_differential)
 from repro.warehouse.parallel import SampleTask, make_sampler
 
@@ -442,4 +457,106 @@ def default_battery() -> Battery:
                                             label="hr-exhaustive")
         return failures
 
+    # -- kernel backends ------------------------------------------------
+    # These gate the vectorized kernel layer (docs/performance.md):
+    # whatever backend is the session's fastest must draw from the same
+    # laws as the pure-Python reference.  ``_primary_backend`` pins the
+    # vectorized backend when numpy is importable and degrades to the
+    # reference itself otherwise, so the battery stays green (and still
+    # meaningful as a regression check) on numpy-free interpreters.
+    def _primary_backend() -> str:
+        return "numpy" if numpy_available() else "python"
+
+    @battery.check("kernels.hypergeom.gof",
+                   description="the kernel backend's batched eq. (3) "
+                               "draw matches the closed-form pmf")
+    def kernel_hypergeom(rng: SplittableRng, scale: int) -> float:
+        n1, n2, k = 13, 9, 7
+        pmf = hypergeometric_pmf(n1, n2, k)
+        lo = max(0, k - n2)
+        draws = 1200 * scale
+        with use_backend(_primary_backend()):
+            values = draw_hypergeometric_batch(n1, n2, k, rng, draws)
+        observed = [0] * len(pmf)
+        for v in values:
+            observed[v - lo] += 1
+        expected = [p * draws for p in pmf]
+        return chi_square_pvalue(*collapse_cells(observed, expected))
+
+    @battery.check("kernels.binomial.law",
+                   description="binomial_counts keeps each run "
+                               "Binomial(n, q) on the kernel backend")
+    def kernel_binomial(rng: SplittableRng, scale: int) -> float:
+        n, q = 60, 0.25
+        trials = 600 * scale
+        with use_backend(_primary_backend()):
+            kept = binomial_counts([n] * trials, q, rng)
+        observed = [0] * (n + 1)
+        for k in kept:
+            observed[k] += 1
+        expected = [p * trials for p in binomial_pmf(n, q)]
+        return chi_square_pvalue(*collapse_cells(observed, expected))
+
+    @battery.check("kernels.srs.law",
+                   description="srs_counts realizes the exact "
+                               "multivariate hypergeometric law")
+    def kernel_srs(rng: SplittableRng, scale: int) -> float:
+        # Small enough to enumerate the joint law exactly: P(kept) =
+        # prod_i C(runs_i, kept_i) / C(total, size).
+        runs, size = [2, 1, 1], 2
+        total = sum(runs)
+        outcomes = [(2, 0, 0), (1, 1, 0), (1, 0, 1), (0, 1, 1)]
+        pmf = [math.prod(math.comb(r, k) for r, k in zip(runs, kept))
+               / math.comb(total, size) for kept in outcomes]
+        trials = 600 * scale
+        observed = [0] * len(outcomes)
+        with use_backend(_primary_backend()):
+            for _ in range(trials):
+                observed[outcomes.index(
+                    tuple(srs_counts(runs, size, rng)))] += 1
+        expected = [p * trials for p in pmf]
+        return chi_square_pvalue(observed, expected)
+
+    @battery.check("kernels.pmf.crosscheck", kind="exact",
+                   description="numpy and python backends compute the "
+                               "same eq. (3) pmf")
+    def kernel_pmf_crosscheck(rng: SplittableRng, scale: int) -> List[str]:
+        del rng, scale  # deterministic numeric comparison
+        if not numpy_available():
+            return []  # nothing to cross-check: one backend
+        failures: List[str] = []
+        for n1, n2, k in ((13, 9, 7), (200, 150, 64), (5, 5, 10),
+                          (1000, 2, 2), (3, 400, 100), (64, 64, 64)):
+            with use_backend("python"):
+                want = kernel_pmf(n1, n2, k)
+            with use_backend("numpy"):
+                got = kernel_pmf(n1, n2, k)
+            if len(want) != len(got):
+                failures.append(
+                    f"pmf({n1},{n2},{k}): support length "
+                    f"{len(got)} != {len(want)}")
+                continue
+            for i, (w, g) in enumerate(zip(want, got)):
+                if not math.isclose(w, g, rel_tol=1e-9, abs_tol=1e-12):
+                    failures.append(
+                        f"pmf({n1},{n2},{k})[{i}]: {g!r} != {w!r}")
+        return failures
+
+    @battery.check("differential.merge_engine", kind="exact",
+                   tier="deep",
+                   description="every merge engine mode/executor/"
+                               "backend agrees byte-exactly")
+    def merge_engine_agrees(rng: SplittableRng, scale: int) -> List[str]:
+        del scale  # exact check: the sweep is the budget
+        samples = []
+        for i in range(6):
+            sampler = make_sampler("hr", population_size=400,
+                                   bound_values=24, exceedance_p=0.01,
+                                   sb_rate=None, rng=rng.spawn("part", i))
+            sampler.feed_many(range(400 * i, 400 * i + 400))
+            samples.append(sampler.finalize())
+        return merge_engine_differential(samples,
+                                         rng=rng.spawn("engine"),
+                                         worker_counts=(2,),
+                                         label="hr-partitions")
     return battery

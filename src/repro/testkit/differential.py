@@ -23,15 +23,19 @@ means agreement):
   ``rng.spawn("merge", level, index)`` substream, randomness-consuming
   merges (HB/HR) are covered too — this is the "tree-shape independence"
   invariant of docs/determinism.md, checked exactly rather than in law.
+  The sweep runs once per available kernel backend: byte-identity is a
+  **per-backend** contract (docs/performance.md), so each backend gets
+  its own serial reference and its own mode/executor/worker sweep.
 """
 
 from __future__ import annotations
 
 import json
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.merge import merge_tree
 from repro.core.sample import WarehouseSample
+from repro.kernels import available_backends, use_backend
 from repro.rng import SplittableRng
 from repro.warehouse.parallel import (ProcessExecutor, SampleTask,
                                       SerialExecutor, ThreadExecutor,
@@ -110,6 +114,7 @@ def merge_tree_differential(samples: Sequence[WarehouseSample], *,
 def merge_engine_differential(samples: Sequence[WarehouseSample], *,
                               rng: SplittableRng,
                               worker_counts: Sequence[int] = (1, 2, 4),
+                              backends: Optional[Sequence[str]] = None,
                               label: str = "inputs") -> List[str]:
     """Failure messages unless every merge engine agrees byte-exactly.
 
@@ -118,23 +123,35 @@ def merge_engine_differential(samples: Sequence[WarehouseSample], *,
     serialize identically.  ``rng.spawn`` derives substreams without
     consuming state, so reusing one ``rng`` across runs is sound — all
     runs see the same per-node seeds.
+
+    The whole sweep repeats for each kernel backend in ``backends``
+    (default: every backend available in this interpreter).  Each
+    backend computes its *own* serial reference — the contract is
+    byte-identity across modes/executors/workers *within* a backend,
+    not across backends (their draws differ by construction; they
+    agree in law, which the statistical battery checks).
     """
-    reference = serialize_exact(merge_tree(samples, rng=rng,
-                                           mode="serial"))
-    variants = [("balanced", dict(mode="balanced")),
-                ("parallel/inline", dict(mode="parallel"))]
-    for workers in worker_counts:
-        variants.append((f"parallel/thread[{workers}]",
-                         dict(mode="parallel",
-                              executor=ThreadExecutor(workers))))
-        variants.append((f"parallel/process[{workers}]",
-                         dict(mode="parallel",
-                              executor=ProcessExecutor(workers))))
+    if backends is None:
+        backends = available_backends()
     failures: List[str] = []
-    for name, kwargs in variants:
-        got = serialize_exact(merge_tree(samples, rng=rng, **kwargs))
-        if got != reference:
-            failures.append(
-                f"merge_tree({label}) {name} diverged from serial: "
-                f"{got} != {reference}")
+    for backend in backends:
+        with use_backend(backend):
+            reference = serialize_exact(merge_tree(samples, rng=rng,
+                                                   mode="serial"))
+            variants = [("balanced", dict(mode="balanced")),
+                        ("parallel/inline", dict(mode="parallel"))]
+            for workers in worker_counts:
+                variants.append((f"parallel/thread[{workers}]",
+                                 dict(mode="parallel",
+                                      executor=ThreadExecutor(workers))))
+                variants.append((f"parallel/process[{workers}]",
+                                 dict(mode="parallel",
+                                      executor=ProcessExecutor(workers))))
+            for name, kwargs in variants:
+                got = serialize_exact(merge_tree(samples, rng=rng,
+                                                 **kwargs))
+                if got != reference:
+                    failures.append(
+                        f"merge_tree({label}) {backend}/{name} diverged "
+                        f"from serial: {got} != {reference}")
     return failures

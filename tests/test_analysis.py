@@ -607,6 +607,74 @@ class TestPvalueDiscipline:
         assert found == []
 
 
+class TestKernelDiscipline:
+    def test_loop_draw_in_vectorized_backend_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"kernels/numpy_backend.py": """\
+            def binomial_counts(counts, q, rng):
+                out = []
+                for n in counts:
+                    out.append(rng.binomial(n, q))
+                return out
+            """})
+        assert codes(found) == ["RPR091"]
+
+    def test_comprehension_draw_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"kernels/numpy_backend.py": """\
+            def binomial_counts(counts, q, rng):
+                return [rng.binomial(n, q) for n in counts]
+            """})
+        assert codes(found) == ["RPR091"]
+
+    def test_nested_loops_flag_each_draw_once(self, tmp_path):
+        found = lint_tree(tmp_path, {"kernels/numpy_backend.py": """\
+            def draw_grid(rows, cols, q, rng):
+                out = []
+                for _ in range(rows):
+                    for _ in range(cols):
+                        out.append(rng.binomial(1, q))
+                return out
+            """})
+        assert codes(found) == ["RPR091"]
+
+    def test_reference_backend_is_exempt(self, tmp_path):
+        found = lint_tree(tmp_path, {"kernels/python.py": """\
+            def binomial_counts(counts, q, rng):
+                return [rng.binomial(n, q) for n in counts]
+            """})
+        assert found == []
+
+    def test_batched_generator_call_is_clean(self, tmp_path):
+        found = lint_tree(tmp_path, {"kernels/numpy_backend.py": """\
+            def binomial_counts(counts, q, rng):
+                gen = _generator(rng)
+                return gen.binomial(_np.asarray(counts), q).tolist()
+            """})
+        assert found == []
+
+    def test_loop_draw_outside_kernels_not_rpr091(self, tmp_path):
+        found = lint_tree(tmp_path, {"core/x.py": """\
+            def binomial_counts(counts, q, rng):
+                return [rng.binomial(n, q) for n in counts]
+            """})
+        assert "RPR091" not in codes(found)
+
+    def test_seeded_numpy_generator_is_clean(self, tmp_path):
+        # The RPR003 exemption the numpy backend rides on: explicitly
+        # seeded generator construction is deterministic.
+        found = lint_tree(tmp_path, {"kernels/numpy_backend.py": """\
+            def _generator(rng):
+                return np.random.Generator(np.random.PCG64(rng.seed_value))
+            """})
+        assert found == []
+
+    def test_unseeded_numpy_generator_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"kernels/numpy_backend.py": """\
+            def _generator():
+                return np.random.default_rng()
+            """})
+        assert codes(found) == ["RPR003"]
+
+
 class TestSuppressions:
     def test_noqa_with_code_suppresses(self, tmp_path):
         found = lint_tree(tmp_path, {
@@ -692,8 +760,8 @@ class TestSelection:
             lint_tree(tmp_path, self.SOURCE, select=["RPR999"])
 
     def test_empty_family_raises(self, tmp_path):
-        with pytest.raises(ConfigurationError, match="RPR09X"):
-            lint_tree(tmp_path, self.SOURCE, select=["RPR09x"])
+        with pytest.raises(ConfigurationError, match="RPR10X"):
+            lint_tree(tmp_path, self.SOURCE, select=["RPR10x"])
 
     def test_expand_select_mixes_codes_and_families(self):
         from repro.analysis import expand_select

@@ -18,7 +18,7 @@ import pytest
 import repro
 
 # Examples that are written doctest-first; scripts stay script-only.
-DOCTESTED_EXAMPLES = ["observability.py"]
+DOCTESTED_EXAMPLES = ["kernels.py", "observability.py"]
 
 
 def _all_modules():

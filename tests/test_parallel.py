@@ -88,6 +88,30 @@ class TestExecutors:
         out = ThreadExecutor(4).map(self.square, list(range(50)))
         assert out == [x * x for x in range(50)]
 
+    def test_thread_pool_persists_across_maps(self):
+        executor = ThreadExecutor(2)
+        try:
+            executor.map(self.square, [1])
+            pool = executor._pool
+            assert pool is not None
+            executor.map(self.square, [2, 3])
+            assert executor._pool is pool
+        finally:
+            executor.close()
+        assert executor._pool is None
+
+    def test_closed_thread_executor_is_reusable(self):
+        executor = ThreadExecutor(2)
+        executor.map(self.square, [1, 2])
+        executor.close()
+        assert executor.map(self.square, [3]) == [9]
+        executor.close()
+
+    def test_thread_executor_context_manager_closes(self):
+        with ThreadExecutor(2) as executor:
+            assert executor.map(self.square, [4]) == [16]
+        assert executor._pool is None
+
 
 class TestExecutorDeterminism:
     """The determinism guarantee (docs/determinism.md): every task

@@ -14,9 +14,11 @@ partition count once thread pools and inline evaluation agree).
 
 from __future__ import annotations
 
+import pickle
+
 import pytest
 
-from repro.core.merge import merge_tree
+from repro.core.merge import _MergeNodeTask, _merge_node, merge_tree
 from repro.rng import SplittableRng
 from repro.testkit.differential import (merge_engine_differential,
                                         serialize_exact)
@@ -105,6 +107,27 @@ class TestEngineDeterminismDetails:
         second = serialize_exact(merge_tree(samples, rng=rng,
                                             mode="parallel"))
         assert first == second
+
+    def test_merge_node_task_pickle_round_trip(self):
+        # Process pools ship tasks through _pack_sample: compact
+        # histogram pairs plus merge metadata, not the dataclass
+        # default.  The unpickled task must evaluate to the same bytes.
+        left, right = build_samples("hr", 2)
+        task = _MergeNodeTask(left, right,
+                              SplittableRng(3).seed_value, "python")
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone.seed == task.seed
+        assert clone.backend == "python"
+        assert serialize_exact(_merge_node(clone)) == \
+            serialize_exact(_merge_node(task))
+
+    def test_merge_node_task_pickle_is_compact(self):
+        # The packed payload must beat the naive dataclass pickle of
+        # the same fields — that is the point of __getstate__.
+        left, right = build_samples("hr", 2, values_per=400, bound=64)
+        task = _MergeNodeTask(left, right, 7, "python")
+        naive = pickle.dumps((left, right, 7, "python"))
+        assert len(pickle.dumps(task)) < len(naive)
 
     def test_input_order_changes_output_but_stays_deterministic(self):
         # Node seeds are positional, so permuting inputs is a different
