@@ -25,7 +25,10 @@ Beyond the file-local rules, the package carries an interprocedural
 layer: :mod:`repro.analysis.callgraph` digests each file into a
 module summary, :mod:`repro.analysis.dataflow` assembles the
 project-wide call graph and propagates effect taints to a fixpoint
-(powering the RPR06x/RPR07x families), and
+(powering the RPR06x/RPR07x families),
+:mod:`repro.analysis.locksets` lifts per-function lock facts to
+project-wide entry locksets and an acquired-while-holding order
+graph (powering RPR041 and the RPR10x concurrency family), and
 :mod:`repro.analysis.cache` keeps warm runs incremental — unchanged
 files are never re-parsed, yet findings stay byte-identical to a
 cold run.
@@ -37,8 +40,10 @@ from repro.analysis.framework import (CachedFile, Finding, Project, Rule,
                                       SourceFile, all_rules,
                                       expand_select, finding_from_dict,
                                       load_project, rule, rule_for,
-                                      run_lint, summarizer)
-from repro.analysis.reporters import parse_json, render_json, render_text
+                                      run_lint, severity_for, summarizer)
+from repro.analysis.locksets import LockModel, lock_model
+from repro.analysis.reporters import (parse_json, render_json,
+                                      render_sarif, render_text)
 
 __all__ = [
     "CachedFile",
@@ -46,6 +51,7 @@ __all__ = [
     "DEFAULT_CACHE_PATH",
     "Finding",
     "LintCache",
+    "LockModel",
     "Project",
     "Rule",
     "SourceFile",
@@ -54,11 +60,14 @@ __all__ = [
     "expand_select",
     "finding_from_dict",
     "load_project",
+    "lock_model",
     "parse_json",
     "render_json",
+    "render_sarif",
     "render_text",
     "rule",
     "rule_for",
     "run_lint",
+    "severity_for",
     "summarizer",
 ]

@@ -1,11 +1,11 @@
 """Per-file call-graph summaries (the ``"callgraph"`` summarizer).
 
 This module digests one parsed source file into a JSON-serializable
-**module summary** — the only thing the interprocedural engine
-(:mod:`repro.analysis.dataflow`) ever sees.  Keeping the digest pure
-JSON is what lets the incremental cache persist it: a warm ``repro
-lint`` run rebuilds the whole project call graph from cached
-summaries without re-parsing a single unchanged file.
+**module summary** — the only thing the interprocedural engines
+(:mod:`repro.analysis.dataflow`, :mod:`repro.analysis.locksets`) ever
+see.  Keeping the digest pure JSON is what lets the incremental cache
+persist it: a warm ``repro lint`` run rebuilds the whole project call
+graph from cached summaries without re-parsing a single unchanged file.
 
 A summary looks like::
 
@@ -14,6 +14,7 @@ A summary looks like::
       "path": "src/repro/warehouse/parallel.py",
       "imports": {"SplittableRng": "rng.SplittableRng", ...},
       "module_state": ["SCHEMES", ...],    # module-level mutables
+      "module_locks": {"_LOCK": ["lock", 12]},
       "functions": {
         "sample_partition": {
           "name": "sample_partition", "cls": null, "nested": false,
@@ -26,7 +27,8 @@ A summary looks like::
           "fresh_rng":  [{"name": "SplittableRng", "line": 97,
                           "col": 10, "guarded": false}],
           "submits":    [{"fn": {"kind": "ref", "name":
-                          "sample_partition"}, "line": 60, "col": 8}]
+                          "sample_partition"}, "line": 60, "col": 8,
+                          "exec_kind": "process"}]
         },
         ...
       }
@@ -44,15 +46,41 @@ Local **effects** are detected against the canonical call tables in
 the file's import aliases (``import time as t; t.time()`` is still a
 wall-clock read).  ``rng.py`` is exempt from the ``global-rng``
 effect — it implements the discipline the effect polices.
+
+Lockset facts (consumed by :mod:`repro.analysis.locksets`) ride along
+on the same records when present:
+
+* ``lock_attrs`` / ``queue_attrs`` / ``exec_attrs`` — ``self._x``
+  attributes a method binds to a lock / queue / executor constructor
+  (normally in ``__init__``), with the lock *kind* (``lock`` |
+  ``rlock``) or executor kind (``process`` | ``thread``).
+* ``acquires`` — every ``with <lock>:`` entry or ``.acquire()`` call,
+  with the locks already **held** at that point (the acquired-while-
+  holding edges RPR102 cycles over).
+* ``accesses`` — writes to (and iterations over) shared locations:
+  ``self._x`` attributes and module-global names, each with the held
+  lockset.  Plain point reads are deliberately *not* recorded — the
+  double-checked ``get``-then-locked-``setdefault`` idiom is lawful.
+* ``blocking`` — blocking waits (``time.sleep``, queue get/put,
+  executor map/submit/shutdown, filesystem calls) made while at least
+  one lock was held (RPR103's local evidence).
+
+Locks are recognized structurally where possible (a binding to a
+``Lock()``/``RLock()`` constructor, the module-level lock table) and
+by spelling otherwise: a ``with``-context or ``.acquire()`` receiver
+whose last segment contains ``lock``/``mutex`` counts.  The naming
+convention is documented in docs/static_analysis.md and enforced by
+the CI lock-coverage gate.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Sequence, Set
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.astutil import call_name, dotted_name
-from repro.analysis.dataflow import (ENTROPY, ENTROPY_CALLS, FILESYSTEM,
+from repro.analysis.dataflow import (BLOCKING, BLOCKING_CALLS, ENTROPY,
+                                     ENTROPY_CALLS, FILESYSTEM,
                                      FILESYSTEM_CALLS, GLOBAL_RNG,
                                      MUTATING_METHODS, RANDOM_MODULE_FNS,
                                      SALTED_HASH, SHARED_MUTATION,
@@ -67,7 +95,8 @@ __all__ = ["callgraph_summary", "module_id"]
 #: token_hex`` spellings.
 _EXTERN_MODULES = frozenset({
     "time", "datetime", "os", "secrets", "uuid", "random", "shutil",
-    "tempfile", "gzip", "numpy",
+    "tempfile", "gzip", "numpy", "threading", "queue", "select",
+    "signal", "multiprocessing", "concurrent",
 })
 
 #: ``pathlib.Path`` methods that touch the filesystem (receiver-based,
@@ -81,8 +110,42 @@ _PATH_FS_METHODS = frozenset({
 #: Constructor names that create a process pool.
 _PROCESS_CTORS = frozenset({"ProcessExecutor", "ProcessPoolExecutor"})
 
+#: Constructor names that create a thread pool (same-process
+#: concurrency: submitted callables share memory with the caller).
+_THREAD_CTORS = frozenset({"ThreadExecutor", "ThreadPoolExecutor"})
+
 #: Methods that hand a callable to an executor.
 _SUBMIT_METHODS = frozenset({"map", "submit"})
+
+#: Lock constructor terminal names -> lock kind.  ``rlock`` re-entry
+#: is legal (RPR102 skips rlock self-edges); plain ``lock`` re-entry
+#: self-deadlocks.
+_LOCK_CTORS = {"Lock": "lock", "RLock": "rlock"}
+
+#: Queue constructor terminal names (``queue`` and ``multiprocessing``
+#: spellings).  ``get``/``put``/``join`` on a bound queue block.
+_QUEUE_CTORS = frozenset({
+    "Queue", "SimpleQueue", "LifoQueue", "PriorityQueue",
+    "JoinableQueue",
+})
+
+#: Blocking methods on a bound queue / executor receiver.
+_QUEUE_BLOCKING = frozenset({"get", "put", "join"})
+_EXEC_BLOCKING = frozenset({"map", "submit", "shutdown"})
+
+#: Builtins whose call iterates their first argument — ``sorted(d)``
+#: walks the dict and races with a concurrent resize even though no
+#: element is mutated.
+_ITER_BUILTINS = frozenset({
+    "sorted", "list", "tuple", "set", "frozenset", "dict", "iter",
+    "min", "max", "sum", "any", "all", "enumerate", "zip", "map",
+    "filter",
+})
+
+#: Mapping view methods: creating the view is cheap but the idiomatic
+#: ``list(d.items())`` snapshot must happen under the same lock as the
+#: writers, so the view call is recorded as an iteration access.
+_VIEW_METHODS = frozenset({"items", "keys", "values"})
 
 
 def module_id(sf: SourceFile) -> str:
@@ -120,9 +183,37 @@ def _last(name: str) -> str:
     return name.rsplit(".", 1)[-1]
 
 
-def _is_process_ctor(call: ast.Call) -> bool:
+def _executor_kind(call: ast.Call) -> Optional[str]:
+    """``"process"`` / ``"thread"`` when the call constructs a pool."""
     name = call_name(call)
-    return name is not None and _last(name) in _PROCESS_CTORS
+    if name is None:
+        return None
+    terminal = _last(name)
+    if terminal in _PROCESS_CTORS:
+        return "process"
+    if terminal in _THREAD_CTORS:
+        return "thread"
+    return None
+
+
+def _lock_kind(call: ast.Call) -> Optional[str]:
+    """``"lock"`` / ``"rlock"`` when the call constructs a lock."""
+    name = call_name(call)
+    if name is None:
+        return None
+    return _LOCK_CTORS.get(_last(name))
+
+
+def _is_queue_ctor(call: ast.Call) -> bool:
+    name = call_name(call)
+    return name is not None and _last(name) in _QUEUE_CTORS
+
+
+def _lockish_name(name: str) -> bool:
+    """Spelling heuristic for lock receivers (``self._lock``,
+    ``_CDF_LOCK``, ``_ids_lock`` ...)."""
+    terminal = _last(name).lower()
+    return "lock" in terminal or "mutex" in terminal
 
 
 class _ImportTable:
@@ -219,17 +310,32 @@ def _module_state(tree: ast.Module) -> Set[str]:
     return state
 
 
-def _module_executors(tree: ast.Module) -> Set[str]:
-    """Module-level names bound to a process-pool constructor."""
-    bound: Set[str] = set()
+def _module_bindings(tree: ast.Module):
+    """Module-level (executors, locks, queues) bound by name.
+
+    Returns ``(execs, locks, queues)`` where ``execs`` maps name ->
+    executor kind and ``locks`` maps name -> ``[kind, line]``.
+    """
+    execs: Dict[str, str] = {}
+    locks: Dict[str, List[object]] = {}
+    queues: Set[str] = set()
     for stmt in tree.body:
-        if isinstance(stmt, ast.Assign) and \
-                isinstance(stmt.value, ast.Call) and \
-                _is_process_ctor(stmt.value):
-            for target in stmt.targets:
-                if isinstance(target, ast.Name):
-                    bound.add(target.id)
-    return bound
+        if not (isinstance(stmt, ast.Assign)
+                and isinstance(stmt.value, ast.Call)):
+            continue
+        ekind = _executor_kind(stmt.value)
+        lkind = _lock_kind(stmt.value)
+        is_queue = _is_queue_ctor(stmt.value)
+        for target in stmt.targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if ekind is not None:
+                execs[target.id] = ekind
+            elif lkind is not None:
+                locks[target.id] = [lkind, stmt.lineno]
+            elif is_queue:
+                queues.add(target.id)
+    return execs, locks, queues
 
 
 def _rng_params(node: ast.AST) -> List[str]:
@@ -262,15 +368,31 @@ def _own_nodes(fn_node: ast.AST) -> Iterator[ast.AST]:
         stack.extend(ast.iter_child_nodes(node))
 
 
+def _flat_targets(targets: Sequence[ast.expr]) -> List[ast.expr]:
+    """Assignment targets with tuple/list unpacking flattened, in
+    syntactic order (``a, (b, c) = ...`` -> ``[a, b, c]``)."""
+    flat: List[ast.expr] = []
+    for target in targets:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            flat.extend(_flat_targets(target.elts))
+        elif isinstance(target, ast.Starred):
+            flat.extend(_flat_targets([target.value]))
+        else:
+            flat.append(target)
+    return flat
+
+
 class _FunctionScan:
     """One function body -> its summary record."""
 
     def __init__(self, node: ast.AST, qual: str, cls: Optional[str],
                  nested: bool, imports: _ImportTable,
-                 module_state: Set[str], module_execs: Set[str],
-                 rng_exempt: bool) -> None:
+                 module_state: Set[str], module_execs: Dict[str, str],
+                 module_locks: Dict[str, List[object]],
+                 module_queues: Set[str], rng_exempt: bool) -> None:
         self._imports = imports
         self._module_state = module_state
+        self._module_locks = module_locks
         self._rng_exempt = rng_exempt
         self.record: Dict[str, object] = {
             "name": getattr(node, "name", "<lambda>"),
@@ -287,89 +409,257 @@ class _FunctionScan:
             "submits": [],
         }
         self._rng_params = set(self.record["rng_params"])
+        # Lockset facts — attached to the record only when non-empty
+        # (finalized below) so unaffected summaries stay byte-stable.
+        self._lock_attrs: Dict[str, List[object]] = {}
+        self._queue_attrs: Dict[str, int] = {}
+        self._exec_attrs: Dict[str, str] = {}
+        self._acquires: List[dict] = []
+        self._accesses: List[dict] = []
+        self._blocking: List[dict] = []
         # Pass 1: scope facts the expression walk depends on.
         self._outer_names: Set[str] = set()
-        self._local_execs: Set[str] = set(module_execs)
+        self._global_names: Set[str] = set()
+        self._local_execs: Dict[str, str] = dict(module_execs)
+        self._local_queues: Set[str] = set(module_queues)
+        self._local_locks: Set[str] = set()
         self._local_lambdas: Set[str] = set()
+        self._alias_assigns: List[Tuple[List[ast.expr], str]] = []
         for own in _own_nodes(node):
             self._scan_scope(own)
-        # Pass 2: calls, effects, draws, submissions (guard-aware).
+        # Aliases like ``pool = ThreadPoolExecutor(); self._pool =
+        # pool`` need a propagation sweep (scan order is arbitrary).
+        for _ in range(2):
+            for targets, src in self._alias_assigns:
+                ekind = self._local_execs.get(src)
+                in_queues = src in self._local_queues
+                for target in targets:
+                    name = dotted_name(target)
+                    if name is None:
+                        continue
+                    if ekind is not None:
+                        self._bind_executor([target], ekind)
+                    if in_queues:
+                        self._bind_queue([target])
+        # Pass 2: calls, effects, draws, submissions, locksets.
+        held: Set[str] = set()
         for stmt in node.body:
-            self._visit(stmt, guarded=False)
+            self._visit(stmt, False, held)
+        for key, value in (("lock_attrs", self._lock_attrs),
+                           ("queue_attrs", self._queue_attrs),
+                           ("exec_attrs", self._exec_attrs),
+                           ("acquires", self._acquires),
+                           ("accesses", self._accesses),
+                           ("blocking", self._blocking)):
+            if value:
+                self.record[key] = value
 
     # -- pass 1 ---------------------------------------------------------
 
     def _scan_scope(self, node: ast.AST) -> None:
-        if isinstance(node, (ast.Global, ast.Nonlocal)):
+        if isinstance(node, ast.Global):
+            self._outer_names.update(node.names)
+            self._global_names.update(node.names)
+        elif isinstance(node, ast.Nonlocal):
             self._outer_names.update(node.names)
         elif isinstance(node, ast.Assign):
-            if isinstance(node.value, ast.Call) and \
-                    _is_process_ctor(node.value):
-                self._bind_executor(node.targets)
-            elif isinstance(node.value, ast.Lambda):
+            value = node.value
+            if isinstance(value, ast.Call):
+                ekind = _executor_kind(value)
+                lkind = _lock_kind(value)
+                if ekind is not None:
+                    self._bind_executor(node.targets, ekind)
+                elif lkind is not None:
+                    self._bind_lock(node.targets, lkind, node.lineno)
+                elif _is_queue_ctor(value):
+                    self._bind_queue(node.targets)
+            elif isinstance(value, ast.Lambda):
                 for target in node.targets:
                     if isinstance(target, ast.Name):
                         self._local_lambdas.add(target.id)
+            else:
+                src = dotted_name(value)
+                if src is not None:
+                    self._alias_assigns.append(
+                        (list(node.targets), src))
         elif isinstance(node, ast.withitem):
             if isinstance(node.context_expr, ast.Call) and \
-                    _is_process_ctor(node.context_expr) and \
                     node.optional_vars is not None:
-                self._bind_executor([node.optional_vars])
+                ekind = _executor_kind(node.context_expr)
+                if ekind is not None:
+                    self._bind_executor([node.optional_vars], ekind)
 
-    def _bind_executor(self, targets: Sequence[ast.expr]) -> None:
+    def _bind_executor(self, targets: Sequence[ast.expr],
+                       kind: str) -> None:
         for target in targets:
             name = dotted_name(target)
-            if name is not None:
-                self._local_execs.add(name)
+            if name is None:
+                continue
+            self._local_execs.setdefault(name, kind)
+            first, _, rest = name.partition(".")
+            if first == "self" and rest and "." not in rest:
+                self._exec_attrs.setdefault(rest, kind)
+
+    def _bind_lock(self, targets: Sequence[ast.expr], kind: str,
+                   line: int) -> None:
+        for target in targets:
+            name = dotted_name(target)
+            if name is None:
+                continue
+            self._local_locks.add(name)
+            first, _, rest = name.partition(".")
+            if first == "self" and rest and "." not in rest:
+                self._lock_attrs.setdefault(rest, [kind, line])
+
+    def _bind_queue(self, targets: Sequence[ast.expr]) -> None:
+        for target in targets:
+            name = dotted_name(target)
+            if name is None:
+                continue
+            self._local_queues.add(name)
+            first, _, rest = name.partition(".")
+            if first == "self" and rest and "." not in rest:
+                self._queue_attrs.setdefault(rest, target.lineno)
 
     # -- pass 2 ---------------------------------------------------------
 
-    def _visit(self, node: ast.AST, guarded: bool) -> None:
+    def _is_lock_name(self, name: str) -> bool:
+        return (name in self._local_locks
+                or name in self._module_locks
+                or _lockish_name(name))
+
+    def _visit(self, node: ast.AST, guarded: bool,
+               held: Set[str]) -> None:
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
                              ast.ClassDef)):
             return  # summarized as its own record
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            self._handle_with(node, guarded, held)
+            return
         if isinstance(node, ast.Call):
-            self._handle_call(node, guarded)
-        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
-            self._handle_assignment(node)
+            self._handle_call(node, guarded, held)
+        elif isinstance(node, (ast.Assign, ast.AugAssign,
+                               ast.AnnAssign)):
+            self._handle_assignment(node, held)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                self._access_of_target(target, held)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            self._iter_access(node.iter, held)
+        elif isinstance(node, ast.comprehension):
+            self._iter_access(node.iter, held)
         if isinstance(node, (ast.If, ast.IfExp)):
-            self._visit(node.test, guarded)
+            self._visit(node.test, guarded, held)
             body = node.body if isinstance(node.body, list) \
                 else [node.body]
             orelse = node.orelse if isinstance(node.orelse, list) \
                 else ([node.orelse] if node.orelse is not None else [])
             branch_guarded = guarded or self._mentions_rng(node.test)
             for child in [*body, *orelse]:
-                self._visit(child, branch_guarded)
+                self._visit(child, branch_guarded, held)
             return
         if isinstance(node, ast.BoolOp):
             op_guarded = guarded or any(self._mentions_rng(v)
                                         for v in node.values)
             for child in node.values:
-                self._visit(child, op_guarded)
+                self._visit(child, op_guarded, held)
             return
         for child in ast.iter_child_nodes(node):
-            self._visit(child, guarded)
+            self._visit(child, guarded, held)
+
+    def _handle_with(self, node: ast.AST, guarded: bool,
+                     held: Set[str]) -> None:
+        acquired: List[str] = []
+        for item in node.items:
+            expr = item.context_expr
+            token = None
+            if not isinstance(expr, ast.Call):
+                name = dotted_name(expr)
+                if name is not None and self._is_lock_name(name):
+                    token = name
+            if token is not None:
+                self._record_acquire(token, expr.lineno,
+                                     expr.col_offset, held)
+                if token not in held:
+                    held.add(token)
+                    acquired.append(token)
+            else:
+                self._visit(expr, guarded, held)
+        for stmt in node.body:
+            self._visit(stmt, guarded, held)
+        for token in acquired:
+            held.discard(token)
+
+    def _record_acquire(self, token: str, line: int, col: int,
+                        held: Set[str]) -> None:
+        self._acquires.append({"lock": token, "line": line, "col": col,
+                               "held": sorted(held)})
+
+    def _record_access(self, target: str, kind: str, line: int,
+                       col: int, held: Set[str]) -> None:
+        self._accesses.append({"target": target, "kind": kind,
+                               "line": line, "col": col,
+                               "held": sorted(held)})
+
+    def _access_target(self, base: str) -> Optional[str]:
+        """Canonicalize a dotted receiver to a tracked shared location
+        (``self._x`` or a module-global name), else ``None``."""
+        first, _, rest = base.partition(".")
+        if first == "self":
+            if not rest:
+                return None
+            attr = rest.split(".", 1)[0]
+            if not attr.startswith("_"):
+                return None
+            if self._is_lock_name(f"self.{attr}"):
+                return None  # the lock itself is not guarded data
+            return f"self.{attr}"
+        if first in self._module_state or first in self._global_names:
+            if self._is_lock_name(first):
+                return None
+            if first in self._local_execs or first in self._local_queues:
+                return None  # pools/queues synchronize internally
+            return first
+        return None
 
     def _mentions_rng(self, node: ast.AST) -> bool:
         return any(isinstance(n, ast.Name) and n.id in self._rng_params
                    for n in ast.walk(node))
 
-    def _handle_call(self, call: ast.Call, guarded: bool) -> None:
+    def _handle_call(self, call: ast.Call, guarded: bool,
+                     held: Set[str]) -> None:
         # Submission detection must not depend on the call having a
         # dotted name: ``ProcessExecutor().map(...)`` has a Call
         # receiver, which ``call_name`` cannot render.
         self._submission_of_call(call)
+        func = call.func
+        if isinstance(func, ast.Attribute) and \
+                func.attr in ("acquire", "release"):
+            token = dotted_name(func.value)
+            if token is not None and self._is_lock_name(token):
+                if func.attr == "acquire":
+                    self._record_acquire(token, call.lineno,
+                                         call.col_offset, held)
+                    held.add(token)
+                else:
+                    held.discard(token)
+                return
         raw = call_name(call)
         if raw is None:
             return
-        self.record["calls"].append(
-            {"name": raw, "line": call.lineno, "col": call.col_offset})
-        self._effects_of_call(call, raw)
+        entry: Dict[str, object] = {"name": raw, "line": call.lineno,
+                                    "col": call.col_offset}
+        if held:
+            entry["held"] = sorted(held)
+        self.record["calls"].append(entry)
+        self._effects_of_call(call, raw, held)
         self._rng_of_call(call, raw, guarded)
+        self._access_of_call(call, raw, held)
 
-    def _effects_of_call(self, call: ast.Call, raw: str) -> None:
+    def _effects_of_call(self, call: ast.Call, raw: str,
+                         held: Set[str]) -> None:
         canon = self._imports.canonical(raw)
+        filesystem = False
         if canon in WALL_CLOCK_CALLS:
             self._effect(WALL_CLOCK, f"{raw}()", call.lineno)
         elif canon in ENTROPY_CALLS or canon == "random.SystemRandom" \
@@ -388,6 +678,7 @@ class _FunctionScan:
         elif canon in FILESYSTEM_CALLS or (
                 "." in raw and _last(raw) in _PATH_FS_METHODS):
             self._effect(FILESYSTEM, f"{raw}()", call.lineno)
+            filesystem = True
         if isinstance(call.func, ast.Attribute) and \
                 call.func.attr in MUTATING_METHODS:
             base = dotted_name(call.func.value)
@@ -399,6 +690,58 @@ class _FunctionScan:
                         SHARED_MUTATION,
                         f"{raw}() mutates module state '{first}'",
                         call.lineno)
+        blocking = canon in BLOCKING_CALLS
+        if not blocking and isinstance(call.func, ast.Attribute):
+            attr = call.func.attr
+            base = dotted_name(call.func.value)
+            if attr in _QUEUE_BLOCKING and base is not None and \
+                    base in self._local_queues:
+                blocking = True
+            elif attr in _EXEC_BLOCKING and (
+                    (base is not None and base in self._local_execs)
+                    or (isinstance(call.func.value, ast.Call)
+                        and _executor_kind(call.func.value)
+                        is not None)):
+                blocking = True
+        if blocking:
+            self._effect(BLOCKING, f"{raw}()", call.lineno)
+        if (blocking or filesystem) and held:
+            self._blocking.append({"detail": f"{raw}()",
+                                   "line": call.lineno,
+                                   "held": sorted(held)})
+
+    def _access_of_call(self, call: ast.Call, raw: str,
+                        held: Set[str]) -> None:
+        func = call.func
+        if isinstance(func, ast.Name) and raw in _ITER_BUILTINS \
+                and call.args:
+            arg = call.args[0]
+            if not isinstance(arg, ast.Call):
+                self._iter_access(arg, held)
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        base = dotted_name(func.value)
+        if base is None:
+            return
+        target = self._access_target(base)
+        if target is None:
+            return
+        if func.attr in _VIEW_METHODS and not call.args:
+            self._record_access(target, "iter", call.lineno,
+                                call.col_offset, held)
+        elif func.attr in MUTATING_METHODS:
+            self._record_access(target, "write", call.lineno,
+                                call.col_offset, held)
+
+    def _iter_access(self, node: ast.AST, held: Set[str]) -> None:
+        name = dotted_name(node)
+        if name is None:
+            return
+        target = self._access_target(name)
+        if target is not None:
+            self._record_access(target, "iter", node.lineno,
+                                node.col_offset, held)
 
     def _rng_of_call(self, call: ast.Call, raw: str,
                      guarded: bool) -> None:
@@ -415,18 +758,32 @@ class _FunctionScan:
 
     def _submission_of_call(self, call: ast.Call) -> None:
         func = call.func
+        name = call_name(call)
+        if name is not None and _last(name) == "Thread":
+            # ``threading.Thread(target=fn)`` is a thread-entry
+            # submission: ``fn`` runs concurrently with the creator.
+            for kw in call.keywords:
+                if kw.arg == "target":
+                    self._append_submit(kw.value, call, "thread")
+                    return
+            return
         if not isinstance(func, ast.Attribute) or \
                 func.attr not in _SUBMIT_METHODS or not call.args:
             return
         receiver = func.value
-        is_process = (isinstance(receiver, ast.Call)
-                      and _is_process_ctor(receiver))
-        if not is_process:
-            name = dotted_name(receiver)
-            is_process = name is not None and name in self._local_execs
-        if not is_process:
+        kind: Optional[str] = None
+        if isinstance(receiver, ast.Call):
+            kind = _executor_kind(receiver)
+        else:
+            rname = dotted_name(receiver)
+            if rname is not None:
+                kind = self._local_execs.get(rname)
+        if kind is None:
             return
-        fn_arg = call.args[0]
+        self._append_submit(call.args[0], call, kind)
+
+    def _append_submit(self, fn_arg: ast.expr, call: ast.Call,
+                       exec_kind: str) -> None:
         if isinstance(fn_arg, ast.Lambda):
             fn = {"kind": "lambda", "name": None}
         else:
@@ -438,20 +795,28 @@ class _FunctionScan:
             else:
                 fn = {"kind": "opaque", "name": None}
         self.record["submits"].append(
-            {"fn": fn, "line": call.lineno, "col": call.col_offset})
+            {"fn": fn, "line": call.lineno, "col": call.col_offset,
+             "exec_kind": exec_kind})
 
-    def _handle_assignment(self, node: ast.AST) -> None:
+    def _handle_assignment(self, node: ast.AST,
+                           held: Set[str]) -> None:
         if isinstance(node, ast.Assign):
             targets = node.targets
         else:
             targets = [node.target]
-        for target in targets:
+        for target in _flat_targets(targets):
             if isinstance(target, ast.Name):
                 if target.id in self._outer_names:
                     self._effect(
                         SHARED_MUTATION,
                         f"write to outer-scope name '{target.id}'",
                         node.lineno)
+                if target.id in self._global_names:
+                    tracked = self._access_target(target.id)
+                    if tracked is not None:
+                        self._record_access(tracked, "write",
+                                            target.lineno,
+                                            target.col_offset, held)
             elif isinstance(target, (ast.Attribute, ast.Subscript)):
                 base = dotted_name(
                     target.value if isinstance(target, ast.Subscript)
@@ -465,6 +830,30 @@ class _FunctionScan:
                         SHARED_MUTATION,
                         f"write to module state '{first}'",
                         node.lineno)
+                tracked = self._access_target(base)
+                if tracked is not None:
+                    self._record_access(tracked, "write",
+                                        target.lineno,
+                                        target.col_offset, held)
+
+    def _access_of_target(self, target: ast.expr,
+                          held: Set[str]) -> None:
+        if not isinstance(target, (ast.Attribute, ast.Subscript,
+                                   ast.Name)):
+            return
+        if isinstance(target, ast.Name):
+            base = target.id if target.id in self._global_names \
+                else None
+        else:
+            base = dotted_name(
+                target.value if isinstance(target, ast.Subscript)
+                else target)
+        if base is None:
+            return
+        tracked = self._access_target(base)
+        if tracked is not None:
+            self._record_access(tracked, "write", target.lineno,
+                                target.col_offset, held)
 
     def _effect(self, effect: str, detail: str, line: int) -> None:
         self.record["effects"].append([effect, detail, line])
@@ -481,7 +870,7 @@ def callgraph_summary(sf: SourceFile) -> dict:
         package = mod.rsplit(".", 1)[0] if "." in mod else ""
     imports = _ImportTable(sf.tree, package)
     module_state = _module_state(sf.tree)
-    module_execs = _module_executors(sf.tree)
+    module_execs, module_locks, module_queues = _module_bindings(sf.tree)
     rng_exempt = sf.is_module("rng.py")
     functions: Dict[str, dict] = {}
 
@@ -492,6 +881,7 @@ def callgraph_summary(sf: SourceFile) -> dict:
                 qual = prefix + stmt.name
                 scan = _FunctionScan(stmt, qual, cls, nested, imports,
                                      module_state, module_execs,
+                                     module_locks, module_queues,
                                      rng_exempt)
                 functions[qual] = scan.record
                 walk_defs(stmt.body, qual + ".<locals>.", None, True)
@@ -505,5 +895,7 @@ def callgraph_summary(sf: SourceFile) -> dict:
         "path": sf.display_path,
         "imports": dict(sorted(imports.internal.items())),
         "module_state": sorted(module_state),
+        "module_locks": {name: module_locks[name]
+                         for name in sorted(module_locks)},
         "functions": functions,
     }

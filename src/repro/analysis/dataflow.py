@@ -9,7 +9,7 @@ modules, ``self.``-method dispatch, nested defs, one level of
 package re-export), and runs a monotone worklist until every
 function's **transitive effect set** is a fixpoint.
 
-The effect lattice is a flat powerset over six tags:
+The effect lattice is a flat powerset over seven tags:
 
 ========================  ==============================================
 ``wall-clock``            ``time.time()``, ``datetime.now()``, ... —
@@ -26,6 +26,10 @@ The effect lattice is a flat powerset over six tags:
 ``shared-mutation``       writes to ``global``/``nonlocal`` names or
                           module-level state — lost silently when the
                           writer runs in a ``ProcessExecutor`` worker
+``blocking-wait``         ``time.sleep``, queue gets/puts, executor
+                          ``map``/``submit``/``shutdown`` — calls that
+                          park the calling thread (RPR103 flags them
+                          under a held lock)
 ========================  ==============================================
 
 Each function keeps one **witness** per effect — either the local
@@ -46,10 +50,11 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["WALL_CLOCK", "SALTED_HASH", "GLOBAL_RNG", "ENTROPY",
-           "FILESYSTEM", "SHARED_MUTATION", "NONDETERMINISTIC_EFFECTS",
+           "FILESYSTEM", "SHARED_MUTATION", "BLOCKING",
+           "NONDETERMINISTIC_EFFECTS",
            "EFFECT_LABELS", "WALL_CLOCK_CALLS", "ENTROPY_CALLS",
            "RANDOM_MODULE_FNS", "NUMPY_SEEDED_CTORS",
-           "is_seeded_numpy_ctor", "FILESYSTEM_CALLS",
+           "is_seeded_numpy_ctor", "FILESYSTEM_CALLS", "BLOCKING_CALLS",
            "MUTATING_METHODS", "CallGraph", "analyze_project"]
 
 # ----------------------------------------------------------------------
@@ -62,6 +67,7 @@ GLOBAL_RNG = "global-rng"
 ENTROPY = "unseeded-entropy"
 FILESYSTEM = "filesystem"
 SHARED_MUTATION = "shared-mutation"
+BLOCKING = "blocking-wait"
 
 #: The effects that break same-seed reproducibility (RPR061 flags
 #: these on sampling/merge entry points; ``filesystem`` and
@@ -78,6 +84,7 @@ EFFECT_LABELS = {
     ENTROPY: "an unseedable entropy source",
     FILESYSTEM: "filesystem access",
     SHARED_MUTATION: "mutation of shared module state",
+    BLOCKING: "a blocking wait",
 }
 
 # ----------------------------------------------------------------------
@@ -143,6 +150,14 @@ FILESYSTEM_CALLS = frozenset({
     "os.scandir", "shutil.rmtree", "shutil.copy", "shutil.copytree",
     "shutil.move", "tempfile.mkstemp", "tempfile.mkdtemp",
     "tempfile.NamedTemporaryFile", "tempfile.TemporaryDirectory",
+})
+
+#: Calls that block the calling thread outright (the lockset engine
+#: also derives blocking waits from queue/executor receivers and the
+#: filesystem table above — see :mod:`repro.analysis.callgraph`).
+#: RPR103 flags any of them made while a lock is held.
+BLOCKING_CALLS = frozenset({
+    "time.sleep", "select.select", "signal.pause",
 })
 
 #: Method calls that mutate a container in place.

@@ -49,7 +49,13 @@ from repro.errors import ConfigurationError
 
 __all__ = ["Finding", "Rule", "SourceFile", "CachedFile", "Project",
            "rule", "summarizer", "all_rules", "rule_for", "expand_select",
+           "severity_for", "SEVERITIES",
            "load_project", "run_lint", "SYNTAX_ERROR_CODE"]
+
+#: Rule severity tiers, most severe first.  ``--fail-on warning`` (the
+#: default) fails on any finding; ``--fail-on error`` lets
+#: warning-severity findings through with exit code 0.
+SEVERITIES = ("error", "warning")
 
 #: Reserved code for files the engine cannot parse at all.  Not a
 #: registered rule: parse errors are always reported, whatever
@@ -103,6 +109,7 @@ class Rule:
     summary: str
     scope: str  # "file" or "project"
     check: Callable
+    severity: str = "error"  # "error" or "warning"
 
 
 _REGISTRY: Dict[str, Rule] = {}
@@ -111,8 +118,8 @@ _REGISTRY: Dict[str, Rule] = {}
 _SUMMARIZERS: Dict[str, Callable[["SourceFile"], object]] = {}
 
 
-def rule(code: str, name: str, summary: str, *, scope: str = "file"
-         ) -> Callable[[Callable], Callable]:
+def rule(code: str, name: str, summary: str, *, scope: str = "file",
+         severity: str = "error") -> Callable[[Callable], Callable]:
     """Register a check function under a stable ``RPR0xx`` code."""
     if not _CODE_RE.match(code):
         raise ConfigurationError(
@@ -120,11 +127,15 @@ def rule(code: str, name: str, summary: str, *, scope: str = "file"
     if scope not in ("file", "project"):
         raise ConfigurationError(
             f"rule scope must be 'file' or 'project', got {scope!r}")
+    if severity not in SEVERITIES:
+        raise ConfigurationError(
+            f"rule severity must be one of {SEVERITIES}, got "
+            f"{severity!r}")
 
     def register(fn: Callable) -> Callable:
         if code in _REGISTRY:
             raise ConfigurationError(f"duplicate rule code {code}")
-        _REGISTRY[code] = Rule(code, name, summary, scope, fn)
+        _REGISTRY[code] = Rule(code, name, summary, scope, fn, severity)
         return fn
 
     return register
@@ -166,6 +177,13 @@ def rule_for(code: str) -> Rule:
         return _REGISTRY[code]
     except KeyError:
         raise ConfigurationError(f"unknown rule code {code!r}") from None
+
+
+def severity_for(code: str) -> str:
+    """The severity tier of a finding code (parse errors are errors)."""
+    if code == SYNTAX_ERROR_CODE:
+        return "error"
+    return rule_for(code).severity
 
 
 def expand_select(select: Optional[Iterable[str]]) -> Optional[Set[str]]:
@@ -225,7 +243,8 @@ def catalog_fingerprint() -> str:
     h = hashlib.sha256()
     h.update(CATALOG_VERSION.encode("utf-8"))
     for rl in all_rules():
-        h.update(f"|{rl.code}:{rl.name}:{rl.scope}".encode("utf-8"))
+        h.update(f"|{rl.code}:{rl.name}:{rl.scope}:{rl.severity}"
+                 .encode("utf-8"))
     for key in summary_keys():
         h.update(f"|summary:{key}".encode("utf-8"))
     return h.hexdigest()[:16]

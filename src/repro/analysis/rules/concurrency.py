@@ -1,0 +1,213 @@
+"""RPR10x — concurrency soundness (lockset race/deadlock analysis).
+
+The lock-discipline rule (RPR041) checks that mutations of guarded
+class state happen under *a* lock.  These rules go further, on top of
+the interprocedural lockset model (:mod:`repro.analysis.locksets`):
+
+* **RPR101 — inconsistent lockset.**  Eraser-style: every access to a
+  shared location (a ``self._x`` attribute or module-global name)
+  carries its effective lockset (locally held locks ∪ the locks every
+  caller provably holds).  When some accesses hold a lock and others
+  skip it, the intersection is empty and the location is a race
+  candidate.  The rule reports the accesses that miss the location's
+  *majority* lock, citing one consistently-locked site as the witness.
+  Plain point reads are never recorded (the double-checked
+  ``get``-then-locked-``setdefault`` idiom stays lawful); what gets
+  flagged is **iteration** (``sorted(self._metrics)``,
+  ``list(self._index)``, ``.items()`` views, ``for`` loops) racing a
+  locked writer — exactly the access pattern that raises
+  ``RuntimeError: dictionary changed size during iteration`` — plus
+  writes under the *wrong* lock.  (Lock-free writes in a lock-owning
+  class stay RPR041's finding; constructor-only code is exempt — the
+  instance is not shared yet.)
+
+* **RPR102 — lock-order inversion.**  Every acquire records the locks
+  already held, giving the acquired-while-holding graph.  A cycle
+  means two threads can each hold one lock and wait for the other;
+  a self-edge on a non-reentrant ``threading.Lock`` is a guaranteed
+  self-deadlock (``RLock`` re-entry is exempt).
+
+* **RPR103 — blocking call under a lock** (severity ``warning``).
+  ``time.sleep``, queue gets/puts, executor ``map``/``submit``/
+  ``shutdown``, and file I/O made while holding a lock serialize
+  every contending thread behind the wait.  Local waits and
+  transitive ones (a held call into a callee whose effect set
+  includes ``blocking-wait``/``filesystem``) are both reported, with
+  the witness chain.  Deliberate cases (e.g. an atomic
+  write-rename under the store lock) carry a justified
+  ``# repro: noqa[RPR103]``.
+
+Test files are exempt from all three: fixtures and test scaffolding
+are single-threaded by construction (and this package's own lint
+fixtures would otherwise trip the gate over the full tree).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterator, Set, Tuple
+
+from repro.analysis.framework import Finding, Project, rule
+from repro.analysis.locksets import LockModel, is_test_path, lock_model
+
+
+def _lockset_phrase(model: LockModel, locks) -> str:
+    if not locks:
+        return "with no lock held"
+    names = ", ".join(f"`{model.display(lock)}`"
+                      for lock in sorted(locks))
+    return f"holding only {names}"
+
+
+@rule("RPR101", "inconsistent-lockset",
+      "a shared location is accessed under inconsistent locksets",
+      scope="project")
+def check_inconsistent_lockset(project: Project) -> Iterator[Finding]:
+    """Intersect effective locksets per shared location; report the
+    access sites that miss the location's majority lock."""
+    model = lock_model(project)
+    for location in sorted(model.access_table):
+        records = [r for r in model.access_table[location]
+                   if not r["exempt"] and not is_test_path(r["path"])]
+        if len(records) < 2:
+            continue
+        counts: Counter = Counter()
+        for record in records:
+            counts.update(record["locks"])
+        if not counts:
+            continue  # never locked anywhere: not a claimed discipline
+        majority = sorted(counts.items(),
+                          key=lambda kv: (-kv[1], kv[0]))[0][0]
+        witness = min((r for r in records if majority in r["locks"]),
+                      key=lambda r: (r["path"], r["line"], r["col"]))
+        is_class_loc = "." in model.display(location)
+        for record in records:
+            if majority in record["locks"]:
+                continue
+            if is_class_loc and record["kind"] == "write" \
+                    and not record["locks"]:
+                continue  # RPR041 already owns the lock-free write
+            verb = "iterated" if record["kind"] == "iter" \
+                else "written"
+            yield Finding(
+                path=record["path"], line=record["line"],
+                col=record["col"], code="RPR101",
+                message=(
+                    f"`{model.display(location)}` is guarded by "
+                    f"`{model.display(majority)}` at "
+                    f"{counts[majority]} of {len(records)} access "
+                    f"site(s) but {verb} here "
+                    f"{_lockset_phrase(model, record['locks'])}; a "
+                    "concurrent locked writer can resize it "
+                    "mid-iteration — hold "
+                    f"`{model.display(majority)}` (consistent site: "
+                    f"{witness['path']}:{witness['line']})"))
+
+
+@rule("RPR102", "lock-order-inversion",
+      "a cycle in the acquired-while-holding graph (deadlock)",
+      scope="project")
+def check_lock_order(project: Project) -> Iterator[Finding]:
+    """Self-edges on non-reentrant locks and cycles between distinct
+    locks in the acquired-while-holding graph."""
+    model = lock_model(project)
+    graph = model.graph
+    successors: Dict[str, Set[str]] = {}
+    for held, acquired in model.order_edges:
+        if held != acquired:
+            successors.setdefault(held, set()).add(acquired)
+
+    def reaches(src: str, dst: str) -> bool:
+        seen: Set[str] = set()
+        stack = [src]
+        while stack:
+            node = stack.pop()
+            if node == dst:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(successors.get(node, ()))
+        return False
+
+    def site(edge: Tuple[str, str]) -> Tuple[str, str, int, int]:
+        key, line, col = sorted(model.order_edges[edge])[0]
+        path = graph.modules[graph.defs[key][0]]["path"]
+        return key, path, line, col
+
+    reported_pairs: Set[Tuple[str, str]] = set()
+    for held, acquired in sorted(model.order_edges):
+        key, path, line, col = site((held, acquired))
+        if is_test_path(path):
+            continue
+        if held == acquired:
+            if model.lock_kinds.get(held) != "lock":
+                continue  # RLock re-entry (or unknown kind) is lawful
+            yield Finding(
+                path=path, line=line, col=col, code="RPR102",
+                message=(
+                    f"`{model.display(held)}` is acquired in "
+                    f"`{graph.display(key)}` while already held "
+                    "(non-reentrant threading.Lock) — guaranteed "
+                    "self-deadlock; use threading.RLock or drop the "
+                    "inner acquire"))
+            continue
+        pair = (min(held, acquired), max(held, acquired))
+        if pair in reported_pairs or not reaches(acquired, held):
+            continue
+        reported_pairs.add(pair)
+        counter_edge = (acquired, held)
+        if counter_edge in model.order_edges:
+            ckey, cpath, cline, _ = site(counter_edge)
+            other = (f"but `{graph.display(ckey)}` "
+                     f"({cpath}:{cline}) acquires them in the "
+                     "opposite order")
+        else:
+            other = (f"but `{model.display(acquired)}` also reaches "
+                     f"`{model.display(held)}` through intermediate "
+                     "acquisitions")
+        yield Finding(
+            path=path, line=line, col=col, code="RPR102",
+            message=(
+                f"lock-order inversion: `{graph.display(key)}` "
+                f"acquires `{model.display(acquired)}` while holding "
+                f"`{model.display(held)}`, {other} — two threads "
+                "taking the two orders deadlock under contention; "
+                "pick one global order"))
+
+
+@rule("RPR103", "blocking-call-under-lock",
+      "a blocking wait (sleep, queue, executor, file I/O) runs while "
+      "a lock is held", scope="project", severity="warning")
+def check_blocking_under_lock(project: Project) -> Iterator[Finding]:
+    """One finding per function that parks the calling thread while
+    holding a lock, anchored at the first blocking site."""
+    model = lock_model(project)
+    graph = model.graph
+    for key in sorted(graph.defs):
+        mod, _ = graph.defs[key]
+        path = graph.modules[mod]["path"]
+        if is_test_path(path):
+            continue
+        evidence = model.blocking_evidence(key)
+        if not evidence:
+            continue
+        first = evidence[0]
+        locks = ", ".join(f"`{model.display(lock)}`"
+                          for lock in sorted(first["locks"]))
+        sites = sorted({e["line"] for e in evidence})
+        chain = f" via {first['chain']}" if first["chain"] else ""
+        extra = "" if len(sites) == 1 else \
+            f" ({len(sites)} blocking sites in this function)"
+        yield Finding(
+            path=path, line=first["line"], col=0, code="RPR103",
+            message=(
+                f"`{graph.display(key)}` performs a blocking wait "
+                f"(`{first['detail']}`){chain} while holding {locks}"
+                f"{extra}; every thread contending for the lock "
+                "stalls behind the wait — move it outside the "
+                "critical section, or annotate why it must stay"))
+
+
+__all__ = ["check_inconsistent_lockset", "check_lock_order",
+           "check_blocking_under_lock"]

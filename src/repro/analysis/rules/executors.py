@@ -46,6 +46,8 @@ def check_process_shared_state(project: Project) -> Iterator[Finding]:
         qual = key.split(":", 1)[1]
         for sub in rec.get("submits", ()):
             fn = sub["fn"]
+            if sub.get("exec_kind", "process") != "process":
+                continue  # thread pools share the parent's memory
             if fn["kind"] != "ref":
                 continue
             target = graph.resolve(mod, qual, fn["name"])
@@ -76,6 +78,8 @@ def check_unpicklable_task(project: Project) -> Iterator[Finding]:
         qual = key.split(":", 1)[1]
         for sub in rec.get("submits", ()):
             fn = sub["fn"]
+            if sub.get("exec_kind", "process") != "process":
+                continue  # thread pools pickle nothing
             path = graph.modules[mod]["path"]
             if fn["kind"] == "lambda":
                 label = f"`{fn['name']}` (a lambda)" if fn["name"] \

@@ -4,112 +4,70 @@ One ``MetricsRegistry`` is shared by every thread of a
 ``ThreadExecutor`` run, warehouse stores are updated by concurrent
 ingests, and span sinks receive spans from all threads.  Such classes
 follow one convention: a class that owns shared mutable state creates
-``self._lock`` in ``__init__`` and takes it around **every**
-mutation.  This rule makes the convention machine-checked —
-*project-wide*: any class, wherever it lives, whose ``__init__``
-creates ``self._lock`` may only mutate its underscore attributes
-inside a ``with self._lock:`` block.  (Classes that never create a
-``self._lock`` opt out by construction; the rule enforces the
-convention where it is claimed, it does not demand locking
-everywhere.)
+a lock attribute (``self._lock = threading.Lock()``) and takes it
+around **every** mutation.  This rule makes the convention
+machine-checked — *project-wide*: any class, wherever it lives, that
+binds a lock attribute may only mutate its underscore attributes
+while that lock is held.  (Classes that never create a lock opt out
+by construction; the rule enforces the convention where it is
+claimed, it does not demand locking everywhere.)
+
+Since the lockset engine (:mod:`repro.analysis.locksets`) landed, the
+check is interprocedural: "held" means the *effective* lockset —
+locks taken locally **plus** locks every caller provably holds at the
+call site.  A private helper invoked only from already-locked methods
+no longer needs (and should not take) a redundant local lock; the old
+file-scoped version of this rule forced exactly that false positive.
+Constructor-only code (``__init__`` and helpers reachable only from
+constructors) is exempt: the instance is not visible to other threads
+yet.
 
 Reads stay unflagged on purpose — the registry deliberately reads
 ``self._metrics`` outside the lock on the double-checked fast path,
-and snapshot readers tolerate a stale value.
+and snapshot readers tolerate a stale value.  Iterations and
+wrong-lock writes are RPR101's findings; this rule keeps its
+historical meaning (lock-free mutation in a lock-owning class).
 """
 
 from __future__ import annotations
 
-import ast
-from typing import Iterator, Optional
+from typing import Iterator
 
-from repro.analysis.framework import Finding, SourceFile, rule
-# Canonical table shared with the interprocedural effect engine.
-from repro.analysis.dataflow import MUTATING_METHODS as _MUTATING_METHODS
-
-
-def _self_attr(node: ast.AST) -> Optional[str]:
-    """``_name`` when the node is ``self._name``, else ``None``."""
-    if isinstance(node, ast.Attribute) and \
-            isinstance(node.value, ast.Name) and \
-            node.value.id == "self" and node.attr.startswith("_"):
-        return node.attr
-    return None
-
-
-def _is_lock_with(node: ast.With) -> bool:
-    return any(_self_attr(item.context_expr) == "_lock"
-               for item in node.items)
-
-
-def _guarded_attr(node: ast.AST) -> Optional[str]:
-    """The ``self._x`` attribute this statement mutates, if any."""
-    targets = []
-    if isinstance(node, (ast.Assign,)):
-        targets = node.targets
-    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
-        targets = [node.target]
-    elif isinstance(node, ast.Delete):
-        targets = list(node.targets)
-    elif isinstance(node, ast.Call):
-        func = node.func
-        if isinstance(func, ast.Attribute) and \
-                func.attr in _MUTATING_METHODS:
-            return _self_attr(func.value)
-        return None
-    for target in targets:
-        if isinstance(target, (ast.Subscript, ast.Starred)):
-            target = target.value
-        attr = _self_attr(target)
-        if attr is not None:
-            return attr
-    return None
-
-
-def _unlocked_mutations(node: ast.AST, locked: bool
-                        ) -> Iterator[ast.AST]:
-    """Yield mutation nodes reachable outside a ``with self._lock``."""
-    if isinstance(node, ast.With) and _is_lock_with(node):
-        for child in node.body:
-            yield from _unlocked_mutations(child, True)
-        return
-    if not locked:
-        attr = _guarded_attr(node)
-        if attr is not None and attr != "_lock":
-            yield node
-    for child in ast.iter_child_nodes(node):
-        yield from _unlocked_mutations(child, locked)
+from repro.analysis.framework import Finding, Project, rule
+from repro.analysis.locksets import is_test_path, lock_model
 
 
 @rule("RPR041", "lock-discipline",
-      "shared state is mutated outside `with self._lock`")
-def check_lock_discipline(sf: SourceFile) -> Iterator[Finding]:
-    """In any class owning ``self._lock``, every write to a
-    ``self._*`` attribute must happen under the lock."""
-    if sf.is_test_module():
-        return
-    for node in ast.walk(sf.tree):
-        if not isinstance(node, ast.ClassDef):
-            continue
-        methods = [n for n in node.body
-                   if isinstance(n, (ast.FunctionDef,
-                                     ast.AsyncFunctionDef))]
-        init = next((m for m in methods if m.name == "__init__"), None)
-        if init is None:
-            continue
-        owns_lock = any(_guarded_attr(stmt) == "_lock"
-                        for stmt in ast.walk(init))
-        if not owns_lock:
-            continue
-        for method in methods:
-            if method.name == "__init__":
+      "shared state is mutated outside `with self._lock`",
+      scope="project")
+def check_lock_discipline(project: Project) -> Iterator[Finding]:
+    """In any class owning a lock attribute, every write to a
+    ``self._*`` attribute must happen with the lock held — locally or
+    by every caller."""
+    model = lock_model(project)
+    for location in sorted(model.access_table):
+        short = model.display(location)
+        if "." not in short:
+            continue  # module-global state: RPR101's territory
+        owners = model.owner_locks(location)
+        if not owners:
+            continue  # lockless class: opted out of the convention
+        cls = short.rsplit(".", 1)[0].rsplit(".", 1)[-1]
+        for record in model.access_table[location]:
+            if record["kind"] != "write" or record["exempt"]:
                 continue
-            for mutation in _unlocked_mutations(method, False):
-                yield sf.finding(
-                    mutation, "RPR041",
-                    f"{node.name}.{method.name} mutates shared state "
+            if record["locks"]:
+                continue  # held *some* lock; mismatches are RPR101
+            if is_test_path(record["path"]):
+                continue
+            method = model.graph.defs[record["key"]][1]["name"]
+            yield Finding(
+                path=record["path"], line=record["line"],
+                col=record["col"], code="RPR041",
+                message=(
+                    f"{cls}.{method} mutates shared state "
                     "outside `with self._lock:`; concurrent "
-                    "ThreadExecutor updates would race")
+                    "ThreadExecutor updates would race"))
 
 
 __all__ = ["check_lock_discipline"]

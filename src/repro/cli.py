@@ -174,9 +174,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to lint "
                              "(default: src/repro)")
-    p_lint.add_argument("--format", choices=["text", "json"],
+    p_lint.add_argument("--format", choices=["text", "json", "sarif"],
                         default="text", dest="format",
                         help="report format (default: text)")
+    p_lint.add_argument("--fail-on", default="warning", dest="fail_on",
+                        metavar="SEVERITY",
+                        help="minimum finding severity that fails the "
+                             "run: 'warning' (any finding, the "
+                             "default) or 'error' (warning-severity "
+                             "findings report but exit 0)")
     p_lint.add_argument("--select", default=None,
                         help="comma-separated RPR0xx codes and/or "
                              "RPR06x-style family prefixes to run "
@@ -456,13 +462,20 @@ def _cmd_obs(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.analysis import (all_rules, render_json, render_text,
-                                run_lint)
+    from repro.analysis import (all_rules, render_json, render_sarif,
+                                render_text, run_lint, severity_for)
+    from repro.analysis.framework import SEVERITIES
 
     if args.list_rules:
-        rows = [(r.code, r.name, r.scope, r.summary) for r in all_rules()]
-        print(format_table(("code", "name", "scope", "summary"), rows))
+        rows = [(r.code, r.name, r.scope, r.severity, r.summary)
+                for r in all_rules()]
+        print(format_table(("code", "name", "scope", "severity",
+                            "summary"), rows))
         return 0
+    if args.fail_on not in SEVERITIES:
+        raise ConfigurationError(
+            f"unknown --fail-on severity {args.fail_on!r}; expected "
+            f"one of: {', '.join(SEVERITIES)}")
     select = args.select.split(",") if args.select else None
     contract = args.contract_doc if args.contract_doc else "auto"
     cache = None
@@ -476,9 +489,16 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     checked = len(project.files)
     if args.format == "json":
         print(render_json(findings, checked_files=checked, indent=1))
+    elif args.format == "sarif":
+        print(render_sarif(findings))
     else:
         print(render_text(findings, checked_files=checked))
-    return 1 if findings else 0
+    # --fail-on error: warning-tier findings are reported but do not
+    # fail the run (SEVERITIES is ordered most-severe-first).
+    threshold = SEVERITIES.index(args.fail_on)
+    failing = [f for f in findings
+               if SEVERITIES.index(severity_for(f.code)) <= threshold]
+    return 1 if failing else 0
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:

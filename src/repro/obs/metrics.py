@@ -266,7 +266,8 @@ class MetricsRegistry:
 
     def names(self) -> List[str]:
         """All metric names, sorted."""
-        return sorted(self._metrics)
+        with self._lock:
+            return sorted(self._metrics)
 
     def snapshot(self) -> dict:
         """Every metric's snapshot keyed by name (a plain, JSON-able dict)."""

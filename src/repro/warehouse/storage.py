@@ -120,8 +120,9 @@ class InMemoryStore:
         return len(self._samples)
 
     def keys(self) -> Iterator[PartitionKey]:
-        """Iterate stored keys."""
-        return iter(list(self._samples))
+        """Iterate stored keys (a locked snapshot, safe during puts)."""
+        with self._lock:
+            return iter(list(self._samples))
 
 
 class FileStore:
@@ -167,19 +168,21 @@ class FileStore:
             return json.load(f)
 
     def _load_index(self) -> None:
-        with self._lock:
-            for name in os.listdir(self._dir):
-                if not (name.endswith(".sample.json")
-                        or name.endswith(".sample.json.gz")):
-                    continue
-                path = os.path.join(self._dir, name)
-                try:
-                    data = self._read_document(path)
-                    key = PartitionKey.parse(data["key"])
-                except (OSError, ValueError, KeyError, EOFError) as exc:
-                    raise StorageError(
-                        f"corrupt sample file {path!r}: {exc}") from exc
-                self._index[key] = name
+        # Called only from __init__, before the store is shared with
+        # any other thread — no lock needed (and holding one across
+        # the os.listdir/read loop would stall nothing but itself).
+        for name in os.listdir(self._dir):
+            if not (name.endswith(".sample.json")
+                    or name.endswith(".sample.json.gz")):
+                continue
+            path = os.path.join(self._dir, name)
+            try:
+                data = self._read_document(path)
+                key = PartitionKey.parse(data["key"])
+            except (OSError, ValueError, KeyError, EOFError) as exc:
+                raise StorageError(
+                    f"corrupt sample file {path!r}: {exc}") from exc
+            self._index[key] = name
 
     def _path(self, key: PartitionKey) -> str:
         name = self._index.get(key)
@@ -197,7 +200,10 @@ class FileStore:
             path = self._path(key)
             if path.endswith(".gz"):
                 payload = gzip.compress(payload)
-            fd, tmp = tempfile.mkstemp(dir=self._dir, suffix=".tmp")
+            # The write-then-rename MUST stay under the lock: it is
+            # what makes concurrent put()s to the same key atomic.
+            fd, tmp = tempfile.mkstemp(  # repro: noqa[RPR103]
+                dir=self._dir, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as f:
                     f.write(payload)
@@ -229,7 +235,9 @@ class FileStore:
                 raise PartitionNotFoundError(str(key))
             path = self._path(key)
             try:
-                os.unlink(path)
+                # Unlink under the lock so a racing put() cannot
+                # resurrect the file between unlink and index update.
+                os.unlink(path)  # repro: noqa[RPR103]
             except OSError as exc:
                 raise StorageError(
                     f"cannot delete {path!r}: {exc}") from exc
@@ -242,5 +250,6 @@ class FileStore:
         return len(self._index)
 
     def keys(self) -> Iterator[PartitionKey]:
-        """Iterate stored keys."""
-        return iter(list(self._index))
+        """Iterate stored keys (a locked snapshot, safe during puts)."""
+        with self._lock:
+            return iter(list(self._index))

@@ -760,8 +760,8 @@ class TestSelection:
             lint_tree(tmp_path, self.SOURCE, select=["RPR999"])
 
     def test_empty_family_raises(self, tmp_path):
-        with pytest.raises(ConfigurationError, match="RPR10X"):
-            lint_tree(tmp_path, self.SOURCE, select=["RPR10x"])
+        with pytest.raises(ConfigurationError, match="RPR90X"):
+            lint_tree(tmp_path, self.SOURCE, select=["RPR90x"])
 
     def test_expand_select_mixes_codes_and_families(self):
         from repro.analysis import expand_select

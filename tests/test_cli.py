@@ -316,6 +316,66 @@ class TestLint:
         assert rc == 2
         assert "RPR999" in capsys.readouterr().err
 
+    def test_sarif_format(self, clean_pkg, capsys):
+        import json
+
+        (clean_pkg / "core" / "bad.py").write_text("x = hash(3)\n")
+        rc = main(["lint", str(clean_pkg), "--format=sarif"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"RPR012", "RPR101", "RPR103"} <= rule_ids
+        assert [r["ruleId"] for r in run["results"]] == ["RPR012"]
+        assert run["results"][0]["level"] == "error"
+
+    @pytest.fixture()
+    def warning_pkg(self, tmp_path):
+        # A tree whose only finding is RPR103 (severity "warning").
+        pkg = tmp_path / "wpkg"
+        (pkg / "conc").mkdir(parents=True)
+        (pkg / "conc" / "slow.py").write_text(
+            "import threading\n"
+            "import time\n"
+            "\n"
+            "_LOCK = threading.Lock()\n"
+            "\n"
+            "def work():\n"
+            "    with _LOCK:\n"
+            "        time.sleep(0.1)\n")
+        return pkg
+
+    def test_fail_on_warning_is_the_default(self, warning_pkg, capsys):
+        rc = main(["lint", str(warning_pkg)])
+        assert rc == 1
+        assert "RPR103" in capsys.readouterr().out
+
+    def test_fail_on_error_tolerates_warnings(self, warning_pkg,
+                                              capsys):
+        # The finding is still printed; only the exit code relaxes.
+        rc = main(["lint", str(warning_pkg), "--fail-on", "error"])
+        assert rc == 0
+        assert "RPR103" in capsys.readouterr().out
+
+    def test_fail_on_error_still_fails_on_errors(self, clean_pkg,
+                                                 capsys):
+        (clean_pkg / "core" / "bad.py").write_text("x = hash(3)\n")
+        rc = main(["lint", str(clean_pkg), "--fail-on", "error"])
+        assert rc == 1
+
+    def test_unknown_fail_on_exits_two(self, clean_pkg, capsys):
+        rc = main(["lint", str(clean_pkg), "--fail-on", "fatal"])
+        assert rc == 2
+        assert "fatal" in capsys.readouterr().err
+
+    def test_list_rules_shows_severity(self, capsys):
+        rc = main(["lint", "--list-rules"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "warning" in out and "error" in out
+
     def test_cache_file_written_and_warm_run_matches(
             self, clean_pkg, tmp_path, capsys):
         cache = tmp_path / "lint-cache.json"

@@ -128,6 +128,40 @@ class TestThreadSafety:
         assert reg.counter("hits").value == n_threads * per_thread
         assert reg.histogram("vals").count == n_threads * per_thread
 
+    def test_names_races_concurrent_registration(self):
+        # Regression: names() iterated self._metrics without the lock,
+        # so a reader racing first-use registrations could blow up with
+        # "dictionary changed size during iteration" (RPR101).
+        reg = MetricsRegistry()
+        stop = threading.Event()
+        errors = []
+
+        def writer(tid):
+            i = 0
+            while not stop.is_set():
+                reg.counter(f"w{tid}.c{i}")
+                i += 1
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    names = reg.names()
+                    assert names == sorted(names)
+            except RuntimeError as exc:  # pragma: no cover - bug path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(t,))
+                   for t in range(4)]
+        threads.append(threading.Thread(target=reader))
+        for t in threads:
+            t.start()
+        time.sleep(0.2)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert reg.names() == sorted(reg.names())
+
     def test_registry_under_thread_executor(self, rng):
         with capture() as (reg, _):
             wh = SampleWarehouse(bound_values=64, scheme="hr", rng=rng)

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro.analysis import all_rules, analyze_project, run_lint
+from repro.analysis import all_rules, analyze_project, lock_model, run_lint
 
 REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src" / "repro"
@@ -84,13 +84,41 @@ def test_process_tasks_are_safe():
     assert not findings, "\n".join(f.render() for f in findings)
 
 
+def test_concurrency_discipline_holds():
+    # The lockset rules over source *and* tests: no inconsistent
+    # lockset, no lock-order inversion, no unannotated blocking wait
+    # under a lock anywhere in the shipped tree.
+    findings, _ = run_lint([str(SRC), str(TESTS)], select=["RPR10x"])
+    assert not findings, "\n".join(f.render() for f in findings)
+
+
+def test_lockset_model_sees_the_real_locks():
+    # The model's lock table must include the locks the library
+    # actually relies on; an empty table would silently turn the
+    # RPR10x family into a no-op.
+    _, project = run_lint([str(SRC)])
+    model = lock_model(project)
+    table = model.lock_table()
+    shorts = {ident.split(":", 1)[1] for ident in table}
+    assert "MetricsRegistry._lock" in shorts
+    assert "FileStore._lock" in shorts
+    assert "InMemoryStore._lock" in shorts
+    # The constructor-only analysis does real interprocedural work on
+    # this tree: FileStore._load_index runs before the store is shared
+    # (which is why it may scan the directory without the lock).
+    assert any(key.endswith("FileStore._load_index")
+               for key in model.ctor_only)
+
+
 def test_all_rule_families_are_registered():
     codes = {r.code for r in all_rules()}
     # At least one rule per family: RNG (00x), determinism (01x),
     # obs contract (02x), errors (03x), locks (04x), stats (05x),
     # interprocedural determinism (06x), executor safety (07x),
-    # timing discipline (08x).
+    # timing discipline (08x), repro-manifest (09x), concurrency
+    # soundness (10x).
     for family in ("RPR00", "RPR01", "RPR02", "RPR03", "RPR04",
-                   "RPR05", "RPR06", "RPR07", "RPR08"):
+                   "RPR05", "RPR06", "RPR07", "RPR08", "RPR09",
+                   "RPR10"):
         assert any(code.startswith(family) for code in codes), family
-    assert len(codes) >= 15
+    assert len(codes) >= 22

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import json
 import os
+import threading
+import time
 
 import pytest
 
@@ -78,6 +80,41 @@ class TestInMemoryStore:
         store.put(key, make_sample())
         store.delete(key)
         assert key not in store
+
+    def test_keys_races_concurrent_puts(self):
+        # Regression: keys() listed self._samples without the lock, so
+        # a reader racing concurrent ingest put()s could blow up with
+        # "dictionary changed size during iteration" (RPR101).
+        store = InMemoryStore()
+        sample = make_sample()
+        stop = threading.Event()
+        errors = []
+
+        def writer(tid):
+            i = 0
+            while not stop.is_set():
+                store.put(PartitionKey("d", tid, i), sample)
+                i += 1
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    for _ in store.keys():
+                        pass
+            except RuntimeError as exc:  # pragma: no cover - bug path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(t,))
+                   for t in range(4)]
+        threads.append(threading.Thread(target=reader))
+        for t in threads:
+            t.start()
+        time.sleep(0.2)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(list(store.keys())) == len(store)
 
 
 class TestFileStore:
