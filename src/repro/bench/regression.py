@@ -4,11 +4,14 @@ Every PR that claims a speedup needs a number, and every PR that costs
 one needs to be caught; this module is the measurement loop for both.
 ``run_core_suite`` times batch-ingest throughput per scheme and
 merge-on-demand query latency; ``run_merge_suite`` times 2/4/8/16-way
-merge trees serial vs parallel.  Both write one report each
-(``BENCH_core.json`` / ``BENCH_merge.json``, schema ``repro-bench/1``)
-at the repo root, and :func:`compare_reports` diffs two reports and
-flags entries slower than a threshold ratio — the check
-``repro bench --compare`` runs in CI.
+merge trees serial vs parallel; ``run_serve_suite`` loadtests the HTTP
+serving layer end to end (p50/p99 request latency under a concurrent
+client fleet; see docs/serving.md).  Each writes one report
+(``BENCH_core.json`` / ``BENCH_merge.json`` / ``BENCH_serve.json``,
+schema ``repro-bench/1``) at the repo root, and
+:func:`compare_reports` diffs two reports and flags entries slower
+than a threshold ratio — the check ``repro bench --compare`` runs in
+CI.
 
 Methodology: every workload is deterministic from the suite seed (same
 data, same sample sizes every run), each entry reports the **minimum**
@@ -32,10 +35,16 @@ __all__ = [
     "SCHEMA",
     "CORE_FILENAME",
     "MERGE_FILENAME",
+    "SERVE_FILENAME",
     "DEFAULT_THRESHOLD",
     "BenchResult",
     "run_core_suite",
     "run_merge_suite",
+    "run_serve_suite",
+    "run_serve_suite_with_summary",
+    "serve_results",
+    "serve_report_dict",
+    "validate_serve_report",
     "report_dict",
     "validate_report",
     "load_report",
@@ -46,6 +55,7 @@ __all__ = [
 SCHEMA = "repro-bench/1"
 CORE_FILENAME = "BENCH_core.json"
 MERGE_FILENAME = "BENCH_merge.json"
+SERVE_FILENAME = "BENCH_serve.json"
 
 #: A candidate entry flags as a regression when it is more than this
 #: many times slower than the baseline (and slower by ``min_seconds``).
@@ -247,6 +257,111 @@ def run_merge_suite(*, seed: int = 2006, quick: bool = False
                 repeats=repeats,
             ))
     return results
+
+
+#: Serve-suite fleet shape: (quick, full).  The full shape is the
+#: acceptance bar — 500 concurrent simulated clients; quick is the CI
+#: smoke shape.  ``repro bench --compare BENCH_serve.json`` re-runs
+#: with the same shape, so entries always match on params.
+_SERVE_CLIENTS = (64, 500)
+_SERVE_REQUESTS = (2, 4)
+
+
+def serve_results(summary: dict) -> List[BenchResult]:
+    """Bench entries derived from one loadtest summary block.
+
+    Latency percentiles and the whole-run wall time become ordinary
+    ``seconds`` entries so :func:`compare_reports` gates them like any
+    other suite; throughput and shed rate stay in the report's
+    ``serve`` block (they are not durations).
+    """
+    if summary.get("latency") is None:
+        raise ConfigurationError(
+            "loadtest completed no requests (everything shed?); "
+            "no latency entries to report")
+    params = {"clients": summary["clients"],
+              "requests_per_client": summary["requests_per_client"]}
+    latency = summary["latency"]
+    return [
+        BenchResult(name="serve.query.latency",
+                    params={**params, "stat": "p50"},
+                    seconds=latency["p50"], repeats=1),
+        BenchResult(name="serve.query.latency",
+                    params={**params, "stat": "p99"},
+                    seconds=latency["p99"], repeats=1),
+        BenchResult(name="serve.loadtest.wall", params=dict(params),
+                    seconds=summary["wall_seconds"], repeats=1),
+    ]
+
+
+def run_serve_suite_with_summary(*, seed: int = 2006,
+                                 quick: bool = False
+                                 ) -> Tuple[List[BenchResult], dict]:
+    """Self-hosted loadtest at the pinned fleet shape.
+
+    Returns the bench entries plus the raw summary for the report's
+    ``serve`` block.  Quick: 64 clients x 2 requests; full: 500 x 4
+    (the acceptance shape).
+    """
+    from repro.serve.loadtest import run_self_hosted
+
+    clients = _SERVE_CLIENTS[0] if quick else _SERVE_CLIENTS[1]
+    requests = _SERVE_REQUESTS[0] if quick else _SERVE_REQUESTS[1]
+    summary = run_self_hosted(seed=seed, clients=clients,
+                              requests_per_client=requests)
+    return serve_results(summary), summary
+
+
+def run_serve_suite(*, seed: int = 2006, quick: bool = False
+                    ) -> List[BenchResult]:
+    """The serve suite's bench entries (the ``--compare`` runner)."""
+    results, _summary = run_serve_suite_with_summary(seed=seed,
+                                                     quick=quick)
+    return results
+
+
+def serve_report_dict(results: Sequence[BenchResult], summary: dict, *,
+                      seed: int, quick: bool) -> dict:
+    """A serve-suite report: ``repro-bench/1`` plus the ``serve`` block."""
+    report = report_dict("serve", results, seed=seed, quick=quick)
+    report["serve"] = summary
+    return report
+
+
+def validate_serve_report(report: dict) -> None:
+    """Validate a ``BENCH_serve.json`` (base schema + serve block)."""
+    validate_report(report)
+    if report.get("suite") != "serve":
+        raise ConfigurationError(
+            f"serve report has suite {report.get('suite')!r}")
+    block = report.get("serve")
+    if not isinstance(block, dict):
+        raise ConfigurationError(
+            "serve report needs a 'serve' summary object")
+    for field, kind in (("clients", int), ("requests_per_client", int),
+                        ("total_requests", int), ("completed", int),
+                        ("shed", int), ("errors", int),
+                        ("shed_rate", (int, float)),
+                        ("wall_seconds", (int, float)),
+                        ("throughput_rps", (int, float))):
+        if not isinstance(block.get(field), kind) \
+                or isinstance(block.get(field), bool):
+            raise ConfigurationError(
+                f"serve block field {field!r} must be "
+                f"{kind if isinstance(kind, type) else 'numeric'}")
+    if not 0.0 <= block["shed_rate"] <= 1.0:
+        raise ConfigurationError(
+            f"shed_rate must be in [0, 1], got {block['shed_rate']}")
+    latency = block.get("latency")
+    if latency is not None:
+        if not isinstance(latency, dict):
+            raise ConfigurationError("serve latency must be an object")
+        for stat in ("p50", "p90", "p99", "max", "mean"):
+            value = latency.get(stat)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ConfigurationError(
+                    f"serve latency.{stat} must be a non-negative "
+                    "number")
 
 
 def report_dict(suite: str, results: Sequence[BenchResult], *,

@@ -17,9 +17,16 @@ Operate a file-backed sample warehouse from the shell:
   ``docs/static_analysis.md`` for the rule catalog);
 * ``verify``  — the statistical acceptance battery (uniformity,
   goodness-of-fit, negative controls, executor/merge differentials
-  under one multiple-testing correction; see ``docs/testing.md``).
+  under one multiple-testing correction; see ``docs/testing.md``);
+* ``serve``   — the asyncio HTTP service front over a warehouse
+  (ingest / query / merge-on-demand endpoints with admission control,
+  circuit breaker, and a versioned merge cache; ``docs/serving.md``);
+* ``loadtest`` — N concurrent simulated clients against a service,
+  writing a schema-validated ``BENCH_serve.json``.
 
-All commands are deterministic given ``--seed``.
+All commands are deterministic given ``--seed`` (for ``serve`` and
+``loadtest``: the workload and all sampling decisions are; wall-clock
+latencies of course are not).
 """
 
 from __future__ import annotations
@@ -229,6 +236,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--list-checks", action="store_true",
                           help="print the check catalog and exit")
 
+    p_serve = sub.add_parser("serve", help="serve a warehouse over "
+                                           "HTTP (docs/serving.md)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8787)
+    p_serve.add_argument("--warehouse", default=None,
+                         help="warehouse directory to load and persist "
+                              "(default: a fresh in-memory warehouse)")
+    p_serve.add_argument("--bound", type=int, default=8192,
+                         help="sample-size bound n_F (default: 8192)")
+    p_serve.add_argument("--scheme", default="hr",
+                         choices=["hb", "hr", "sb", "hb-mp"])
+    p_serve.add_argument("--max-concurrent", type=int, default=64,
+                         help="admitted requests executing at once")
+    p_serve.add_argument("--max-queue", type=int, default=256,
+                         help="waiting requests before shedding (503)")
+    p_serve.add_argument("--cache-entries", type=int, default=128,
+                         help="merge-cache capacity before LRU spill")
+    p_serve.add_argument("--spill-dir", default=None,
+                         help="spill evicted cache entries here "
+                              "(relaxed-durability FileStore)")
+
+    p_load = sub.add_parser(
+        "loadtest",
+        help="drive a service with N concurrent clients and write "
+             "BENCH_serve.json")
+    p_load.add_argument("--host", default=None,
+                        help="target a running server (default: "
+                             "self-hosted in-process service)")
+    p_load.add_argument("--port", type=int, default=8787)
+    p_load.add_argument("--clients", type=int, default=None,
+                        help="concurrent simulated clients "
+                             "(default: 500, or 64 with --quick)")
+    p_load.add_argument("--requests-per-client", type=int, default=None,
+                        help="requests each client issues "
+                             "(default: 4, or 2 with --quick)")
+    p_load.add_argument("--quick", action="store_true",
+                        help="the CI smoke fleet shape")
+    p_load.add_argument("--out", default="BENCH_serve.json",
+                        help="report path (default: BENCH_serve.json)")
+
     return parser
 
 
@@ -350,8 +397,12 @@ def _bench_run(args: argparse.Namespace) -> int:
     import os
 
     from repro.bench.regression import (CORE_FILENAME, MERGE_FILENAME,
-                                        report_dict, run_core_suite,
-                                        run_merge_suite, write_report)
+                                        SERVE_FILENAME, report_dict,
+                                        run_core_suite, run_merge_suite,
+                                        run_serve_suite_with_summary,
+                                        serve_report_dict,
+                                        validate_serve_report,
+                                        write_report)
 
     headers = ("workload", "params", "min ms", "repeats")
     written = []
@@ -366,6 +417,21 @@ def _bench_run(args: argparse.Namespace) -> int:
         write_report(report_dict(suite, results, seed=args.seed,
                                  quick=args.quick), path)
         written.append(path)
+    results, summary = run_serve_suite_with_summary(seed=args.seed,
+                                                    quick=args.quick)
+    print(format_table(headers, _bench_suite_table(results),
+                       title="bench suite: serve"
+                             + (" (quick)" if args.quick else "")))
+    print(f"  fleet: {summary['clients']} clients x "
+          f"{summary['requests_per_client']} requests, "
+          f"{summary['throughput_rps']:.0f} req/s, "
+          f"shed rate {summary['shed_rate']:.1%}")
+    report = serve_report_dict(results, summary, seed=args.seed,
+                               quick=args.quick)
+    validate_serve_report(report)
+    path = os.path.join(args.out_dir, SERVE_FILENAME)
+    write_report(report, path)
+    written.append(path)
     print("wrote " + ", ".join(written))
     return 0
 
@@ -373,13 +439,15 @@ def _bench_run(args: argparse.Namespace) -> int:
 def _bench_compare(args: argparse.Namespace) -> int:
     from repro.bench.regression import (compare_reports, load_report,
                                         report_dict, run_core_suite,
-                                        run_merge_suite)
+                                        run_merge_suite,
+                                        run_serve_suite)
 
     baseline = load_report(args.compare)
     if args.candidate is not None:
         candidate = load_report(args.candidate)
     else:
-        suites = {"core": run_core_suite, "merge": run_merge_suite}
+        suites = {"core": run_core_suite, "merge": run_merge_suite,
+                  "serve": run_serve_suite}
         runner = suites.get(baseline["suite"])
         if runner is None:
             raise ConfigurationError(
@@ -524,6 +592,89 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.obs import enable
+    from repro.serve.app import ServeConfig, WarehouseService
+
+    if args.warehouse:
+        try:
+            wh = SampleWarehouse.load(args.warehouse,
+                                      rng=SplittableRng(args.seed),
+                                      bound_values=args.bound,
+                                      scheme=args.scheme)
+        except ReproError:
+            wh = SampleWarehouse(bound_values=args.bound,
+                                 scheme=args.scheme,
+                                 rng=SplittableRng(args.seed))
+    else:
+        wh = SampleWarehouse(bound_values=args.bound, scheme=args.scheme,
+                             rng=SplittableRng(args.seed))
+    enable()  # the /metrics endpoint reports live counters
+    config = ServeConfig(max_concurrent=args.max_concurrent,
+                         max_queue=args.max_queue,
+                         cache_entries=args.cache_entries,
+                         spill_dir=args.spill_dir)
+    service = WarehouseService(wh, config=config)
+
+    async def run() -> None:
+        host, port = await service.start(args.host, args.port)
+        print(f"serving on http://{host}:{port} "
+              f"(seed {args.seed}, scheme {args.scheme!r})", flush=True)
+        try:
+            await service.serve_forever()
+        finally:
+            await service.aclose()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        if args.warehouse:
+            wh.save(args.warehouse)
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.bench.regression import (serve_report_dict, serve_results,
+                                        validate_serve_report,
+                                        write_report)
+    from repro.serve.loadtest import run_loadtest, run_self_hosted
+
+    clients = args.clients if args.clients is not None \
+        else (64 if args.quick else 500)
+    requests = args.requests_per_client \
+        if args.requests_per_client is not None \
+        else (2 if args.quick else 4)
+    if args.host is not None:
+        summary = asyncio.run(run_loadtest(
+            args.host, args.port, clients=clients,
+            requests_per_client=requests, seed=args.seed,
+            preload_values=5_000))
+    else:
+        summary = run_self_hosted(seed=args.seed, clients=clients,
+                                  requests_per_client=requests)
+    latency = summary["latency"]
+    print(f"{clients} clients x {requests} requests: "
+          f"{summary['completed']}/{summary['total_requests']} "
+          f"completed, shed rate {summary['shed_rate']:.1%}, "
+          f"{summary['throughput_rps']:.0f} req/s")
+    if latency is not None:
+        print(f"latency p50 {latency['p50'] * 1000:.2f} ms, "
+              f"p99 {latency['p99'] * 1000:.2f} ms, "
+              f"max {latency['max'] * 1000:.2f} ms")
+    report = serve_report_dict(serve_results(summary), summary,
+                               seed=args.seed, quick=args.quick)
+    validate_serve_report(report)
+    write_report(report, args.out)
+    print(f"wrote {args.out}")
+    return 0 if summary["completed"] > 0 else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -538,6 +689,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "obs": _cmd_obs,
         "lint": _cmd_lint,
         "verify": _cmd_verify,
+        "serve": _cmd_serve,
+        "loadtest": _cmd_loadtest,
     }
     try:
         return handlers[args.command](args)

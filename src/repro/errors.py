@@ -20,6 +20,10 @@ __all__ = [
     "DatasetNotFoundError",
     "StorageError",
     "FootprintExceededError",
+    "ServiceError",
+    "CircuitOpenError",
+    "OverloadedError",
+    "VersionConflictError",
 ]
 
 
@@ -71,6 +75,55 @@ class DatasetNotFoundError(CatalogError):
 
 class StorageError(ReproError, OSError):
     """A sample store could not read or write a persisted sample."""
+
+
+class ServiceError(ReproError):
+    """Base class for serving-layer failures (``repro serve``).
+
+    Each subclass maps onto one HTTP failure mode of the service front
+    (see ``docs/serving.md``); library callers embedding the service
+    components directly catch these without any HTTP translation.
+    """
+
+
+class CircuitOpenError(ServiceError):
+    """The circuit breaker is open: the protected resource is failing.
+
+    Callers should back off and retry after the breaker's recovery
+    timeout (the service maps this to HTTP 503 with ``Retry-After``).
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        #: Seconds until the breaker next admits a half-open probe.
+        self.retry_after = retry_after
+
+
+class OverloadedError(ServiceError):
+    """Admission control shed the request: the wait queue is full.
+
+    Maps to HTTP 503 with ``Retry-After``; the request was never
+    started, so retrying it later is always safe.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        #: Suggested client backoff before retrying, in seconds.
+        self.retry_after = retry_after
+
+
+class VersionConflictError(ServiceError):
+    """An optimistic-concurrency check failed: the version tag moved.
+
+    Raised by compare-and-swap catalog mutations when the caller's
+    expected version no longer matches (HTTP 409); re-read the current
+    version and retry the mutation against it.
+    """
+
+    def __init__(self, message: str, *, expected: int, actual: int) -> None:
+        super().__init__(message)
+        self.expected = expected
+        self.actual = actual
 
 
 class FootprintExceededError(ReproError, RuntimeError):

@@ -24,7 +24,7 @@ Quick start::
     print(trace.render())     # the nested span tree of the whole run
 """
 
-from repro.obs.clock import monotonic
+from repro.obs.clock import ManualClock, monotonic
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.runtime import (OBS, NullRegistry, NullSink, capture,
                                disable, enable)
@@ -34,6 +34,7 @@ from repro.obs.tracing import (JsonlSink, RingBufferSink, Span, TeeSink,
 __all__ = [
     # clock
     "monotonic",
+    "ManualClock",
     # state
     "OBS",
     "enable",

@@ -15,13 +15,22 @@ directly.  Two invariants hang off that:
   break the pure-function-of-the-seed guarantee (``time.time``,
   ``datetime.now``) are a separate, always-forbidden family (RPR011
   and the dataflow effect lattice).
+
+Because this is the one clock front, it is also the one **injection
+point**: time-dependent control logic (the serving layer's circuit
+breaker and retry backoff, see ``docs/serving.md``) accepts a clock
+callable defaulting to :func:`monotonic`, and tests substitute a
+:class:`ManualClock` to drive timeouts and backoff schedules
+deterministically without sleeping.
 """
 
 from __future__ import annotations
 
 import time
 
-__all__ = ["monotonic"]
+from repro.errors import ConfigurationError
+
+__all__ = ["monotonic", "ManualClock"]
 
 
 def monotonic() -> float:
@@ -32,3 +41,48 @@ def monotonic() -> float:
     in ``docs/observability.md`` are fed with.
     """
     return time.perf_counter()
+
+
+class ManualClock:
+    """A deterministic clock for tests: advances only when told to.
+
+    Mirrors the :func:`monotonic` front as a callable object, so any
+    component taking ``clock=monotonic`` accepts a ``ManualClock``
+    instance instead.  The serving layer's failure-injection tests use
+    one to step a circuit breaker through its recovery timeout and to
+    verify retry backoff schedules without real sleeping.
+
+    Examples
+    --------
+    >>> clock = ManualClock()
+    >>> clock()
+    0.0
+    >>> clock.advance(1.5)
+    >>> clock()
+    1.5
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        """The current manual time, in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward (monotonic: never backwards)."""
+        if seconds < 0:
+            raise ConfigurationError(
+                f"a monotonic clock cannot go backwards ({seconds})")
+        self._now += float(seconds)
+
+    async def sleep(self, seconds: float) -> None:
+        """An injectable ``asyncio.sleep`` stand-in: advance, no wait.
+
+        Lets retry/backoff code take ``sleep=asyncio.sleep`` in
+        production and ``sleep=manual_clock.sleep`` in tests, keeping
+        the recorded schedule consistent with the clock reading.
+        """
+        self.advance(seconds)

@@ -1,0 +1,226 @@
+"""The ``repro loadtest`` harness: N concurrent simulated clients.
+
+Drives a running (or self-hosted) :class:`WarehouseService` with a
+deterministic operation mix — mostly merge-on-demand queries, a trickle
+of ingests so version tags move — and reports the latency distribution
+(p50/p99), throughput, and shed rate.  The numbers land in
+``BENCH_serve.json`` (schema ``repro-bench/1`` plus a ``serve`` block;
+see :func:`repro.bench.regression.run_serve_suite`), which
+``repro bench --compare`` gates like any other suite.
+
+Determinism caveat: the *workload* is a pure function of the seed
+(every client's op sequence derives from ``rng.spawn("client", i)``),
+but latencies are wall-clock measurements — only the shape of the run
+reproduces, not the timings.  Each request opens its own connection,
+matching the transport's one-request-per-connection contract.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.clock import monotonic
+from repro.rng import SplittableRng
+
+__all__ = ["run_loadtest", "run_self_hosted", "summarize",
+           "percentile"]
+
+#: Fraction of requests that are ingests (the rest are queries).
+_INGEST_FRACTION = 0.05
+#: Values per simulated ingest batch.
+_INGEST_VALUES = 64
+
+
+def percentile(latencies: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of a non-empty latency list."""
+    if not latencies:
+        raise ConfigurationError("no latencies to summarize")
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"q must be in [0, 1], got {q}")
+    ordered = sorted(latencies)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+async def _request(host: str, port: int, method: str, path: str,
+                   body: Optional[dict] = None) -> Tuple[int, dict]:
+    """One request over a fresh connection; returns (status, payload)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        payload = b"" if body is None else \
+            json.dumps(body, sort_keys=True).encode("utf-8")
+        head = (f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n").encode("latin-1")
+        writer.write(head + payload)
+        await writer.drain()
+        raw = await reader.read(-1)  # server closes after one response
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    try:
+        status = int(raw.split(b" ", 2)[1])
+        body_bytes = raw.split(b"\r\n\r\n", 1)[1]
+        return status, json.loads(body_bytes.decode("utf-8"))
+    except (IndexError, ValueError) as exc:
+        raise ConfigurationError(
+            f"malformed response from {host}:{port}: {exc}") from exc
+
+
+def _client_ops(rng: SplittableRng, dataset: str,
+                requests: int) -> List[Tuple[str, str, Optional[dict]]]:
+    """One client's deterministic op sequence."""
+    ops: List[Tuple[str, str, Optional[dict]]] = []
+    for _ in range(requests):
+        roll = rng.random()
+        if roll < _INGEST_FRACTION:
+            values = [rng.randrange(100_000)
+                      for _ in range(_INGEST_VALUES)]
+            ops.append(("POST", f"/datasets/{dataset}/ingest",
+                        {"values": values, "partitions": 1}))
+        elif roll < 0.5 + _INGEST_FRACTION / 2:
+            ops.append(("GET", f"/datasets/{dataset}/sample", None))
+        else:
+            stat = ("avg", "sum", "count")[rng.randrange(3)]
+            ops.append(("GET",
+                        f"/datasets/{dataset}/estimate?stat={stat}",
+                        None))
+    return ops
+
+
+async def _client(host: str, port: int,
+                  ops: Sequence[Tuple[str, str, Optional[dict]]],
+                  records: List[Tuple[float, int]]) -> None:
+    for method, path, body in ops:
+        t0 = monotonic()
+        try:
+            status, _payload = await _request(host, port, method, path,
+                                              body)
+        except (ConnectionError, OSError, ConfigurationError):
+            records.append((monotonic() - t0, -1))
+            continue
+        records.append((monotonic() - t0, status))
+
+
+def summarize(records: Sequence[Tuple[float, int]], *,
+              wall_seconds: float, clients: int,
+              requests_per_client: int) -> dict:
+    """The ``serve`` summary block of ``BENCH_serve.json``."""
+    if not records:
+        raise ConfigurationError("loadtest produced no records")
+    latencies = [lat for lat, status in records if 0 < status < 500]
+    statuses: Dict[str, int] = {}
+    for _, status in records:
+        key = str(status) if status > 0 else "transport-error"
+        statuses[key] = statuses.get(key, 0) + 1
+    shed = statuses.get("503", 0)
+    # Shedding is deliberate backpressure, not failure: errors count
+    # transport breakage and server-side 5xx other than 503.
+    errors = sum(n for s, n in statuses.items()
+                 if s == "transport-error" or (s.isdigit()
+                                               and int(s) >= 500
+                                               and s != "503"))
+    total = len(records)
+    return {
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "total_requests": total,
+        "completed": len(latencies),
+        "shed": shed,
+        "shed_rate": shed / total,
+        "errors": errors,
+        "statuses": statuses,
+        "wall_seconds": wall_seconds,
+        "throughput_rps": total / wall_seconds if wall_seconds > 0
+        else 0.0,
+        "latency": {
+            "p50": percentile(latencies, 0.50),
+            "p90": percentile(latencies, 0.90),
+            "p99": percentile(latencies, 0.99),
+            "max": max(latencies),
+            "mean": sum(latencies) / len(latencies),
+        } if latencies else None,
+    }
+
+
+async def run_loadtest(host: str, port: int, *, clients: int,
+                       requests_per_client: int, seed: int,
+                       dataset: str = "load.demo",
+                       preload_values: int = 0) -> dict:
+    """Run the client fleet against a listening service.
+
+    ``preload_values > 0`` first ingests that many values into
+    ``dataset`` over HTTP (untimed), so a fresh remote server has
+    partitions to merge before the fleet's queries arrive.
+    """
+    if clients <= 0 or requests_per_client <= 0:
+        raise ConfigurationError(
+            f"clients and requests_per_client must be positive, got "
+            f"{clients} and {requests_per_client}")
+    rng = SplittableRng(seed)
+    if preload_values > 0:
+        status, payload = await _request(
+            host, port, "POST", f"/datasets/{dataset}/ingest",
+            {"values": list(range(preload_values)), "partitions": 4})
+        if status != 200:
+            raise ConfigurationError(
+                f"preload ingest failed with {status}: {payload}")
+    records: List[Tuple[float, int]] = []
+    tasks = [
+        _client(host, port,
+                _client_ops(rng.spawn("client", i), dataset,
+                            requests_per_client),
+                records)
+        for i in range(clients)
+    ]
+    t0 = monotonic()
+    await asyncio.gather(*tasks)
+    wall = monotonic() - t0
+    return summarize(records, wall_seconds=wall, clients=clients,
+                     requests_per_client=requests_per_client)
+
+
+def run_self_hosted(*, seed: int, clients: int, requests_per_client: int,
+                    preload_values: int = 20_000,
+                    preload_partitions: int = 8,
+                    bound_values: int = 256,
+                    config=None) -> dict:
+    """Spin up a service in-process, load it, tear it down.
+
+    The served warehouse is seeded and preloaded (so queries have
+    partitions to merge from request one) with ``load.demo``.  This is
+    the entry point :func:`repro.bench.regression.run_serve_suite`
+    times.
+    """
+    from repro.serve.app import ServeConfig, WarehouseService
+    from repro.warehouse.warehouse import SampleWarehouse
+
+    warehouse = SampleWarehouse(bound_values=bound_values, scheme="hr",
+                                rng=SplittableRng(seed))
+    service = WarehouseService(
+        warehouse, config=config if config is not None else ServeConfig())
+    # Preload through the service's own CAS path so the version tag
+    # matches the catalog from the start.
+    service.occ.mutate(
+        "load.demo",
+        lambda: warehouse.ingest_batch(
+            "load.demo", list(range(preload_values)),
+            partitions=preload_partitions))
+
+    async def run() -> dict:
+        host, port = await service.start(port=0)
+        try:
+            return await run_loadtest(
+                host, port, clients=clients,
+                requests_per_client=requests_per_client, seed=seed)
+        finally:
+            await service.aclose()
+
+    return asyncio.run(run())

@@ -1,0 +1,250 @@
+"""Resilience primitives for the serving layer.
+
+Two cooperating patterns protect the storage path of ``repro serve``:
+
+* :class:`CircuitBreaker` — a closed/open/half-open state machine.
+  Consecutive storage failures beyond a threshold *open* the circuit:
+  further calls fail fast with
+  :class:`~repro.errors.CircuitOpenError` instead of piling onto a
+  struggling store.  After a recovery timeout the breaker admits a
+  bounded number of *half-open* probes; one success closes it again,
+  one failure re-opens it.
+* :class:`RetryPolicy` — bounded retries with exponentially growing,
+  jittered backoff ("full jitter": each delay is uniform on
+  ``[0, base * multiplier**attempt]``, capped).  Jitter comes from an
+  injected :class:`~repro.rng.SplittableRng`, so a test that seeds the
+  policy can predict the entire backoff schedule exactly — see
+  :func:`backoff_delays`.
+
+Both take their clock from :mod:`repro.obs.clock` (the library's one
+clock front), so failure-injection tests drive recovery timeouts with a
+:class:`~repro.obs.clock.ManualClock` instead of sleeping.  The breaker
+is deliberately **not** thread-safe: the service confines it to the
+event loop (``allow``/``record_*`` run in coroutines, never on pool
+threads), which keeps the state machine lock-free.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Iterator, Optional, Tuple, TypeVar
+
+from repro.errors import (CircuitOpenError, ConfigurationError,
+                          ProtocolError, StorageError)
+from repro.obs.clock import monotonic
+from repro.obs.runtime import OBS
+from repro.rng import SplittableRng
+
+__all__ = ["CLOSED", "OPEN", "HALF_OPEN", "CircuitBreaker",
+           "RetryPolicy", "backoff_delays", "BREAKER_STATE_GAUGE"]
+
+T = TypeVar("T")
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Gauge encoding for ``serve.breaker.state`` (docs/observability.md):
+#: healthy states are low, the tripped state is high.
+BREAKER_STATE_GAUGE = {CLOSED: 0.0, HALF_OPEN: 1.0, OPEN: 2.0}
+
+
+class CircuitBreaker:
+    """Closed/open/half-open circuit breaker over a failing resource.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures (while closed) that open the circuit.
+    recovery_seconds:
+        How long an open circuit rejects calls before admitting
+        half-open probes.
+    half_open_max:
+        Concurrent probes admitted while half-open (default 1).
+    clock:
+        Monotonic clock callable; tests inject a
+        :class:`~repro.obs.clock.ManualClock`.
+
+    Usage is three calls around the protected operation::
+
+        breaker.allow()           # raises CircuitOpenError when open
+        try:
+            result = do_storage_thing()
+        except StorageError:
+            breaker.record_failure()
+            raise
+        breaker.record_success()
+    """
+
+    def __init__(self, *, failure_threshold: int = 5,
+                 recovery_seconds: float = 2.0,
+                 half_open_max: int = 1,
+                 clock: Callable[[], float] = monotonic) -> None:
+        if failure_threshold <= 0:
+            raise ConfigurationError(
+                f"failure_threshold must be positive, "
+                f"got {failure_threshold}")
+        if recovery_seconds <= 0:
+            raise ConfigurationError(
+                f"recovery_seconds must be positive, "
+                f"got {recovery_seconds}")
+        if half_open_max <= 0:
+            raise ConfigurationError(
+                f"half_open_max must be positive, got {half_open_max}")
+        self._threshold = failure_threshold
+        self._recovery = recovery_seconds
+        self._half_open_max = half_open_max
+        self._clock = clock
+        self._state = CLOSED
+        self._failures = 0          # consecutive failures while closed
+        self._opened_at = 0.0       # clock reading of the last open
+        self._probes = 0            # in-flight probes while half-open
+
+    @property
+    def state(self) -> str:
+        """The stored state (transitions happen inside :meth:`allow`)."""
+        return self._state
+
+    def _transition(self, new_state: str) -> None:
+        self._state = new_state
+        if OBS.enabled:
+            reg = OBS.registry
+            reg.counter("serve.breaker.transitions").inc()
+            reg.gauge("serve.breaker.state").set(
+                BREAKER_STATE_GAUGE[new_state])
+
+    def allow(self) -> None:
+        """Admit one call, or raise :class:`CircuitOpenError`.
+
+        While open, the raised error carries ``retry_after`` — the
+        seconds left until the breaker will admit a half-open probe.
+        """
+        if self._state is OPEN:
+            elapsed = self._clock() - self._opened_at
+            if elapsed < self._recovery:
+                raise CircuitOpenError(
+                    "circuit open: storage is failing; "
+                    f"retry in {self._recovery - elapsed:.3f}s",
+                    retry_after=self._recovery - elapsed)
+            self._probes = 0
+            self._transition(HALF_OPEN)
+        if self._state is HALF_OPEN:
+            if self._probes >= self._half_open_max:
+                raise CircuitOpenError(
+                    "circuit half-open: probe quota in use",
+                    retry_after=self._recovery)
+            self._probes += 1
+
+    def record_success(self) -> None:
+        """The admitted call succeeded: heal."""
+        self._failures = 0
+        if self._state is HALF_OPEN:
+            self._probes = 0
+            self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        """The admitted call failed: count it, and trip if warranted."""
+        if self._state is HALF_OPEN:
+            # A failed probe re-opens immediately; the resource is
+            # still down, so restart the full recovery wait.
+            self._probes = 0
+            self._opened_at = self._clock()
+            self._transition(OPEN)
+            return
+        self._failures += 1
+        if self._state is CLOSED and self._failures >= self._threshold:
+            self._opened_at = self._clock()
+            self._transition(OPEN)
+
+
+def backoff_delays(*, attempts: int, base_delay: float,
+                   multiplier: float, max_delay: float,
+                   rng: SplittableRng) -> Iterator[float]:
+    """The exact jittered backoff schedule a :class:`RetryPolicy` uses.
+
+    Full jitter: delay *i* is ``rng.uniform(0, min(max_delay,
+    base_delay * multiplier**i))``.  Exposed as a pure function of the
+    rng so failure-injection tests can derive the expected schedule
+    from an identically seeded :class:`~repro.rng.SplittableRng` and
+    compare it against the sleeps the policy actually issued.
+    """
+    for attempt in range(attempts - 1):
+        ceiling = min(max_delay, base_delay * multiplier ** attempt)
+        yield rng.uniform(0.0, ceiling)
+
+
+class RetryPolicy:
+    """Bounded retry with jittered exponential backoff.
+
+    Parameters
+    ----------
+    attempts:
+        Total tries (1 = no retry).
+    base_delay / multiplier / max_delay:
+        Backoff shape; see :func:`backoff_delays`.
+    rng:
+        Jitter source.  The default is seeded fresh per policy; inject
+        a seeded :class:`~repro.rng.SplittableRng` for a reproducible
+        schedule.  This rng is operational only — it never touches any
+        sampling decision, so warehouse results stay a pure function
+        of the warehouse seed.
+    sleep:
+        Async sleep; tests inject :meth:`ManualClock.sleep
+        <repro.obs.clock.ManualClock.sleep>` or a recorder.
+    """
+
+    def __init__(self, *, attempts: int = 3, base_delay: float = 0.02,
+                 multiplier: float = 2.0, max_delay: float = 0.5,
+                 rng: Optional[SplittableRng] = None,
+                 sleep: Callable[[float], Awaitable[None]] = asyncio.sleep
+                 ) -> None:
+        if attempts <= 0:
+            raise ConfigurationError(
+                f"attempts must be positive, got {attempts}")
+        if base_delay < 0 or max_delay < 0 or multiplier < 1.0:
+            raise ConfigurationError(
+                f"invalid backoff shape: base_delay={base_delay}, "
+                f"multiplier={multiplier}, max_delay={max_delay}")
+        self._attempts = attempts
+        self._base = base_delay
+        self._multiplier = multiplier
+        self._max = max_delay
+        self._rng = rng if rng is not None else SplittableRng()
+        self._sleep = sleep
+
+    async def call(self, fn: Callable[[], Awaitable[T]], *,
+                   breaker: Optional[CircuitBreaker] = None,
+                   retry_on: Tuple[type, ...] = (StorageError,)) -> T:
+        """Run ``fn`` with retries, reporting outcomes to ``breaker``.
+
+        Only ``retry_on`` exceptions consume attempts (and count as
+        breaker failures); anything else — client errors like
+        :class:`~repro.errors.ConfigurationError` — propagates
+        immediately without touching the breaker.  A
+        :class:`CircuitOpenError` from ``breaker.allow()`` also
+        propagates immediately: once the circuit trips mid-retry,
+        further attempts would only be rejected anyway.
+        """
+        delays = backoff_delays(
+            attempts=self._attempts, base_delay=self._base,
+            multiplier=self._multiplier, max_delay=self._max,
+            rng=self._rng)
+        for attempt in range(self._attempts):
+            if breaker is not None:
+                breaker.allow()
+            try:
+                result = await fn()
+            except retry_on:
+                if breaker is not None:
+                    breaker.record_failure()
+                if attempt + 1 >= self._attempts:
+                    raise
+                if OBS.enabled:
+                    OBS.registry.counter("serve.retry.attempts").inc()
+                await self._sleep(next(delays))
+            else:
+                if breaker is not None:
+                    breaker.record_success()
+                return result
+        raise ProtocolError(
+            "retry loop exhausted without raising")  # pragma: no cover

@@ -33,6 +33,9 @@ check                            claim
                                  multivariate hypergeometric law
 ``kernels.pmf.crosscheck``       numpy and python backends compute the
                                  same eq. (3) pmf (skipped sans numpy)
+``serve.query.equivalence``      answers served over HTTP are
+                                 byte-identical to the library path
+                                 and uniform in law across seeds
 ``differential.merge_engine``    (deep) every merge engine mode/
                                  executor/backend agrees byte-exactly
 ``hr.uniformity.subset``         (deep) HR: all k-subsets equally
@@ -192,6 +195,93 @@ def _negative_control_pvalue(sampler_factory, rng: SplittableRng,
         return 1.0
     return chi_square_pvalue([h3, rest],
                              [kept * _H3_SHARE, kept * (1.0 - _H3_SHARE)])
+
+
+# ----------------------------------------------------------------------
+# Serving-layer equivalence (docs/serving.md)
+# ----------------------------------------------------------------------
+def served_query_equivalence(rng: SplittableRng, *,
+                             trials: int) -> float:
+    """Served-vs-library equivalence over ``trials`` fresh servers.
+
+    Two layers, one p-value:
+
+    * **byte layer** — for each trial, ingest a population over HTTP
+      into a seeded warehouse and fetch ``/sample`` and
+      ``/estimate?stat=sum``; both answers must be byte-identical
+      (canonical JSON) to the library path on an identically seeded
+      warehouse.  Any mismatch returns ``0.0`` — a certain rejection.
+    * **law layer** — the served merges are still *samples*; pooling
+      their inclusion counts across trials and chi-squaring against
+      uniform inclusion checks that the serving path (cache, OCC,
+      thread handoff) did not bias the sampled law.
+    """
+    import asyncio
+    import json
+
+    from repro.analytics.estimators import estimate_sum
+    from repro.serve.app import WarehouseService
+    from repro.serve.http import Request
+    from repro.warehouse.storage import sample_to_dict
+    from repro.warehouse.warehouse import SampleWarehouse
+
+    population, bound, partitions = 60, 12, 2
+    values = list(range(population))
+    counts = [0] * population
+    mismatches = 0
+
+    def canonical(payload: object) -> str:
+        return json.dumps(payload, sort_keys=True)
+
+    async def one_trial(trial_rng: SplittableRng) -> Tuple[dict, dict]:
+        warehouse = SampleWarehouse(bound_values=bound, scheme="hr",
+                                    rng=trial_rng)
+        service = WarehouseService(warehouse)
+        try:
+            ingest = Request(
+                method="POST", path="/datasets/d/ingest",
+                body=json.dumps({"values": values,
+                                 "partitions": partitions}).encode())
+            response = await service.handle(ingest)
+            if response.status != 200:
+                raise ConfigurationError(
+                    f"served ingest failed: {response.payload}")
+            sample_resp = await service.handle(
+                Request(method="GET", path="/datasets/d/sample"))
+            est_resp = await service.handle(
+                Request(method="GET", path="/datasets/d/estimate",
+                        query={"stat": "sum"}))
+            return sample_resp.payload, est_resp.payload
+        finally:
+            await service.aclose()
+
+    for t in range(trials):
+        # spawn is a pure function of (seed, labels): the same labels
+        # give the served and library warehouses identical rngs.
+        served_sample, served_est = asyncio.run(
+            one_trial(rng.spawn("serve", t)))
+
+        library = SampleWarehouse(bound_values=bound, scheme="hr",
+                                  rng=rng.spawn("serve", t))
+        library.ingest_batch("d", values, partitions=partitions)
+        sample = library.sample_of("d")
+        est = estimate_sum(sample)
+        want_est = {"ci_high": est.ci_high, "ci_low": est.ci_low,
+                    "confidence": est.confidence, "exact": est.exact,
+                    "value": est.value}
+        got_est = {k: served_est.get(k) for k in want_est}
+        if canonical(served_sample["sample"]) != \
+                canonical(sample_to_dict(sample)) \
+                or canonical(got_est) != canonical(want_est):
+            mismatches += 1
+        for value, n in served_sample["sample"]["histogram"]:
+            counts[value] += n
+
+    if mismatches:
+        return 0.0
+    total = sum(counts)
+    return chi_square_pvalue(counts,
+                             [total / population] * population)
 
 
 # ----------------------------------------------------------------------
@@ -559,4 +649,12 @@ def default_battery() -> Battery:
                                          rng=rng.spawn("engine"),
                                          worker_counts=(2,),
                                          label="hr-partitions")
+
+    # -- the serving layer ----------------------------------------------
+    @battery.check("serve.query.equivalence",
+                   description="HTTP-served merges are byte-identical "
+                               "to the library path and uniform in law")
+    def serve_equivalence(rng: SplittableRng, scale: int) -> float:
+        return served_query_equivalence(rng, trials=4 * scale)
+
     return battery

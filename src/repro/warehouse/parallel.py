@@ -20,6 +20,7 @@ identical whichever executor runs them, in whatever order.
 
 from __future__ import annotations
 
+import asyncio
 import concurrent.futures
 import os
 import pickle
@@ -194,12 +195,43 @@ class ThreadExecutor:
         return _record_tasks("parallel.task.seconds.thread",
                              list(pool.map(_TimedTask(fn), items)))
 
+    def submit(self, fn: Callable[..., R], *args,
+               **kwargs) -> "concurrent.futures.Future[R]":
+        """Submit one call to the pool and return its future.
+
+        The serving layer uses this to push blocking warehouse/storage
+        work off the event loop (wrap the returned future with
+        :func:`asyncio.wrap_future` to await it).
+        """
+        return self._ensure_pool().submit(fn, *args, **kwargs)
+
     def close(self) -> None:
-        """Shut the pool down, waiting for in-flight tasks."""
+        """Shut the pool down, waiting for in-flight tasks.
+
+        This **blocks** the calling thread until every in-flight task
+        finishes.  From a coroutine, use :meth:`aclose` instead — the
+        blocking wait here would stall the entire event loop, including
+        the callbacks the pool's own futures need to complete.
+        """
         with self._lock:
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+
+    async def aclose(self) -> None:
+        """Awaitable shutdown: like :meth:`close`, off the event loop.
+
+        Swaps the pool out immediately (so new ``map``/``submit`` calls
+        build a fresh one) and performs the blocking ``shutdown(wait=
+        True)`` on the loop's default executor, keeping the event loop
+        responsive while worker threads drain.
+        """
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(
+                None, lambda: pool.shutdown(wait=True))
 
     def __enter__(self) -> "ThreadExecutor":
         return self

@@ -153,3 +153,68 @@ class TestExecutorDeterminism:
         assert reg.counter("parallel.tasks").value == 12
         assert reg.histogram(
             "parallel.task.seconds.process").count == 4
+
+
+class TestThreadExecutorAsyncShutdown:
+    """The awaitable shutdown path (``aclose``) used by repro.serve."""
+
+    @staticmethod
+    def square(x):
+        return x * x
+
+    def test_aclose_shuts_down_and_executor_stays_reusable(self):
+        import asyncio
+
+        executor = ThreadExecutor(2)
+        assert executor.map(self.square, [1, 2]) == [1, 4]
+        assert executor._pool is not None
+        asyncio.run(executor.aclose())
+        assert executor._pool is None
+        # Like close(), aclose() leaves the executor reusable.
+        assert executor.map(self.square, [3]) == [9]
+        executor.close()
+
+    def test_aclose_without_started_pool_is_noop(self):
+        import asyncio
+
+        executor = ThreadExecutor(2)
+        asyncio.run(executor.aclose())
+        assert executor._pool is None
+
+    def test_submit_future_awaits_via_wrap_future(self):
+        import asyncio
+
+        executor = ThreadExecutor(2)
+
+        async def run():
+            try:
+                return await asyncio.wrap_future(
+                    executor.submit(self.square, 7))
+            finally:
+                await executor.aclose()
+
+        assert asyncio.run(run()) == 49
+
+    def test_aclose_does_not_block_the_event_loop(self):
+        """Regression: close() joins worker threads on the calling
+        thread; aclose() must keep the loop ticking while the pool
+        drains a slow task."""
+        import asyncio
+        import time
+
+        executor = ThreadExecutor(1)
+        executor.submit(time.sleep, 0.3)
+
+        async def run():
+            ticks = 0
+            closer = asyncio.ensure_future(executor.aclose())
+            while not closer.done():
+                await asyncio.sleep(0.01)
+                ticks += 1
+            await closer
+            return ticks
+
+        ticks = asyncio.run(run())
+        assert executor._pool is None
+        # ~30 ticks expected; even heavily loaded CI sees several.
+        assert ticks >= 3
