@@ -120,6 +120,13 @@ class WarehouseService:
             base_delay=config.retry_base_delay,
             max_delay=config.retry_max_delay,
             rng=retry_rng, **retry_kwargs)
+        # Mutations are not idempotent: ingest_batch registers
+        # partitions one by one, so a StorageError mid-batch leaves a
+        # committed prefix behind (the version tag only moves at the
+        # end).  A retry would pass the CAS check and re-run the whole
+        # batch, silently duplicating that prefix — so mutations get
+        # exactly one attempt, keeping only the breaker accounting.
+        self._mutate_once = RetryPolicy(attempts=1, **retry_kwargs)
         self._executor = ThreadExecutor(config.max_workers)
         self._server: Optional[asyncio.AbstractServer] = None
 
@@ -300,12 +307,19 @@ class WarehouseService:
     # ------------------------------------------------------------------
     # Guarded dispatch to the pool
     # ------------------------------------------------------------------
-    async def _guarded(self, fn: Callable[[], object]):
-        """Run blocking work on the pool behind breaker + retry."""
+    async def _guarded(self, fn: Callable[[], object], *,
+                       idempotent: bool = True):
+        """Run blocking work on the pool behind breaker + retry.
+
+        Only idempotent (read-path) work is retried; pass
+        ``idempotent=False`` for mutations, which run through the
+        breaker exactly once (see ``_mutate_once``).
+        """
         async def attempt():
             return await asyncio.wrap_future(self._executor.submit(fn))
 
-        return await self._retry.call(attempt, breaker=self._breaker)
+        policy = self._retry if idempotent else self._mutate_once
+        return await policy.call(attempt, breaker=self._breaker)
 
     # ------------------------------------------------------------------
     # Endpoints
@@ -393,7 +407,7 @@ class WarehouseService:
                     scheme=scheme, labels=labels, stream=stream),
                 expected=expected)
 
-        keys, version = await self._guarded(op)
+        keys, version = await self._guarded(op, idempotent=False)
         self._cache.invalidate(dataset)
         return Response(200, {"dataset": dataset,
                               "keys": [str(k) for k in keys],
@@ -460,7 +474,13 @@ class WarehouseService:
         payload = {"dataset": dataset, "version": version,
                    "cached": cached, "stat": stat}
         if stat == "quantile":
-            fraction = float(request.query.get("fraction", "0.5"))
+            raw_fraction = request.query.get("fraction", "0.5")
+            try:
+                fraction = float(raw_fraction)
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"fraction must be a number, "
+                    f"got {raw_fraction!r}") from exc
             payload["fraction"] = fraction
             payload["value"] = estimate_quantile(sample, fraction)
         else:
@@ -493,7 +513,7 @@ class WarehouseService:
             return self._occ.mutate(dataset, lambda: mutation(key),
                                     expected=expected)
 
-        _, version = await self._guarded(op)
+        _, version = await self._guarded(op, idempotent=False)
         self._cache.invalidate(dataset)
         return Response(200, {"dataset": dataset, "key": raw_key,
                               "action": action, "version": version})

@@ -122,21 +122,42 @@ class MergeCache:
         with self._lock:
             seq = self._spill_seq
             self._spill_seq += 1
+            # The stream field carries the selector hash purely for
+            # debuggability of the spill directory; uniqueness comes
+            # from the sequence number, so selectors can never alias
+            # a file.
+            key = PartitionKey(dataset + ".cache",
+                               stream=stable_hash(selector) % (2 ** 31),
+                               seq=seq)
+            # Reserve the slot before any I/O: a concurrent spill of
+            # the same cache_key then sees this key as its `previous`
+            # and GCs it, so no successful spill file can end up on
+            # disk unreferenced.
             previous = self._spilled.get(cache_key)
-        # The stream field carries the selector hash purely for
-        # debuggability of the spill directory; uniqueness comes from
-        # the sequence number, so selectors can never alias a file.
-        key = PartitionKey(dataset + ".cache",
-                           stream=stable_hash(selector) % (2 ** 31),
-                           seq=seq)
+            self._spilled[cache_key] = (version, key)
         try:
             self._spill_store.put(key, sample)
         except StorageError:
-            return  # a failed spill only loses a recomputable entry
-        with self._lock:
-            self._spilled[cache_key] = (version, key)
-        if OBS.enabled:
-            OBS.registry.counter("serve.cache.spill").inc()
+            # A failed spill only loses a recomputable entry; withdraw
+            # the reservation (unless a later spill already replaced
+            # it) so get() stops consulting a file that never landed,
+            # and put the previous spill back — its file is still good.
+            with self._lock:
+                if self._spilled.get(cache_key) == (version, key):
+                    if previous is not None:
+                        self._spilled[cache_key] = previous
+                        previous = None  # restored: keep its file
+                    else:
+                        del self._spilled[cache_key]
+        else:
+            with self._lock:
+                superseded = self._spilled.get(cache_key) != (version, key)
+            if superseded:
+                # A racing spill (or invalidate) took the slot while we
+                # wrote; our file is unreachable, so drop it ourselves.
+                self._drop_spill_file(key)
+            elif OBS.enabled:
+                OBS.registry.counter("serve.cache.spill").inc()
         if previous is not None:
             self._drop_spill_file(previous[1])
 

@@ -65,13 +65,18 @@ class CircuitBreaker:
         Monotonic clock callable; tests inject a
         :class:`~repro.obs.clock.ManualClock`.
 
-    Usage is three calls around the protected operation::
+    Usage is three calls around the protected operation — every path
+    out of an admitted call must report, or a half-open probe slot
+    leaks::
 
         breaker.allow()           # raises CircuitOpenError when open
         try:
             result = do_storage_thing()
         except StorageError:
-            breaker.record_failure()
+            breaker.record_failure()   # resource-health signal
+            raise
+        except Exception:
+            breaker.record_neutral()   # no signal; free the slot
             raise
         breaker.record_success()
     """
@@ -141,6 +146,19 @@ class CircuitBreaker:
         if self._state is HALF_OPEN:
             self._probes = 0
             self._transition(CLOSED)
+
+    def record_neutral(self) -> None:
+        """The admitted call ended without evidence about the resource.
+
+        Client-caused errors (a version conflict, an unknown dataset)
+        raised through a guarded call say nothing about storage
+        health, but the probe slot :meth:`allow` handed out must still
+        come back — otherwise one such outcome while half-open would
+        pin ``probes`` at the quota with no time-based escape, and the
+        breaker would reject every later call forever.
+        """
+        if self._state is HALF_OPEN and self._probes > 0:
+            self._probes -= 1
 
     def record_failure(self) -> None:
         """The admitted call failed: count it, and trip if warranted."""
@@ -219,11 +237,15 @@ class RetryPolicy:
 
         Only ``retry_on`` exceptions consume attempts (and count as
         breaker failures); anything else — client errors like
-        :class:`~repro.errors.ConfigurationError` — propagates
-        immediately without touching the breaker.  A
-        :class:`CircuitOpenError` from ``breaker.allow()`` also
-        propagates immediately: once the circuit trips mid-retry,
-        further attempts would only be rejected anyway.
+        :class:`~repro.errors.ConfigurationError` or
+        :class:`~repro.errors.VersionConflictError` — propagates
+        immediately, releasing the admitted slot via
+        :meth:`CircuitBreaker.record_neutral` (neither a success nor a
+        failure: it says nothing about the resource, but a half-open
+        probe must not leak).  A :class:`CircuitOpenError` from
+        ``breaker.allow()`` also propagates immediately: once the
+        circuit trips mid-retry, further attempts would only be
+        rejected anyway.
         """
         delays = backoff_delays(
             attempts=self._attempts, base_delay=self._base,
@@ -242,6 +264,10 @@ class RetryPolicy:
                 if OBS.enabled:
                     OBS.registry.counter("serve.retry.attempts").inc()
                 await self._sleep(next(delays))
+            except BaseException:
+                if breaker is not None:
+                    breaker.record_neutral()
+                raise
             else:
                 if breaker is not None:
                     breaker.record_success()

@@ -9,11 +9,12 @@ from __future__ import annotations
 
 import asyncio
 import json
+import threading
 
 import pytest
 
 from repro.errors import (ConfigurationError, OverloadedError,
-                          VersionConflictError)
+                          StorageError, VersionConflictError)
 from repro.obs import capture
 from repro.rng import SplittableRng
 from repro.serve import (AdmissionController, MergeCache, ServeConfig,
@@ -266,6 +267,69 @@ class TestMergeCache:
         assert cache.invalidate("d") == 2        # 1 memory + 1 spilled
         assert len(store) == 0
 
+    def test_failed_spill_keeps_the_previous_spill_usable(self, tmp_path):
+        """A put() failure during spill withdraws the reservation: the
+        selector's earlier spill file stays referenced and servable,
+        and the never-written reservation is not consulted."""
+        inner = FileStore(str(tmp_path), durability="relaxed")
+
+        class FlakyStore:
+            fail_puts = 0
+
+            def put(self, key, sample):
+                if self.fail_puts > 0:
+                    self.fail_puts -= 1
+                    raise StorageError("spill disk full")
+                inner.put(key, sample)
+
+            def get(self, key):
+                return inner.get(key)
+
+            def delete(self, key):
+                inner.delete(key)
+
+        flaky = FlakyStore()
+        cache = MergeCache(max_entries=1, spill_store=flaky)
+        s1 = merged_sample(seed=1)
+        cache.put("d", "s1", 5, s1)
+        cache.put("d", "s2", 5, merged_sample(seed=2))  # spills s1 ok
+        restored = cache.get("d", "s1", 5)              # repromote;
+        assert restored.histogram == s1.histogram       # spills s2 ok
+        flaky.fail_puts = 1
+        cache.put("d", "s2", 6, merged_sample(seed=3))  # re-spill of
+        # s1 fails; its version-5 file must still be reachable.
+        assert cache.get("d", "s1", 5).histogram == s1.histogram
+
+    def test_racing_spills_of_one_key_orphan_no_files(self, tmp_path):
+        """Two threads spilling the same cache_key concurrently must
+        leave exactly one referenced file on disk — the loser GCs its
+        own write once it sees the slot was taken."""
+        inner = FileStore(str(tmp_path), durability="relaxed")
+        gate = threading.Barrier(2, timeout=5)
+
+        class GatedStore:
+            def put(self, key, sample):
+                gate.wait()     # both spills reserve before either writes
+                inner.put(key, sample)
+
+            def get(self, key):
+                return inner.get(key)
+
+            def delete(self, key):
+                inner.delete(key)
+
+        cache = MergeCache(max_entries=4, spill_store=GatedStore())
+        sample = merged_sample(seed=1)
+        threads = [threading.Thread(
+            target=cache._spill, args=(("d", "sel"), (1, sample)))
+            for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(inner) == 1              # no orphaned spill file
+        assert cache.get("d", "sel", 1) is not None
+
 
 class TestAdmissionController:
     def test_validation(self):
@@ -406,6 +470,12 @@ class TestEndToEnd:
             status, payload, _ = await http(
                 host, port, "GET", "/datasets/d/estimate?stat=bogus")
             assert status == 400
+            # A malformed fraction is the client's fault, not a 500.
+            status, payload, _ = await http(
+                host, port, "GET",
+                "/datasets/d/estimate?stat=quantile&fraction=abc")
+            assert status == 400
+            assert payload["error"] == "bad-request"
 
         serve(check)
 

@@ -127,6 +127,23 @@ class TestCircuitBreakerFSM:
         breaker.allow()
         assert breaker.state == HALF_OPEN
 
+    def test_neutral_outcome_releases_the_half_open_probe(self):
+        """A client-caused error through an admitted probe is neither
+        success nor failure — the slot must come back, because
+        half-open has no time-based escape: a leaked probe would make
+        the breaker reject every later call forever."""
+        clock = ManualClock()
+        breaker = self._breaker(clock, probes=1)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        breaker.allow()                     # the one probe slot
+        breaker.record_neutral()            # e.g. a 409 outcome
+        assert breaker.state == HALF_OPEN
+        breaker.allow()                     # slot came back
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
     def test_transitions_emit_counter_and_gauge(self):
         clock = ManualClock()
         breaker = self._breaker(clock)
@@ -227,6 +244,27 @@ class TestRetryPolicy:
             asyncio.run(policy.call(always_down, breaker=breaker))
         assert len(calls) == 2              # third allow() was refused
         assert breaker.state == OPEN
+
+    def test_non_retryable_error_frees_the_breaker_probe(self):
+        """Regression: a non-retry_on exception (here a 409) through a
+        half-open probe used to report nothing to the breaker, leaking
+        the probe slot and wedging the service at 503 forever."""
+        clock = ManualClock()
+        breaker = CircuitBreaker(failure_threshold=1,
+                                 recovery_seconds=1.0, clock=clock)
+        breaker.record_failure()            # -> open
+        clock.advance(1.0)
+        policy = RetryPolicy(attempts=3, rng=SplittableRng(1),
+                             sleep=RecordingSleep())
+
+        async def conflict():
+            raise VersionConflictError("tag moved",
+                                       expected=0, actual=1)
+
+        with pytest.raises(VersionConflictError):
+            asyncio.run(policy.call(conflict, breaker=breaker))
+        assert breaker.state == HALF_OPEN
+        breaker.allow()                     # probe quota not leaked
 
     def test_retry_counter_emitted(self):
         sleep = RecordingSleep()
@@ -334,6 +372,120 @@ class TestServiceUnderFaults:
         assert status == 500                    # the probe itself failed
         assert service.breaker.state == OPEN    # and re-opened at once
         assert self._get(service, "/datasets/d/sample")[0] == 503
+
+
+class TestMutationRetrySafety:
+    """Mutations run through the breaker exactly once.
+
+    ``ingest_batch`` registers partitions one by one and the version
+    tag only moves when the whole mutation commits, so a retry after a
+    mid-batch StorageError would pass the CAS check again and silently
+    duplicate the already-committed prefix.  Reads are idempotent and
+    keep their retries.
+    """
+
+    def _service(self, clock=None, retry_attempts=3, **config_kwargs):
+        warehouse = make_warehouse()
+        config = ServeConfig(retry_attempts=retry_attempts,
+                             **config_kwargs)
+        service = WarehouseService(
+            warehouse, config=config,
+            clock=clock if clock is not None else ManualClock(),
+            retry_rng=SplittableRng(7), sleep=RecordingSleep())
+        return warehouse, service
+
+    @staticmethod
+    def _ingest(service, values, expected_version=None):
+        body = {"values": values, "partitions": 1}
+        if expected_version is not None:
+            body["expected_version"] = expected_version
+        request = Request(method="POST", path="/datasets/d/ingest",
+                          body=json.dumps(body).encode())
+        response = asyncio.run(service.handle(request))
+        return response.status, response.payload
+
+    @staticmethod
+    def _sample(service):
+        request = Request(method="GET", path="/datasets/d/sample")
+        response = asyncio.run(service.handle(request))
+        return response.status, response.payload
+
+    def test_failed_ingest_is_not_retried(self):
+        warehouse, service = self._service()
+        calls = []
+
+        def dying_ingest(*args, **kwargs):
+            calls.append(1)
+            raise StorageError("disk died mid-batch")
+
+        warehouse.ingest_batch = dying_ingest
+        status, payload = self._ingest(service, [1, 2, 3])
+        assert (status, payload["error"]) == (500, "storage")
+        assert len(calls) == 1              # one attempt, no replay
+        assert service.occ.version("d") == 0
+
+    def test_failed_roll_is_not_retried(self):
+        warehouse, service = self._service()
+        assert self._ingest(service, [1, 2, 3])[0] == 200
+        key = next(iter(warehouse.catalog.partitions("d"))).key
+        calls = []
+
+        def dying_roll(*args, **kwargs):
+            calls.append(1)
+            raise StorageError("catalog store down")
+
+        warehouse.roll_out = dying_roll
+        request = Request(method="POST", path="/datasets/d/rollout",
+                          body=json.dumps({"key": str(key)}).encode())
+        response = asyncio.run(service.handle(request))
+        assert response.status == 500
+        assert len(calls) == 1
+
+    def test_reads_are_still_retried(self):
+        warehouse, service = self._service()
+        assert self._ingest(service, [1, 2, 3])[0] == 200
+        real_sample_of = warehouse.sample_of
+        calls = []
+
+        def flaky(*args, **kwargs):
+            calls.append(1)
+            if len(calls) == 1:
+                raise StorageError("blip")
+            return real_sample_of(*args, **kwargs)
+
+        warehouse.sample_of = flaky
+        status, _ = self._sample(service)
+        assert status == 200
+        assert len(calls) == 2              # the retry healed the read
+
+    def test_conflict_during_half_open_does_not_wedge_the_breaker(self):
+        """End-to-end regression: a 409 consuming the half-open probe
+        must hand the slot back — before the fix every later request
+        got 'probe quota in use' 503s until a restart."""
+        clock = ManualClock()
+        warehouse, service = self._service(
+            clock=clock, retry_attempts=1,
+            breaker_failure_threshold=1,
+            breaker_recovery_seconds=60.0)
+        assert self._ingest(service, [1, 2, 3])[0] == 200
+
+        real_sample_of = warehouse.sample_of
+
+        def broken(*args, **kwargs):
+            raise StorageError("disk on fire")
+
+        warehouse.sample_of = broken
+        assert self._sample(service)[0] == 500  # trips at threshold 1
+        assert service.breaker.state == OPEN
+        clock.advance(60.0)
+        # The half-open probe is a CAS ingest with a stale tag: 409.
+        status, _ = self._ingest(service, [4, 5], expected_version=0)
+        assert status == 409
+        assert service.breaker.state == HALF_OPEN
+        warehouse.sample_of = real_sample_of
+        status, _ = self._sample(service)       # probe slot was free
+        assert status == 200
+        assert service.breaker.state == CLOSED
 
 
 class TestOccUnderConcurrency:
