@@ -28,12 +28,16 @@ project-wide call graph and propagates effect taints to a fixpoint
 (powering the RPR06x/RPR07x families),
 :mod:`repro.analysis.locksets` lifts per-function lock facts to
 project-wide entry locksets and an acquired-while-holding order
-graph (powering RPR041 and the RPR10x concurrency family), and
+graph (powering RPR041 and the RPR10x concurrency family),
+:mod:`repro.analysis.asyncrules` colors coroutines and solves the
+transitive blocks-event-loop effect (powering the RPR11x async
+family), and
 :mod:`repro.analysis.cache` keeps warm runs incremental — unchanged
 files are never re-parsed, yet findings stay byte-identical to a
 cold run.
 """
 
+from repro.analysis.asyncrules import AsyncModel, async_model
 from repro.analysis.cache import DEFAULT_CACHE_PATH, LintCache
 from repro.analysis.dataflow import CallGraph, analyze_project
 from repro.analysis.framework import (CachedFile, Finding, Project, Rule,
@@ -46,6 +50,7 @@ from repro.analysis.reporters import (parse_json, render_json,
                                       render_sarif, render_text)
 
 __all__ = [
+    "AsyncModel",
     "CachedFile",
     "CallGraph",
     "DEFAULT_CACHE_PATH",
@@ -57,6 +62,7 @@ __all__ = [
     "SourceFile",
     "all_rules",
     "analyze_project",
+    "async_model",
     "expand_select",
     "finding_from_dict",
     "load_project",

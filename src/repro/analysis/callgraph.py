@@ -71,6 +71,34 @@ by spelling otherwise: a ``with``-context or ``.acquire()`` receiver
 whose last segment contains ``lock``/``mutex`` counts.  The naming
 convention is documented in docs/static_analysis.md and enforced by
 the CI lock-coverage gate.
+
+Async facts (consumed by :mod:`repro.analysis.asyncrules`) ride along
+the same way:
+
+* ``async_kind`` — ``"coroutine"`` | ``"asyncgen"`` on every
+  ``async def``.
+* ``awaits`` — every ``await`` expression, with the threading locks
+  and asyncio locks held at the suspension point.
+* ``aio_lock_attrs`` / ``aio_acquires`` / ``aio_blocking`` — the
+  asyncio-lock analogues of the threading tables above.
+  ``asyncio.Lock`` is *cooperative* (acquiring it never parks the
+  thread), so it lives in separate tables: it guards await-point
+  interleavings, not threads.
+* Await-point **epochs**: accesses in an ``async def`` carry the
+  number of suspension points (``await`` / ``async with`` /
+  ``async for``) crossed before them, so the async rules can see a
+  read-modify-write straddle a yield to the scheduler.
+* Per-call flags: ``awaited`` (directly under ``await``),
+  ``discarded`` (an expression statement whose value is dropped),
+  ``creates_task`` (``asyncio.create_task`` / ``ensure_future`` /
+  ``loop.create_task``), ``blocks`` (the call parks the thread or
+  touches the filesystem), and ``arg_of`` (the call sits inside a
+  lambda argument of the named enclosing call — it runs wherever
+  *that* call runs it, which exempts executor-routed work).
+* ``submits`` additionally records ``loop.run_in_executor`` /
+  ``asyncio.to_thread`` hand-offs and ``self.<attr>.submit`` on a
+  class-level pool (``exec_kind`` ``"attr"``) — the routing
+  primitives the blocks-event-loop analysis treats as safe.
 """
 
 from __future__ import annotations
@@ -96,7 +124,7 @@ __all__ = ["callgraph_summary", "module_id"]
 _EXTERN_MODULES = frozenset({
     "time", "datetime", "os", "secrets", "uuid", "random", "shutil",
     "tempfile", "gzip", "numpy", "threading", "queue", "select",
-    "signal", "multiprocessing", "concurrent",
+    "signal", "multiprocessing", "concurrent", "asyncio", "socket",
 })
 
 #: ``pathlib.Path`` methods that touch the filesystem (receiver-based,
@@ -121,6 +149,17 @@ _SUBMIT_METHODS = frozenset({"map", "submit"})
 #: is legal (RPR102 skips rlock self-edges); plain ``lock`` re-entry
 #: self-deadlocks.
 _LOCK_CTORS = {"Lock": "lock", "RLock": "rlock"}
+
+#: Canonical spellings that construct a *cooperative* asyncio lock.
+#: Kept apart from the threading constructors: acquiring one never
+#: parks the thread, so it must not feed the RPR10x lockset tables —
+#: it guards await-point interleavings (RPR113) instead.
+_AIO_LOCK_CTORS = frozenset({"asyncio.Lock"})
+
+#: Canonical spellings that spawn a task whose handle must be kept
+#: (RPR112's fire-and-forget check).
+_TASK_SPAWN_CALLS = frozenset({"asyncio.create_task",
+                               "asyncio.ensure_future"})
 
 #: Queue constructor terminal names (``queue`` and ``multiprocessing``
 #: spellings).  ``get``/``put``/``join`` on a bound queue block.
@@ -196,12 +235,30 @@ def _executor_kind(call: ast.Call) -> Optional[str]:
     return None
 
 
-def _lock_kind(call: ast.Call) -> Optional[str]:
-    """``"lock"`` / ``"rlock"`` when the call constructs a lock."""
+def _lock_kind(call: ast.Call,
+               imports: Optional["_ImportTable"] = None) -> Optional[str]:
+    """``"lock"`` / ``"rlock"`` for a threading-lock construction,
+    ``"aio"`` for ``asyncio.Lock()`` (canonicalized through the import
+    table, so ``from asyncio import Lock`` is not mistaken for a
+    threading lock)."""
     name = call_name(call)
     if name is None:
         return None
+    canon = imports.canonical(name) if imports is not None else name
+    if canon in _AIO_LOCK_CTORS:
+        return "aio"
     return _LOCK_CTORS.get(_last(name))
+
+
+def _spawns_task(raw: str, canon: str) -> bool:
+    """``asyncio.create_task`` / ``ensure_future`` /
+    ``loop.create_task`` — receivers named ``*loop*`` count, bare
+    ``tg.create_task`` (a TaskGroup owns its tasks) does not."""
+    if canon in _TASK_SPAWN_CALLS:
+        return True
+    parts = raw.split(".")
+    return len(parts) >= 2 and parts[-1] == "create_task" \
+        and "loop" in parts[-2].lower()
 
 
 def _is_queue_ctor(call: ast.Call) -> bool:
@@ -310,32 +367,37 @@ def _module_state(tree: ast.Module) -> Set[str]:
     return state
 
 
-def _module_bindings(tree: ast.Module):
-    """Module-level (executors, locks, queues) bound by name.
+def _module_bindings(tree: ast.Module, imports: _ImportTable):
+    """Module-level (executors, locks, queues, asyncio locks) bound
+    by name.
 
-    Returns ``(execs, locks, queues)`` where ``execs`` maps name ->
-    executor kind and ``locks`` maps name -> ``[kind, line]``.
+    Returns ``(execs, locks, queues, aio_locks)`` where ``execs``
+    maps name -> executor kind and ``locks`` maps name ->
+    ``[kind, line]``.
     """
     execs: Dict[str, str] = {}
     locks: Dict[str, List[object]] = {}
     queues: Set[str] = set()
+    aio_locks: Set[str] = set()
     for stmt in tree.body:
         if not (isinstance(stmt, ast.Assign)
                 and isinstance(stmt.value, ast.Call)):
             continue
         ekind = _executor_kind(stmt.value)
-        lkind = _lock_kind(stmt.value)
+        lkind = _lock_kind(stmt.value, imports)
         is_queue = _is_queue_ctor(stmt.value)
         for target in stmt.targets:
             if not isinstance(target, ast.Name):
                 continue
             if ekind is not None:
                 execs[target.id] = ekind
+            elif lkind == "aio":
+                aio_locks.add(target.id)
             elif lkind is not None:
                 locks[target.id] = [lkind, stmt.lineno]
             elif is_queue:
                 queues.add(target.id)
-    return execs, locks, queues
+    return execs, locks, queues, aio_locks
 
 
 def _rng_params(node: ast.AST) -> List[str]:
@@ -389,11 +451,13 @@ class _FunctionScan:
                  nested: bool, imports: _ImportTable,
                  module_state: Set[str], module_execs: Dict[str, str],
                  module_locks: Dict[str, List[object]],
-                 module_queues: Set[str], rng_exempt: bool) -> None:
+                 module_queues: Set[str], module_aio_locks: Set[str],
+                 rng_exempt: bool) -> None:
         self._imports = imports
         self._module_state = module_state
         self._module_locks = module_locks
         self._rng_exempt = rng_exempt
+        self._is_async = isinstance(node, ast.AsyncFunctionDef)
         self.record: Dict[str, object] = {
             "name": getattr(node, "name", "<lambda>"),
             "cls": cls,
@@ -417,16 +481,33 @@ class _FunctionScan:
         self._acquires: List[dict] = []
         self._accesses: List[dict] = []
         self._blocking: List[dict] = []
+        # Async facts (attached the same way).
+        self._awaits: List[dict] = []
+        self._aio_lock_attrs: Dict[str, int] = {}
+        self._aio_acquires: List[dict] = []
+        self._aio_blocking: List[dict] = []
+        self._attr_binds: Dict[str, str] = {}
+        self._aio_held: Set[str] = set()
+        self._epoch = 0
+        self._has_yield = False
+        self._arg_of: Optional[str] = None
+        self._lambda_ctx: Dict[int, str] = {}
+        self._awaited_calls: Set[int] = set()
+        self._discarded_calls: Set[int] = set()
         # Pass 1: scope facts the expression walk depends on.
         self._outer_names: Set[str] = set()
         self._global_names: Set[str] = set()
         self._local_execs: Dict[str, str] = dict(module_execs)
         self._local_queues: Set[str] = set(module_queues)
         self._local_locks: Set[str] = set()
+        self._local_aio_locks: Set[str] = set(module_aio_locks)
         self._local_lambdas: Set[str] = set()
         self._alias_assigns: List[Tuple[List[ast.expr], str]] = []
         for own in _own_nodes(node):
             self._scan_scope(own)
+        if self._is_async:
+            self.record["async_kind"] = \
+                "asyncgen" if self._has_yield else "coroutine"
         # Aliases like ``pool = ThreadPoolExecutor(); self._pool =
         # pool`` need a propagation sweep (scan order is arbitrary).
         for _ in range(2):
@@ -445,12 +526,21 @@ class _FunctionScan:
         held: Set[str] = set()
         for stmt in node.body:
             self._visit(stmt, False, held)
+        args = node.args
+        params = [a.arg for a in [*args.posonlyargs, *args.args,
+                                  *args.kwonlyargs]]
         for key, value in (("lock_attrs", self._lock_attrs),
                            ("queue_attrs", self._queue_attrs),
                            ("exec_attrs", self._exec_attrs),
                            ("acquires", self._acquires),
                            ("accesses", self._accesses),
-                           ("blocking", self._blocking)):
+                           ("blocking", self._blocking),
+                           ("params", params),
+                           ("attr_binds", self._attr_binds),
+                           ("aio_lock_attrs", self._aio_lock_attrs),
+                           ("aio_acquires", self._aio_acquires),
+                           ("aio_blocking", self._aio_blocking),
+                           ("awaits", self._awaits)):
             if value:
                 self.record[key] = value
 
@@ -462,13 +552,18 @@ class _FunctionScan:
             self._global_names.update(node.names)
         elif isinstance(node, ast.Nonlocal):
             self._outer_names.update(node.names)
+        elif isinstance(node, ast.Yield):
+            self._has_yield = True
         elif isinstance(node, ast.Assign):
             value = node.value
             if isinstance(value, ast.Call):
+                self._bind_attr_ctor(node.targets, value)
                 ekind = _executor_kind(value)
-                lkind = _lock_kind(value)
+                lkind = _lock_kind(value, self._imports)
                 if ekind is not None:
                     self._bind_executor(node.targets, ekind)
+                elif lkind == "aio":
+                    self._bind_aio_lock(node.targets, node.lineno)
                 elif lkind is not None:
                     self._bind_lock(node.targets, lkind, node.lineno)
                 elif _is_queue_ctor(value):
@@ -521,30 +616,103 @@ class _FunctionScan:
             if first == "self" and rest and "." not in rest:
                 self._queue_attrs.setdefault(rest, target.lineno)
 
+    def _bind_aio_lock(self, targets: Sequence[ast.expr],
+                       line: int) -> None:
+        for target in targets:
+            name = dotted_name(target)
+            if name is None:
+                continue
+            self._local_aio_locks.add(name)
+            first, _, rest = name.partition(".")
+            if first == "self" and rest and "." not in rest:
+                self._aio_lock_attrs.setdefault(rest, line)
+
+    def _bind_attr_ctor(self, targets: Sequence[ast.expr],
+                        value: ast.Call) -> None:
+        """``self._x = Ctor(...)`` -> the raw constructor spelling.
+        The async model resolves it project-wide so a later
+        ``self._x.method()`` call can be colored."""
+        ctor = call_name(value)
+        if ctor is None:
+            return
+        for target in targets:
+            name = dotted_name(target)
+            if name is None:
+                continue
+            first, _, rest = name.partition(".")
+            if first == "self" and rest and "." not in rest:
+                self._attr_binds.setdefault(rest, ctor)
+
     # -- pass 2 ---------------------------------------------------------
 
     def _is_lock_name(self, name: str) -> bool:
         return (name in self._local_locks
                 or name in self._module_locks
+                or name in self._local_aio_locks
                 or _lockish_name(name))
+
+    def _is_aio_lock_name(self, name: str) -> bool:
+        return name in self._local_aio_locks
 
     def _visit(self, node: ast.AST, guarded: bool,
                held: Set[str]) -> None:
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
                              ast.ClassDef)):
             return  # summarized as its own record
+        if isinstance(node, ast.Expr) and isinstance(node.value,
+                                                     ast.Call):
+            # The call's value is dropped on the floor — RPR112's
+            # un-awaited-coroutine / fire-and-forget evidence.
+            self._discarded_calls.add(id(node.value))
+        if isinstance(node, ast.Await):
+            if isinstance(node.value, ast.Call):
+                self._awaited_calls.add(id(node.value))
+            self._visit(node.value, guarded, held)
+            self._record_await(node, held)
+            self._epoch += 1
+            return
+        if isinstance(node, ast.Lambda):
+            ctx = self._lambda_ctx.get(id(node))
+            if ctx is not None:
+                outer = self._arg_of
+                self._arg_of = ctx
+                for child in ast.iter_child_nodes(node):
+                    self._visit(child, guarded, held)
+                self._arg_of = outer
+                return
         if isinstance(node, (ast.With, ast.AsyncWith)):
             self._handle_with(node, guarded, held)
             return
         if isinstance(node, ast.Call):
             self._handle_call(node, guarded, held)
         elif isinstance(node, (ast.Assign, ast.AugAssign,
+                               ast.AnnAssign)) and self._is_async:
+            # In a coroutine the value is evaluated (and may suspend)
+            # *before* the store, so visit it first — the write must
+            # land in the post-await epoch.
+            value = getattr(node, "value", None)
+            if value is not None:
+                self._visit(value, guarded, held)
+            self._handle_assignment(node, held)
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                self._visit(target, guarded, held)
+            return
+        elif isinstance(node, (ast.Assign, ast.AugAssign,
                                ast.AnnAssign)):
             self._handle_assignment(node, held)
         elif isinstance(node, ast.Delete):
             for target in node.targets:
                 self._access_of_target(target, held)
-        elif isinstance(node, (ast.For, ast.AsyncFor)):
+        elif isinstance(node, ast.AsyncFor):
+            self._iter_access(node.iter, held)
+            self._visit(node.iter, guarded, held)
+            self._epoch += 1  # every __anext__ is a suspension point
+            for child in [node.target, *node.body, *node.orelse]:
+                self._visit(child, guarded, held)
+            return
+        elif isinstance(node, ast.For):
             self._iter_access(node.iter, held)
         elif isinstance(node, ast.comprehension):
             self._iter_access(node.iter, held)
@@ -569,7 +737,9 @@ class _FunctionScan:
 
     def _handle_with(self, node: ast.AST, guarded: bool,
                      held: Set[str]) -> None:
+        is_async = isinstance(node, ast.AsyncWith)
         acquired: List[str] = []
+        aio_acquired: List[str] = []
         for item in node.items:
             expr = item.context_expr
             token = None
@@ -577,29 +747,68 @@ class _FunctionScan:
                 name = dotted_name(expr)
                 if name is not None and self._is_lock_name(name):
                     token = name
-            if token is not None:
+            if token is None:
+                self._visit(expr, guarded, held)
+            elif self._is_aio_lock_name(token) or is_async:
+                # ``async with lock:`` — a cooperative asyncio lock.
+                # Entering it never parks the thread, so it feeds the
+                # aio tables, not the threading lockset.
+                self._record_aio_acquire(token, expr.lineno,
+                                         expr.col_offset)
+                if token not in self._aio_held:
+                    self._aio_held.add(token)
+                    aio_acquired.append(token)
+            else:
                 self._record_acquire(token, expr.lineno,
                                      expr.col_offset, held)
                 if token not in held:
                     held.add(token)
                     acquired.append(token)
-            else:
-                self._visit(expr, guarded, held)
+        if is_async:
+            self._epoch += 1  # __aenter__ suspends
         for stmt in node.body:
             self._visit(stmt, guarded, held)
         for token in acquired:
             held.discard(token)
+        for token in aio_acquired:
+            self._aio_held.discard(token)
+        if is_async:
+            self._epoch += 1  # __aexit__ suspends
 
     def _record_acquire(self, token: str, line: int, col: int,
                         held: Set[str]) -> None:
         self._acquires.append({"lock": token, "line": line, "col": col,
                                "held": sorted(held)})
 
+    def _record_aio_acquire(self, token: str, line: int,
+                            col: int) -> None:
+        self._aio_acquires.append({"lock": token, "line": line,
+                                   "col": col,
+                                   "aio_held": sorted(self._aio_held)})
+
+    def _record_await(self, node: ast.Await, held: Set[str]) -> None:
+        entry: Dict[str, object] = {"line": node.lineno,
+                                    "col": node.col_offset}
+        if isinstance(node.value, ast.Call):
+            name = call_name(node.value)
+            if name is not None:
+                entry["call"] = name
+        if held:
+            entry["held"] = sorted(held)
+        if self._aio_held:
+            entry["aio_held"] = sorted(self._aio_held)
+        self._awaits.append(entry)
+
     def _record_access(self, target: str, kind: str, line: int,
                        col: int, held: Set[str]) -> None:
-        self._accesses.append({"target": target, "kind": kind,
-                               "line": line, "col": col,
-                               "held": sorted(held)})
+        entry: Dict[str, object] = {"target": target, "kind": kind,
+                                    "line": line, "col": col,
+                                    "held": sorted(held)}
+        if self._epoch:
+            entry["epoch"] = self._epoch
+        if self._aio_held:
+            entry["aio_held"] = sorted(self._aio_held)
+        self._accesses.append(entry)
 
     def _access_target(self, base: str) -> Optional[str]:
         """Canonicalize a dotted receiver to a tracked shared location
@@ -636,6 +845,14 @@ class _FunctionScan:
         if isinstance(func, ast.Attribute) and \
                 func.attr in ("acquire", "release"):
             token = dotted_name(func.value)
+            if token is not None and self._is_aio_lock_name(token):
+                if func.attr == "acquire":
+                    self._record_aio_acquire(token, call.lineno,
+                                             call.col_offset)
+                    self._aio_held.add(token)
+                else:
+                    self._aio_held.discard(token)
+                return
             if token is not None and self._is_lock_name(token):
                 if func.attr == "acquire":
                     self._record_acquire(token, call.lineno,
@@ -647,17 +864,34 @@ class _FunctionScan:
         raw = call_name(call)
         if raw is None:
             return
+        for arg in [*call.args, *[kw.value for kw in call.keywords]]:
+            if isinstance(arg, ast.Lambda):
+                self._lambda_ctx[id(arg)] = raw
         entry: Dict[str, object] = {"name": raw, "line": call.lineno,
                                     "col": call.col_offset}
         if held:
             entry["held"] = sorted(held)
+        if self._aio_held:
+            entry["aio_held"] = sorted(self._aio_held)
+        if id(call) in self._awaited_calls:
+            entry["awaited"] = True
+        elif id(call) in self._discarded_calls:
+            entry["discarded"] = True
+        if self._arg_of is not None:
+            entry["arg_of"] = self._arg_of
+        if _spawns_task(raw, self._imports.canonical(raw)):
+            entry["creates_task"] = True
         self.record["calls"].append(entry)
-        self._effects_of_call(call, raw, held)
+        if self._effects_of_call(call, raw, held):
+            entry["blocks"] = True
         self._rng_of_call(call, raw, guarded)
         self._access_of_call(call, raw, held)
 
     def _effects_of_call(self, call: ast.Call, raw: str,
-                         held: Set[str]) -> None:
+                         held: Set[str]) -> bool:
+        """Record the call's local effects; returns True when the
+        call parks the thread (blocking or filesystem) — the local
+        blocks-event-loop evidence."""
         canon = self._imports.canonical(raw)
         filesystem = False
         if canon in WALL_CLOCK_CALLS:
@@ -709,6 +943,11 @@ class _FunctionScan:
             self._blocking.append({"detail": f"{raw}()",
                                    "line": call.lineno,
                                    "held": sorted(held)})
+        if (blocking or filesystem) and self._aio_held:
+            self._aio_blocking.append(
+                {"detail": f"{raw}()", "line": call.lineno,
+                 "aio_held": sorted(self._aio_held)})
+        return blocking or filesystem
 
     def _access_of_call(self, call: ast.Call, raw: str,
                         held: Set[str]) -> None:
@@ -767,6 +1006,16 @@ class _FunctionScan:
                     self._append_submit(kw.value, call, "thread")
                     return
             return
+        if name is not None and call.args and \
+                self._imports.canonical(name) == "asyncio.to_thread":
+            # ``asyncio.to_thread(fn, ...)`` routes fn off the loop.
+            self._append_submit(call.args[0], call, "thread")
+            return
+        if isinstance(func, ast.Attribute) and \
+                func.attr == "run_in_executor" and len(call.args) >= 2:
+            # ``loop.run_in_executor(exec_or_None, fn, ...)``.
+            self._append_submit(call.args[1], call, "thread")
+            return
         if not isinstance(func, ast.Attribute) or \
                 func.attr not in _SUBMIT_METHODS or not call.args:
             return
@@ -778,6 +1027,14 @@ class _FunctionScan:
             rname = dotted_name(receiver)
             if rname is not None:
                 kind = self._local_execs.get(rname)
+                if kind is None:
+                    first, _, rest = rname.partition(".")
+                    if first == "self" and rest and "." not in rest:
+                        # ``self._executor.submit(fn)``: the pool was
+                        # bound in another method, so its kind lives on
+                        # that record — the async model resolves it
+                        # against the class's executor attributes.
+                        kind = "attr"
         if kind is None:
             return
         self._append_submit(call.args[0], call, kind)
@@ -870,7 +1127,8 @@ def callgraph_summary(sf: SourceFile) -> dict:
         package = mod.rsplit(".", 1)[0] if "." in mod else ""
     imports = _ImportTable(sf.tree, package)
     module_state = _module_state(sf.tree)
-    module_execs, module_locks, module_queues = _module_bindings(sf.tree)
+    module_execs, module_locks, module_queues, module_aio_locks = \
+        _module_bindings(sf.tree, imports)
     rng_exempt = sf.is_module("rng.py")
     functions: Dict[str, dict] = {}
 
@@ -882,7 +1140,7 @@ def callgraph_summary(sf: SourceFile) -> dict:
                 scan = _FunctionScan(stmt, qual, cls, nested, imports,
                                      module_state, module_execs,
                                      module_locks, module_queues,
-                                     rng_exempt)
+                                     module_aio_locks, rng_exempt)
                 functions[qual] = scan.record
                 walk_defs(stmt.body, qual + ".<locals>.", None, True)
             elif isinstance(stmt, ast.ClassDef):
@@ -897,5 +1155,6 @@ def callgraph_summary(sf: SourceFile) -> dict:
         "module_state": sorted(module_state),
         "module_locks": {name: module_locks[name]
                          for name in sorted(module_locks)},
+        "module_aio_locks": sorted(module_aio_locks),
         "functions": functions,
     }

@@ -158,6 +158,8 @@ FILESYSTEM_CALLS = frozenset({
 #: RPR103 flags any of them made while a lock is held.
 BLOCKING_CALLS = frozenset({
     "time.sleep", "select.select", "signal.pause",
+    "socket.create_connection", "socket.getaddrinfo",
+    "socket.gethostbyname",
 })
 
 #: Method calls that mutate a container in place.

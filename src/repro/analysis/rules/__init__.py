@@ -12,9 +12,10 @@ from __future__ import annotations
 #: Bumped whenever a rule's *behavior* changes without its code or
 #: scope changing (the incremental cache folds this into its key, so
 #: a bump drops every cached finding at once).
-CATALOG_VERSION = "7"
+CATALOG_VERSION = "8"
 
 from repro.analysis import callgraph as _callgraph  # noqa: F401,E402
+from repro.analysis import asyncrules as _asyncrules  # noqa: F401,E402
 from repro.analysis.rules import concurrency as _concurrency  # noqa: F401,E402
 from repro.analysis.rules import determinism as _determinism  # noqa: F401,E402
 from repro.analysis.rules import errors as _errors  # noqa: F401,E402

@@ -33,9 +33,13 @@ the interprocedural lockset model (:mod:`repro.analysis.locksets`):
   every contending thread behind the wait.  Local waits and
   transitive ones (a held call into a callee whose effect set
   includes ``blocking-wait``/``filesystem``) are both reported, with
-  the witness chain.  Deliberate cases (e.g. an atomic
-  write-rename under the store lock) carry a justified
-  ``# repro: noqa[RPR103]``.
+  the witness chain.  The same scan covers ``asyncio.Lock``: a
+  blocking call inside an ``async with lock:`` section stalls not
+  just contending tasks but the loop thread itself; the evidence
+  comes from the shared blocks-event-loop effect in
+  :mod:`repro.analysis.asyncrules` rather than a second ad-hoc
+  call list.  Deliberate cases (e.g. an atomic write-rename under
+  the store lock) carry a justified ``# repro: noqa[RPR103]``.
 
 Test files are exempt from all three: fixtures and test scaffolding
 are single-threaded by construction (and this package's own lint
@@ -47,6 +51,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict, Iterator, Set, Tuple
 
+from repro.analysis.asyncrules import async_model
 from repro.analysis.framework import Finding, Project, rule
 from repro.analysis.locksets import LockModel, is_test_path, lock_model
 
@@ -181,31 +186,42 @@ def check_lock_order(project: Project) -> Iterator[Finding]:
       "a lock is held", scope="project", severity="warning")
 def check_blocking_under_lock(project: Project) -> Iterator[Finding]:
     """One finding per function that parks the calling thread while
-    holding a lock, anchored at the first blocking site."""
+    holding a lock — ``threading`` or ``asyncio`` — anchored at the
+    first blocking site."""
     model = lock_model(project)
+    amodel = async_model(project)
     graph = model.graph
     for key in sorted(graph.defs):
         mod, _ = graph.defs[key]
         path = graph.modules[mod]["path"]
         if is_test_path(path):
             continue
-        evidence = model.blocking_evidence(key)
+        evidence = [dict(e, aio=False)
+                    for e in model.blocking_evidence(key)]
+        evidence += [dict(e, aio=True)
+                     for e in amodel.aio_blocking_evidence(key)]
+        evidence.sort(key=lambda e: e["line"])
         if not evidence:
             continue
         first = evidence[0]
-        locks = ", ".join(f"`{model.display(lock)}`"
+        kind = "asyncio lock " if first["aio"] else ""
+        locks = ", ".join(f"{kind}`{model.display(lock)}`"
                           for lock in sorted(first["locks"]))
         sites = sorted({e["line"] for e in evidence})
         chain = f" via {first['chain']}" if first["chain"] else ""
         extra = "" if len(sites) == 1 else \
             f" ({len(sites)} blocking sites in this function)"
+        stall = ("every task contending for the lock — and the loop "
+                 "thread itself — stalls behind the wait"
+                 if first["aio"] else
+                 "every thread contending for the lock stalls behind "
+                 "the wait")
         yield Finding(
             path=path, line=first["line"], col=0, code="RPR103",
             message=(
                 f"`{graph.display(key)}` performs a blocking wait "
                 f"(`{first['detail']}`){chain} while holding {locks}"
-                f"{extra}; every thread contending for the lock "
-                "stalls behind the wait — move it outside the "
+                f"{extra}; {stall} — move it outside the "
                 "critical section, or annotate why it must stay"))
 
 

@@ -67,7 +67,13 @@ class AdmissionController:
         try:
             await self._semaphore.acquire()
         finally:
-            self._waiting -= 1
+            # Balanced counter, loop-confined: the increment above and
+            # this decrement bracket the await, but every mutation runs
+            # on the single loop thread and interleaved tasks only ever
+            # read a conservative (momentarily higher) queue depth for
+            # the shed heuristic — an asyncio.Lock here would serialize
+            # admission itself.
+            self._waiting -= 1  # repro: noqa[RPR113]
         self._inflight += 1
         if OBS.enabled:
             OBS.registry.gauge("serve.inflight").set(self._inflight)

@@ -321,6 +321,20 @@ class WarehouseService:
         policy = self._retry if idempotent else self._mutate_once
         return await policy.call(attempt, breaker=self._breaker)
 
+    async def _offload(self, fn: Callable[[], object]) -> object:
+        """Run post-commit housekeeping on the pool, off the loop.
+
+        Unlike :meth:`_guarded`, no breaker or retry wraps the call:
+        cache invalidation after a committed mutation must always
+        run — tripping the breaker on it would strand stale merge
+        plans behind a successful write.  The pool hop matters
+        because ``MergeCache`` methods take a ``threading.Lock`` and
+        eviction can touch the spill store (file I/O); doing either
+        on the loop thread would stall every in-flight request
+        (RPR111).
+        """
+        return await asyncio.wrap_future(self._executor.submit(fn))
+
     # ------------------------------------------------------------------
     # Endpoints
     # ------------------------------------------------------------------
@@ -408,7 +422,7 @@ class WarehouseService:
                 expected=expected)
 
         keys, version = await self._guarded(op, idempotent=False)
-        self._cache.invalidate(dataset)
+        await self._offload(lambda: self._cache.invalidate(dataset))
         return Response(200, {"dataset": dataset,
                               "keys": [str(k) for k in keys],
                               "version": version})
@@ -514,6 +528,6 @@ class WarehouseService:
                                     expected=expected)
 
         _, version = await self._guarded(op, idempotent=False)
-        self._cache.invalidate(dataset)
+        await self._offload(lambda: self._cache.invalidate(dataset))
         return Response(200, {"dataset": dataset, "key": raw_key,
                               "action": action, "version": version})

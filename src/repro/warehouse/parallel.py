@@ -225,8 +225,13 @@ class ThreadExecutor:
         build a fresh one) and performs the blocking ``shutdown(wait=
         True)`` on the loop's default executor, keeping the event loop
         responsive while worker threads drain.
+
+        The lock below guards only the pointer swap — a few
+        instructions, never held across the shutdown wait or any await
+        — so the worst case is a micro-stall behind ``_ensure_pool``,
+        not an event-loop park.
         """
-        with self._lock:
+        with self._lock:  # repro: noqa[RPR111]
             pool, self._pool = self._pool, None
         if pool is not None:
             loop = asyncio.get_running_loop()

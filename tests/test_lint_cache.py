@@ -192,6 +192,9 @@ _SNIPPETS = (
     "import random\n\ndef jitter():\n    return random.random()\n",
     "_CACHE = {}\n\ndef remember(k, v):\n    _CACHE[k] = v\n",
     "def sample_rate(n, rng):\n    return rng.next_float() * n\n",
+    "import time\n\nasync def poll():\n    time.sleep(0.1)\n",
+    "import asyncio\n\nasync def job():\n    return 1\n\n"
+    "async def main():\n    asyncio.create_task(job())\n",
 )
 
 _tree_strategy = st.dictionaries(

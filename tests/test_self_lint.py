@@ -92,6 +92,15 @@ def test_concurrency_discipline_holds():
     assert not findings, "\n".join(f.render() for f in findings)
 
 
+def test_async_discipline_holds():
+    # The async rules over source *and* tests: no event-loop-blocking
+    # coroutine, no dropped awaitable, no await-point race, no await
+    # under a threading lock anywhere in the shipped tree (the serve
+    # layer's true positives were fixed or carry justified noqas).
+    findings, _ = run_lint([str(SRC), str(TESTS)], select=["RPR11x"])
+    assert not findings, "\n".join(f.render() for f in findings)
+
+
 def test_lockset_model_sees_the_real_locks():
     # The model's lock table must include the locks the library
     # actually relies on; an empty table would silently turn the
@@ -116,9 +125,9 @@ def test_all_rule_families_are_registered():
     # obs contract (02x), errors (03x), locks (04x), stats (05x),
     # interprocedural determinism (06x), executor safety (07x),
     # timing discipline (08x), repro-manifest (09x), concurrency
-    # soundness (10x).
+    # soundness (10x), async soundness (11x).
     for family in ("RPR00", "RPR01", "RPR02", "RPR03", "RPR04",
                    "RPR05", "RPR06", "RPR07", "RPR08", "RPR09",
-                   "RPR10"):
+                   "RPR10", "RPR11"):
         assert any(code.startswith(family) for code in codes), family
-    assert len(codes) >= 22
+    assert len(codes) >= 26

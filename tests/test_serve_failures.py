@@ -619,3 +619,56 @@ class TestNoStaleServes:
             await service.aclose()
 
         asyncio.run(run())
+
+
+class TestMutationHousekeepingOffLoop:
+    """Regression for the RPR111 true positives on the mutation path.
+
+    ``_handle_ingest`` and ``_handle_roll`` used to call
+    ``MergeCache.invalidate`` directly from the handler coroutine.
+    The cache takes a ``threading.Lock`` and deletes spill files, so
+    the invalidation ran lock contention and file I/O on the
+    event-loop thread, stalling every in-flight request behind a
+    committed mutation's housekeeping.  The fix routes it through
+    ``WarehouseService._offload`` (the worker pool); before the fix
+    this test fails because the recorded invalidation thread *is*
+    the loop thread.
+    """
+
+    def test_cache_invalidation_runs_off_the_loop_thread(self,
+                                                         tmp_path):
+        warehouse = make_warehouse()
+        config = ServeConfig(spill_dir=str(tmp_path / "spill"))
+        service = WarehouseService(warehouse, config=config)
+        cache = service.cache
+        seen = []
+        real_invalidate = cache.invalidate
+
+        def recording_invalidate(dataset):
+            seen.append((dataset, threading.current_thread()))
+            return real_invalidate(dataset)
+
+        cache.invalidate = recording_invalidate
+
+        async def drive():
+            loop_thread = threading.current_thread()
+            ingest = Request(
+                method="POST", path="/datasets/d/ingest",
+                body=json.dumps({"values": [1, 2, 3],
+                                 "partitions": 1}).encode())
+            response = await service.handle(ingest)
+            assert response.status == 200
+            key = response.payload["keys"][0]
+            roll = Request(
+                method="POST", path="/datasets/d/rollout",
+                body=json.dumps({"key": key}).encode())
+            response = await service.handle(roll)
+            assert response.status == 200
+            await service.aclose()
+            return loop_thread
+
+        loop_thread = asyncio.run(drive())
+        assert [dataset for dataset, _ in seen] == ["d", "d"]
+        for _, thread in seen:
+            assert thread is not loop_thread, (
+                "cache invalidation ran on the event-loop thread")
