@@ -9,6 +9,18 @@ uniform sample via the warehouse, and evaluates the estimator on it.
 This is the "quick approximate analytics" use case of the paper's
 abstract: COUNT / SUM / AVG with confidence intervals, GROUP BY counts,
 and quantiles — all without touching the full-scale warehouse.
+
+Two answer paths exist for COUNT / SUM / AVG:
+
+* **merge-all** (the default): merge every selected partition sample and
+  run the classical estimator — always available, cost linear in the
+  partition count;
+* **planned** (pass ``target_half_width=``): the
+  :class:`~repro.analytics.planner.QueryPlanner` certifies the error
+  bound from catalog synopses and reads only the partition samples the
+  bound needs.  Queries the planner cannot certify (predicates, custom
+  value functions, missing synopses, unreachable bounds) silently take
+  the merge-all path, so answers never degrade — see docs/aqp.md.
 """
 
 from __future__ import annotations
@@ -18,6 +30,7 @@ from typing import Callable, Dict, Iterable, List, Optional
 from repro.analytics.estimators import (Estimate, estimate_avg,
                                         estimate_count, estimate_quantile,
                                         estimate_sum)
+from repro.analytics.planner import QueryPlan, QueryPlanner
 from repro.core.phases import SampleKind
 from repro.core.sample import WarehouseSample
 from repro.warehouse.dataset import PartitionKey
@@ -44,9 +57,18 @@ class ApproximateQueryEngine:
 
     def __init__(self, warehouse) -> None:
         self._warehouse = warehouse
+        self._planner = QueryPlanner(warehouse)
         # Merged-sample cache keyed by (dataset, selection signature):
-        # queries against the same selection reuse one merge.
+        # queries against the same selection reuse one merge.  Planned
+        # estimates cache separately, keyed by the plan's read-set
+        # signature, so the two paths never collide.
         self._cache: Dict[tuple, WarehouseSample] = {}
+        self._plan_cache: Dict[tuple, Estimate] = {}
+        # Warehouse mutations (ingest / roll-in / roll-out / delete)
+        # invalidate only the touched dataset's cached answers.
+        register = getattr(warehouse, "add_mutation_listener", None)
+        if register is not None:
+            register(self.invalidate)
 
     def _sample(self, dataset: str,
                 keys: Optional[Iterable[PartitionKey]] = None,
@@ -61,25 +83,102 @@ class ApproximateQueryEngine:
             self._cache[cache_key] = sample
         return sample
 
-    def invalidate(self) -> None:
-        """Drop cached merged samples (call after new ingests)."""
-        self._cache.clear()
+    def invalidate(self, dataset: Optional[str] = None) -> None:
+        """Drop cached answers — all of them, or one dataset's.
+
+        Called automatically (per dataset) when the warehouse mutates;
+        an unrelated dataset's cached merges survive its neighbours'
+        ingests.
+        """
+        if dataset is None:
+            self._cache.clear()
+            self._plan_cache.clear()
+            return
+        for cache in (self._cache, self._plan_cache):
+            stale = [k for k in cache if k[0] == dataset]
+            for k in stale:
+                del cache[k]
+
+    # ------------------------------------------------------------------
+    # Planner integration
+    # ------------------------------------------------------------------
+    def _planned(self, dataset: str, agg: str, *,
+                 plan: Optional[QueryPlan],
+                 target_half_width: Optional[float],
+                 relative: bool,
+                 labels: Optional[Iterable[str]],
+                 confidence: float) -> Optional[Estimate]:
+        """Try the planner path; ``None`` means take merge-all instead."""
+        if plan is None:
+            plan = self._planner.plan(
+                dataset, agg, target_half_width=target_half_width,
+                confidence=confidence, labels=labels, relative=relative)
+        if plan.fallback:
+            return None
+        cache_key = (dataset,) + plan.signature + (confidence,)
+        estimate = self._plan_cache.get(cache_key)
+        if estimate is None:
+            estimate = self._planner.execute(plan)
+            self._plan_cache[cache_key] = estimate
+        return estimate
+
+    def plan_summary(self, dataset: str, agg: str = "sum", *,
+                     target_half_width: float,
+                     relative_target: bool = False,
+                     labels: Optional[Iterable[str]] = None,
+                     confidence: float = 0.95) -> dict:
+        """Diagnostics: what a planned query would read, and why.
+
+        Includes the planner's contribution ranking (largest unread
+        variance first) so operators can see which partitions dominate
+        the error budget.
+        """
+        plan = self._planner.plan(
+            dataset, agg, target_half_width=target_half_width,
+            confidence=confidence, labels=labels, relative=relative_target)
+        summary = plan.to_dict()
+        summary["ranked"] = [list(pair) for pair in plan.ranked[:8]]
+        return summary
 
     # ------------------------------------------------------------------
     # Aggregates
     # ------------------------------------------------------------------
     def count(self, dataset: str, *, where: Optional[Predicate] = None,
               labels: Optional[Iterable[str]] = None,
-              confidence: float = 0.95) -> Estimate:
+              confidence: float = 0.95,
+              target_half_width: Optional[float] = None,
+              relative_target: bool = False,
+              plan: Optional[QueryPlan] = None) -> Estimate:
         """Estimated ``COUNT(*) [WHERE ...]`` over the selected partitions."""
+        if (plan is not None or target_half_width is not None) \
+                and where is None:
+            estimate = self._planned(
+                dataset, "count", plan=plan,
+                target_half_width=target_half_width,
+                relative=relative_target, labels=labels,
+                confidence=confidence)
+            if estimate is not None:
+                return estimate
         sample = self._sample(dataset, labels=labels)
         return estimate_count(sample, where=where, confidence=confidence)
 
     def sum(self, dataset: str, *,
             value_fn: Callable[[object], float] = float,
             labels: Optional[Iterable[str]] = None,
-            confidence: float = 0.95) -> Estimate:
+            confidence: float = 0.95,
+            target_half_width: Optional[float] = None,
+            relative_target: bool = False,
+            plan: Optional[QueryPlan] = None) -> Estimate:
         """Estimated ``SUM(value_fn(v))``."""
+        if (plan is not None or target_half_width is not None) \
+                and value_fn is float:
+            estimate = self._planned(
+                dataset, "sum", plan=plan,
+                target_half_width=target_half_width,
+                relative=relative_target, labels=labels,
+                confidence=confidence)
+            if estimate is not None:
+                return estimate
         sample = self._sample(dataset, labels=labels)
         return estimate_sum(sample, value_fn=value_fn,
                             confidence=confidence)
@@ -87,8 +186,20 @@ class ApproximateQueryEngine:
     def avg(self, dataset: str, *,
             value_fn: Callable[[object], float] = float,
             labels: Optional[Iterable[str]] = None,
-            confidence: float = 0.95) -> Estimate:
+            confidence: float = 0.95,
+            target_half_width: Optional[float] = None,
+            relative_target: bool = False,
+            plan: Optional[QueryPlan] = None) -> Estimate:
         """Estimated ``AVG(value_fn(v))``."""
+        if (plan is not None or target_half_width is not None) \
+                and value_fn is float:
+            estimate = self._planned(
+                dataset, "avg", plan=plan,
+                target_half_width=target_half_width,
+                relative=relative_target, labels=labels,
+                confidence=confidence)
+            if estimate is not None:
+                return estimate
         sample = self._sample(dataset, labels=labels)
         return estimate_avg(sample, value_fn=value_fn,
                             confidence=confidence)

@@ -21,14 +21,16 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from statistics import NormalDist
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.core.phases import SampleKind
 from repro.core.sample import WarehouseSample
 from repro.errors import ConfigurationError
+from repro.warehouse.synopsis import PartitionSynopsis
 
 __all__ = ["Estimate", "estimate_count", "estimate_sum", "estimate_avg",
-           "estimate_quantile", "frequency_of_frequencies", "chao_distinct",
+           "estimate_quantile", "stratified_partition_estimate",
+           "frequency_of_frequencies", "chao_distinct",
            "gee_distinct", "naive_distinct"]
 
 _NORMAL = NormalDist()
@@ -36,18 +38,41 @@ _NORMAL = NormalDist()
 
 @dataclass(frozen=True)
 class Estimate:
-    """A point estimate with a symmetric normal-approximation interval."""
+    """A point estimate with a symmetric normal-approximation interval.
+
+    ``sample_size`` / ``population_size`` are carried when the
+    producing estimator knows them (the stratified planner path always
+    does); ``None`` keeps older call sites unchanged.
+    """
 
     value: float
     ci_low: float
     ci_high: float
     confidence: float
     exact: bool = False
+    sample_size: Optional[int] = None
+    population_size: Optional[int] = None
 
     @property
     def half_width(self) -> float:
         """Half the interval width."""
         return (self.ci_high - self.ci_low) / 2.0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (the served ``/estimate`` payload)."""
+        data = {
+            "value": self.value,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+            "half_width": self.half_width,
+            "confidence": self.confidence,
+            "exact": self.exact,
+        }
+        if self.sample_size is not None:
+            data["sample_size"] = self.sample_size
+        if self.population_size is not None:
+            data["population_size"] = self.population_size
+        return data
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         if self.exact:
@@ -184,6 +209,111 @@ def estimate_quantile(sample: WarehouseSample, fraction: float, *,
         if acc - 1 >= target:
             return value
     return ordered[-1][0]
+
+
+# ----------------------------------------------------------------------
+# Stratified partition estimation (the planner's estimator)
+# ----------------------------------------------------------------------
+def _sample_moments(sample: WarehouseSample) -> Tuple[float, float]:
+    """Sample mean and (n-1) variance of the numeric values."""
+    n = sample.size
+    total = 0.0
+    total_sq = 0.0
+    for value, cnt in sample.histogram.pairs():
+        x = float(value)
+        total += x * cnt
+        total_sq += x * x * cnt
+    mean = total / n
+    variance = 0.0
+    if n > 1:
+        variance = max(0.0, total_sq / n - mean * mean) * n / (n - 1)
+    return mean, variance
+
+
+def stratified_partition_estimate(
+        agg: str, *,
+        sampled: Sequence[Tuple[int, WarehouseSample]] = (),
+        synopses: Sequence[PartitionSynopsis] = (),
+        confidence: float = 0.95,
+        variance_scale: float = 1.0) -> Estimate:
+    """Full-population estimate combining samples and synopses.
+
+    Each partition is one stratum (``docs/aqp.md``).  The strata the
+    plan *selected* arrive in ``sampled`` as ``(N_h, sample)`` pairs
+    and contribute the classical stratified expansion ``N_h · mean_h``
+    with variance ``N_h² s_h² / n_h`` (finite-population corrected);
+    the *unselected* strata arrive as their catalog synopses and
+    contribute their summary totals — with zero variance when exact,
+    or with the scale-up variance ``N_h² σ̂_h² / m_h`` (fpc over the
+    ``m_h``-value basis) when sample-estimated.  The point estimate
+    therefore always covers the full population, whatever subset the
+    planner chose to read.
+
+    ``agg`` is ``"count"``, ``"sum"``, or ``"avg"``.  Counts need no
+    samples at all: per-partition parent sizes are catalog facts.
+    ``variance_scale`` multiplies the combined variance before the
+    interval is formed — the hook the testkit's negative coverage
+    control uses to inject a deliberately overconfident CI.
+    """
+    if agg not in ("count", "sum", "avg"):
+        raise ConfigurationError(
+            f"unknown aggregate {agg!r}; expected count, sum, or avg")
+    if variance_scale <= 0.0:
+        raise ConfigurationError(
+            f"variance_scale must be positive, got {variance_scale}")
+    big_n = sum(n for n, _ in sampled) + sum(s.count for s in synopses)
+    observed = (sum(s.size for _, s in sampled)
+                + sum(s.basis for s in synopses if not s.exact))
+    if agg == "count":
+        return Estimate(float(big_n), float(big_n), float(big_n),
+                        confidence, exact=True,
+                        sample_size=observed, population_size=big_n)
+    if not sampled and not synopses:
+        raise ConfigurationError("no strata to estimate from")
+
+    total = 0.0
+    variance = 0.0
+    for population, sample in sampled:
+        if sample.size == 0:
+            if population > 0:
+                raise ConfigurationError(
+                    "cannot estimate from an empty stratum sample "
+                    "with a non-empty parent")
+            continue
+        mean, var = _sample_moments(sample)
+        total += population * mean
+        if sample.kind is not SampleKind.EXHAUSTIVE:
+            fpc = max(0.0, 1.0 - sample.size / max(1, population))
+            variance += population ** 2 * var / sample.size * fpc
+    for synopsis in synopses:
+        if synopsis.count == 0:
+            continue
+        if not synopsis.numeric:
+            raise ConfigurationError(
+                "a non-numeric synopsis cannot answer a numeric "
+                "aggregate; the planner should have fallen back")
+        total += synopsis.total
+        if not synopsis.exact:
+            if synopsis.basis <= 0:
+                raise ConfigurationError(
+                    "an estimated synopsis with no observed basis "
+                    "cannot contribute; the planner should have "
+                    "fallen back")
+            fpc = max(0.0, 1.0 - synopsis.basis / synopsis.count)
+            variance += (synopsis.count ** 2 * synopsis.variance
+                         / synopsis.basis * fpc)
+    variance *= variance_scale
+
+    if agg == "avg":
+        if big_n == 0:
+            raise ConfigurationError("cannot average an empty population")
+        total /= big_n
+        variance /= float(big_n) ** 2
+    std_err = math.sqrt(variance)
+    est = _interval(total, std_err, confidence, exact=variance == 0.0)
+    return Estimate(est.value, est.ci_low, est.ci_high, confidence,
+                    exact=est.exact, sample_size=observed,
+                    population_size=big_n)
 
 
 # ----------------------------------------------------------------------

@@ -36,12 +36,17 @@ __all__ = [
     "CORE_FILENAME",
     "MERGE_FILENAME",
     "SERVE_FILENAME",
+    "AQP_FILENAME",
     "DEFAULT_THRESHOLD",
     "BenchResult",
     "run_core_suite",
     "run_merge_suite",
     "run_serve_suite",
     "run_serve_suite_with_summary",
+    "run_aqp_suite",
+    "run_aqp_suite_with_pairs",
+    "aqp_report_dict",
+    "validate_aqp_report",
     "serve_results",
     "serve_report_dict",
     "validate_serve_report",
@@ -56,6 +61,7 @@ SCHEMA = "repro-bench/1"
 CORE_FILENAME = "BENCH_core.json"
 MERGE_FILENAME = "BENCH_merge.json"
 SERVE_FILENAME = "BENCH_serve.json"
+AQP_FILENAME = "BENCH_aqp.json"
 
 #: A candidate entry flags as a regression when it is more than this
 #: many times slower than the baseline (and slower by ``min_seconds``).
@@ -318,6 +324,204 @@ def run_serve_suite(*, seed: int = 2006, quick: bool = False
     results, _summary = run_serve_suite_with_summary(seed=seed,
                                                      quick=quick)
     return results
+
+
+#: AQP-suite shape.  Partition counts span the regime where merge-all
+#: latency visibly scales; the target is the paper-style "2 % relative
+#: half-width at 95 %".  Every ``est_every``-th partition is ingested
+#: as a foreign sample whose synopsis was computed upstream from a
+#: coarse sketch (``_AQP_SYNOPSIS_BOUND`` values), so planning has real
+#: estimated strata to rank and, where the bound demands it, select.
+_AQP_PARTITIONS = (16, 64, 128)
+_AQP_SHAPES = ("uniform", "skewed")
+_AQP_AGGS = ("count", "sum", "avg")
+_AQP_TARGET = 0.02
+_AQP_EST_EVERY = 4
+_AQP_LIVE_BOUND = 256
+_AQP_SYNOPSIS_BOUND = 32
+#: The acceptance bar (docs/aqp.md): planned must beat merge-all by at
+#: least this factor at the largest partition count, full runs only.
+_AQP_MIN_SPEEDUP = 2.0
+
+
+def _aqp_value(shape: str, rng: SplittableRng) -> float:
+    """One value of the bench population: uniform or heavy-tailed."""
+    if shape == "uniform":
+        return float(rng.randrange(1_000) + 1)
+    # Log-uniform over three decades, shifted off zero: a heavy right
+    # tail (sigma comparable to the mean) without unbounded outliers.
+    return 100.0 + 10.0 ** (3.0 * rng.random())
+
+
+def _aqp_warehouse(shape: str, partitions: int, seed: int,
+                   quick: bool):
+    """A mixed warehouse: mostly exact synopses, some estimated.
+
+    Batch-style partitions carry exact synopses (raw values in hand at
+    ingest); every ``_AQP_EST_EVERY``-th partition arrives as a foreign
+    sample with an upstream synopsis estimated from a coarser sketch —
+    the strata the planner actually has to reason about.
+    """
+    from repro.warehouse.dataset import PartitionKey
+    from repro.warehouse.parallel import SampleTask, sample_partition
+    from repro.warehouse.synopsis import PartitionSynopsis
+    from repro.warehouse.warehouse import SampleWarehouse
+
+    values_per = 400 if quick else 1_500
+    rng = SplittableRng(seed)
+    data_rng = rng.spawn("data", shape, partitions)
+    wh = SampleWarehouse(bound_values=_AQP_LIVE_BOUND, scheme="hr",
+                         rng=rng.spawn("wh", shape, partitions))
+    dataset = f"aqp.{shape}"
+    for i in range(partitions):
+        values = [_aqp_value(shape, data_rng) for _ in range(values_per)]
+        sample = sample_partition(SampleTask(
+            values=values, scheme="hr", bound_values=_AQP_LIVE_BOUND,
+            seed=rng.spawn("live", i).seed_value))
+        if i % _AQP_EST_EVERY == 0:
+            sketch = sample_partition(SampleTask(
+                values=values, scheme="hr",
+                bound_values=_AQP_SYNOPSIS_BOUND,
+                seed=rng.spawn("sketch", i).seed_value))
+            synopsis = PartitionSynopsis.from_sample(sketch)
+        else:
+            synopsis = PartitionSynopsis.from_values(values)
+        wh.ingest_sample(PartitionKey(dataset, 0, i), sample,
+                         synopsis=synopsis)
+    return wh, dataset
+
+
+def run_aqp_suite_with_pairs(*, seed: int = 2006, quick: bool = False
+                             ) -> Tuple[List[BenchResult], List[dict]]:
+    """Planned vs merge-all aggregate latency across partition counts.
+
+    For each (shape, partitions, agg) the suite times the same query
+    twice on a fresh engine: ``aqp.planned`` passes the pinned 2 %
+    relative target (the planner certifies from synopses and reads only
+    the selected samples) and ``aqp.merge_all`` runs the legacy path
+    (merge every partition, then estimate).  Returns the bench entries
+    plus one pair record per comparison for the report's ``aqp`` block:
+    speedup, certification, and how many partitions the plan read.
+    """
+    from repro.analytics.aqp import ApproximateQueryEngine
+
+    repeats = 2 if quick else 3
+    results: List[BenchResult] = []
+    pairs: List[dict] = []
+    for shape in _AQP_SHAPES:
+        for partitions in _AQP_PARTITIONS:
+            wh, dataset = _aqp_warehouse(shape, partitions, seed, quick)
+            probe = ApproximateQueryEngine(wh)
+            for agg in _AQP_AGGS:
+                summary = probe.plan_summary(
+                    dataset, agg, target_half_width=_AQP_TARGET,
+                    relative_target=True)
+
+                def planned(agg: str = agg) -> None:
+                    engine = ApproximateQueryEngine(wh)
+                    getattr(engine, agg)(
+                        dataset, target_half_width=_AQP_TARGET,
+                        relative_target=True)
+
+                def merge_all(agg: str = agg) -> None:
+                    engine = ApproximateQueryEngine(wh)
+                    getattr(engine, agg)(dataset)
+
+                params = {"agg": agg, "shape": shape,
+                          "partitions": partitions,
+                          "target": _AQP_TARGET}
+                planned_s = _time_min(planned, repeats)
+                merged_s = _time_min(merge_all, repeats)
+                results.append(BenchResult(
+                    name="aqp.planned", params=params,
+                    seconds=planned_s, repeats=repeats))
+                results.append(BenchResult(
+                    name="aqp.merge_all", params=params,
+                    seconds=merged_s, repeats=repeats))
+                pairs.append({
+                    "agg": agg, "shape": shape,
+                    "partitions": partitions,
+                    "planned_seconds": planned_s,
+                    "merge_all_seconds": merged_s,
+                    "speedup": (merged_s / planned_s
+                                if planned_s > 0 else float("inf")),
+                    "certified": summary["certified"],
+                    "fallback": summary["fallback"],
+                    "selected": summary["selected"]
+                    if isinstance(summary["selected"], int)
+                    else len(summary["selected"]),
+                    "total_partitions": summary["total_partitions"],
+                })
+    return results, pairs
+
+
+def run_aqp_suite(*, seed: int = 2006, quick: bool = False
+                  ) -> List[BenchResult]:
+    """The AQP suite's bench entries (the ``--compare`` runner)."""
+    results, _pairs = run_aqp_suite_with_pairs(seed=seed, quick=quick)
+    return results
+
+
+def aqp_report_dict(results: Sequence[BenchResult], pairs: List[dict],
+                    *, seed: int, quick: bool) -> dict:
+    """An AQP-suite report: ``repro-bench/1`` plus the ``aqp`` block."""
+    report = report_dict("aqp", results, seed=seed, quick=quick)
+    report["aqp"] = {"target": _AQP_TARGET, "pairs": pairs}
+    return report
+
+
+def validate_aqp_report(report: dict) -> None:
+    """Validate a ``BENCH_aqp.json`` (base schema + aqp block).
+
+    Full (non-quick) reports must also clear the acceptance bar: every
+    aggregate certified and at least ``_AQP_MIN_SPEEDUP``x faster than
+    merge-all at the largest partition count, on both shapes.  Quick
+    reports (CI smoke) are validated structurally only — their timings
+    are one-repeat noise.
+    """
+    validate_report(report)
+    if report.get("suite") != "aqp":
+        raise ConfigurationError(
+            f"aqp report has suite {report.get('suite')!r}")
+    block = report.get("aqp")
+    if not isinstance(block, dict):
+        raise ConfigurationError("aqp report needs an 'aqp' block")
+    if not isinstance(block.get("target"), (int, float)):
+        raise ConfigurationError("aqp block needs a numeric 'target'")
+    pairs = block.get("pairs")
+    if not isinstance(pairs, list) or not pairs:
+        raise ConfigurationError(
+            "aqp block needs a non-empty 'pairs' array")
+    for i, pair in enumerate(pairs):
+        if not isinstance(pair, dict):
+            raise ConfigurationError(f"aqp pairs[{i}] must be an object")
+        for field, kind in (("agg", str), ("shape", str),
+                            ("partitions", int), ("selected", int),
+                            ("total_partitions", int),
+                            ("planned_seconds", (int, float)),
+                            ("merge_all_seconds", (int, float)),
+                            ("speedup", (int, float)),
+                            ("certified", bool), ("fallback", bool)):
+            if not isinstance(pair.get(field), kind) or \
+                    (kind is int and isinstance(pair.get(field), bool)):
+                raise ConfigurationError(
+                    f"aqp pairs[{i}].{field} must be "
+                    f"{kind.__name__ if isinstance(kind, type) else 'numeric'}")
+    if report.get("quick"):
+        return
+    largest = max(p["partitions"] for p in pairs)
+    for pair in pairs:
+        if pair["partitions"] != largest:
+            continue
+        label = f"{pair['agg']}/{pair['shape']}/p{pair['partitions']}"
+        if not pair["certified"] or pair["fallback"]:
+            raise ConfigurationError(
+                f"aqp acceptance: {label} did not certify the "
+                f"{block['target']:.0%} target")
+        if pair["speedup"] < _AQP_MIN_SPEEDUP:
+            raise ConfigurationError(
+                f"aqp acceptance: {label} speedup {pair['speedup']:.2f}x "
+                f"is below the {_AQP_MIN_SPEEDUP:.1f}x bar")
 
 
 def serve_report_dict(results: Sequence[BenchResult], summary: dict, *,

@@ -343,19 +343,23 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_rollup(args: argparse.Namespace) -> int:
+    from repro.warehouse.rollup import temporal_rollup_with_synopses
+
     wh = SampleWarehouse.load(args.warehouse,
                               rng=SplittableRng(args.seed))
-    groups = temporal_rollup(wh, args.dataset, window=args.window,
-                             rng=SplittableRng(args.seed).spawn("rollup"))
+    groups = temporal_rollup_with_synopses(
+        wh, args.dataset, window=args.window,
+        rng=SplittableRng(args.seed).spawn("rollup"))
     rows = [(name, s.kind.name, s.population_size, s.size)
-            for name, s in sorted(groups.items())]
+            for name, (s, _) in sorted(groups.items())]
     print(format_table(("window", "kind", "population", "sample"), rows))
     if args.store_as:
         from repro.warehouse.dataset import PartitionKey
 
         for i, name in enumerate(sorted(groups)):
+            sample, synopsis = groups[name]
             wh.ingest_sample(PartitionKey(args.store_as, 0, i),
-                             groups[name], label=name)
+                             sample, label=name, synopsis=synopsis)
         wh.save(args.warehouse)
         print(f"stored {len(groups)} rollup(s) as {args.store_as!r}")
     return 0
@@ -396,11 +400,14 @@ def _bench_suite_table(results) -> List[tuple]:
 def _bench_run(args: argparse.Namespace) -> int:
     import os
 
-    from repro.bench.regression import (CORE_FILENAME, MERGE_FILENAME,
-                                        SERVE_FILENAME, report_dict,
+    from repro.bench.regression import (AQP_FILENAME, CORE_FILENAME,
+                                        MERGE_FILENAME, SERVE_FILENAME,
+                                        aqp_report_dict, report_dict,
+                                        run_aqp_suite_with_pairs,
                                         run_core_suite, run_merge_suite,
                                         run_serve_suite_with_summary,
                                         serve_report_dict,
+                                        validate_aqp_report,
                                         validate_serve_report,
                                         write_report)
 
@@ -432,14 +439,31 @@ def _bench_run(args: argparse.Namespace) -> int:
     path = os.path.join(args.out_dir, SERVE_FILENAME)
     write_report(report, path)
     written.append(path)
+    results, pairs = run_aqp_suite_with_pairs(seed=args.seed,
+                                              quick=args.quick)
+    print(format_table(headers, _bench_suite_table(results),
+                       title="bench suite: aqp"
+                             + (" (quick)" if args.quick else "")))
+    for pair in pairs:
+        if pair["partitions"] == max(p["partitions"] for p in pairs):
+            print(f"  {pair['agg']}/{pair['shape']}"
+                  f"/p{pair['partitions']}: {pair['speedup']:.1f}x, "
+                  f"read {pair['selected']}/{pair['total_partitions']}"
+                  + (" (fallback)" if pair["fallback"] else ""))
+    report = aqp_report_dict(results, pairs, seed=args.seed,
+                             quick=args.quick)
+    validate_aqp_report(report)
+    path = os.path.join(args.out_dir, AQP_FILENAME)
+    write_report(report, path)
+    written.append(path)
     print("wrote " + ", ".join(written))
     return 0
 
 
 def _bench_compare(args: argparse.Namespace) -> int:
     from repro.bench.regression import (compare_reports, load_report,
-                                        report_dict, run_core_suite,
-                                        run_merge_suite,
+                                        report_dict, run_aqp_suite,
+                                        run_core_suite, run_merge_suite,
                                         run_serve_suite)
 
     baseline = load_report(args.compare)
@@ -447,7 +471,7 @@ def _bench_compare(args: argparse.Namespace) -> int:
         candidate = load_report(args.candidate)
     else:
         suites = {"core": run_core_suite, "merge": run_merge_suite,
-                  "serve": run_serve_suite}
+                  "serve": run_serve_suite, "aqp": run_aqp_suite}
         runner = suites.get(baseline["suite"])
         if runner is None:
             raise ConfigurationError(

@@ -34,6 +34,7 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.analytics.estimators import (estimate_avg, estimate_count,
                                         estimate_quantile, estimate_sum)
+from repro.analytics.planner import QueryPlanner
 from repro.errors import (CatalogError, CircuitOpenError,
                           ConfigurationError, OverloadedError, ReproError,
                           ServiceError, StorageError,
@@ -128,6 +129,7 @@ class WarehouseService:
         # exactly one attempt, keeping only the breaker accounting.
         self._mutate_once = RetryPolicy(attempts=1, **retry_kwargs)
         self._executor = ThreadExecutor(config.max_workers)
+        self._planner = QueryPlanner(warehouse)
         self._server: Optional[asyncio.AbstractServer] = None
 
     # ------------------------------------------------------------------
@@ -475,6 +477,28 @@ class WarehouseService:
                               "cached": cached,
                               "sample": sample_to_dict(sample)})
 
+    def _plan_versioned(self, dataset: str, stat: str, target: float,
+                        relative: bool, labels: Optional[List[str]]):
+        """Plan + execute under the optimistic read-validate loop.
+
+        Same discipline as :meth:`_merge_versioned`: a version tag that
+        moved between planning and execution means the read set may mix
+        catalog states, so redo against the new tag.  Returns
+        ``(version, estimate_or_None, plan)`` — the estimate is ``None``
+        when the plan fell back (the caller then runs merge-all).
+        """
+        while True:
+            version = self._occ.version(dataset)
+            plan = self._occ.read(
+                lambda: self._planner.plan(
+                    dataset, stat, target_half_width=target,
+                    labels=labels, relative=relative))
+            if plan.fallback:
+                return version, None, plan
+            estimate = self._planner.execute(plan)
+            if self._occ.version(dataset) == version:
+                return version, estimate, plan
+
     async def _handle_estimate(self, dataset: str,
                                request: Request) -> Response:
         stat = request.query.get("stat", "avg")
@@ -483,10 +507,41 @@ class WarehouseService:
                 f"unknown stat {stat!r}; expected count, sum, avg, "
                 "or quantile")
         selector, labels = self._selection(dataset, request)
+        payload = {"dataset": dataset, "stat": stat}
+
+        target = None
+        raw_target = request.query.get("target_half_width")
+        if raw_target is not None:
+            try:
+                target = float(raw_target)
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"target_half_width must be a number, "
+                    f"got {raw_target!r}") from exc
+        relative = request.query.get("relative", "0") not in ("0", "")
+
+        if target is not None and stat != "quantile":
+            version, est, plan = await self._guarded(
+                lambda: self._plan_versioned(dataset, stat, target,
+                                             relative, labels))
+            payload["plan"] = {
+                "planned": True,
+                "certified": plan.certified,
+                "fallback": plan.fallback,
+                "reason": plan.reason,
+                "selected": len(plan.selected),
+                "total_partitions": plan.total_partitions,
+                "predicted_half_width": plan.predicted_half_width,
+                "target_half_width": plan.target_half_width,
+            }
+            if est is not None:
+                payload.update(est.to_dict())
+                payload.update({"version": version, "cached": False})
+                return Response(200, payload)
+
         version, sample, cached = await self._guarded(
             lambda: self._merge_versioned(dataset, selector, labels))
-        payload = {"dataset": dataset, "version": version,
-                   "cached": cached, "stat": stat}
+        payload.update({"version": version, "cached": cached})
         if stat == "quantile":
             raw_fraction = request.query.get("fraction", "0.5")
             try:
@@ -500,11 +555,7 @@ class WarehouseService:
         else:
             fn = {"count": estimate_count, "sum": estimate_sum,
                   "avg": estimate_avg}[stat]
-            est = fn(sample)
-            payload.update({"value": est.value, "ci_low": est.ci_low,
-                            "ci_high": est.ci_high,
-                            "confidence": est.confidence,
-                            "exact": est.exact})
+            payload.update(fn(sample).to_dict())
         return Response(200, payload)
 
     async def _handle_roll(self, dataset: str, action: str,

@@ -36,6 +36,11 @@ check                            claim
 ``serve.query.equivalence``      answers served over HTTP are
                                  byte-identical to the library path
                                  and uniform in law across seeds
+``aqp.planner.coverage``         planned-query intervals (synopsis +
+                                 selected strata) hit their nominal
+                                 coverage (docs/aqp.md)
+``negative.aqp.coverage``        halving the planner's variance must
+                                 be rejected as under-covering
 ``differential.merge_engine``    (deep) every merge engine mode/
                                  executor/backend agrees byte-exactly
 ``hr.uniformity.subset``         (deep) HR: all k-subsets equally
@@ -87,7 +92,9 @@ from repro.testkit.battery import Battery
 from repro.testkit.differential import (executor_differential,
                                         merge_engine_differential,
                                         merge_tree_differential)
+from repro.warehouse.dataset import PartitionKey
 from repro.warehouse.parallel import SampleTask, make_sampler
+from repro.warehouse.synopsis import PartitionSynopsis
 
 __all__ = ["default_battery", "collapse_cells", "binomial_pmf"]
 
@@ -286,6 +293,66 @@ def served_query_equivalence(rng: SplittableRng, *,
     total = sum(counts)
     return chi_square_pvalue(counts,
                              [total / population] * population)
+
+
+def aqp_coverage_pvalue(rng: SplittableRng, trials: int, *,
+                        variance_scale: float = 1.0) -> float:
+    """Do planned-query intervals cover the truth at their nominal rate?
+
+    Each trial builds a fresh four-partition warehouse whose synopses
+    were estimated upstream from coarse sketches (basis 16) while the
+    stored samples are richer (bound 64) — the configuration where the
+    planner's greedy selection actually engages (docs/aqp.md).  A 90 %
+    sum interval is planned at a target that typically forces several
+    selections, executed, and scored against the known population sum;
+    the covered/missed split is chi-squared against the nominal rate.
+
+    ``variance_scale`` is the negative-control hook: executing with
+    halved variance shrinks every interval by ``sqrt(2)``, dropping
+    true coverage to ~0.76 — far enough from 0.9 that the battery must
+    reject it (RPR051 discipline: a coverage check that cannot see a
+    broken error model proves nothing).
+    """
+    from repro.analytics.planner import QueryPlanner
+    from repro.warehouse.parallel import sample_partition
+    from repro.warehouse.warehouse import SampleWarehouse
+
+    confidence = 0.9
+    covered = 0
+    for t in range(trials):
+        child = rng.spawn("aqp-cov", t)
+        warehouse = SampleWarehouse(bound_values=64, scheme="hr",
+                                    rng=child.spawn("wh"))
+        vrng = child.spawn("values")
+        truth = 0.0
+        for i in range(4):
+            values = [vrng.gauss(50.0 + 10.0 * i, 8.0 + 2.0 * i)
+                      for _ in range(300)]
+            truth += sum(values)
+            live = sample_partition(SampleTask(
+                values=values, scheme="hr", bound_values=64,
+                seed=child.spawn("live", i).seed_value))
+            sketch = sample_partition(SampleTask(
+                values=values, scheme="hr", bound_values=16,
+                seed=child.spawn("sketch", i).seed_value))
+            warehouse.ingest_sample(
+                PartitionKey("cov.d", 0, i), live,
+                synopsis=PartitionSynopsis.from_sample(sketch))
+        planner = QueryPlanner(warehouse)
+        plan = planner.plan("cov.d", "sum", target_half_width=0.02,
+                            confidence=confidence, relative=True)
+        if plan.fallback:
+            # A noisy sketch can make 2% unreachable; a loose target
+            # still exercises the synopsis-stratum variance path.
+            plan = planner.plan("cov.d", "sum", target_half_width=1.0,
+                                confidence=confidence, relative=True)
+        estimate = planner.execute(plan,
+                                   variance_scale=variance_scale)
+        if estimate.ci_low <= truth <= estimate.ci_high:
+            covered += 1
+    return chi_square_pvalue(
+        [covered, trials - covered],
+        [trials * confidence, trials * (1.0 - confidence)])
 
 
 # ----------------------------------------------------------------------
@@ -660,5 +727,20 @@ def default_battery() -> Battery:
                                "to the library path and uniform in law")
     def serve_equivalence(rng: SplittableRng, scale: int) -> float:
         return served_query_equivalence(rng, trials=4 * scale)
+
+    # -- the AQP planner -------------------------------------------------
+    @battery.check("aqp.planner.coverage",
+                   description="planned-query intervals hit nominal "
+                               "coverage across synopsis and selected "
+                               "strata")
+    def aqp_coverage(rng: SplittableRng, scale: int) -> float:
+        return aqp_coverage_pvalue(rng, trials=80 * scale)
+
+    @battery.check("negative.aqp.coverage", expect_reject=True,
+                   description="a planner whose variance is halved "
+                               "under-covers and must be rejected")
+    def negative_aqp_coverage(rng: SplittableRng, scale: int) -> float:
+        return aqp_coverage_pvalue(rng, trials=80 * scale,
+                                   variance_scale=0.5)
 
     return battery

@@ -18,13 +18,21 @@ from repro.core.phases import SampleKind
 from repro.errors import (ConfigurationError, DatasetNotFoundError,
                           PartitionNotFoundError)
 from repro.warehouse.dataset import PartitionKey
+from repro.warehouse.synopsis import PartitionSynopsis
 
 __all__ = ["PartitionMeta", "Catalog"]
 
 
 @dataclass
 class PartitionMeta:
-    """Catalog record for one partition."""
+    """Catalog record for one partition.
+
+    ``synopsis`` carries the partition's summary statistics (moments,
+    range, heavy hitters — see :mod:`repro.warehouse.synopsis`) when
+    the ingest path could compute or estimate them; records persisted
+    before synopses existed load with ``synopsis=None`` and simply
+    opt the partition out of planner shortcuts.
+    """
 
     key: PartitionKey
     population_size: int
@@ -33,10 +41,11 @@ class PartitionMeta:
     scheme: str
     label: Optional[str] = None
     active: bool = True
+    synopsis: Optional[PartitionSynopsis] = None
 
     def to_dict(self) -> dict:
         """JSON-serializable form (for catalog persistence)."""
-        return {
+        data = {
             "key": str(self.key),
             "population_size": self.population_size,
             "sample_size": self.sample_size,
@@ -45,10 +54,14 @@ class PartitionMeta:
             "label": self.label,
             "active": self.active,
         }
+        if self.synopsis is not None:
+            data["synopsis"] = self.synopsis.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "PartitionMeta":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict` (synopsis-less records still load)."""
+        raw_synopsis = data.get("synopsis")
         return cls(
             key=PartitionKey.parse(data["key"]),
             population_size=data["population_size"],
@@ -57,6 +70,8 @@ class PartitionMeta:
             scheme=data["scheme"],
             label=data.get("label"),
             active=data.get("active", True),
+            synopsis=(PartitionSynopsis.from_dict(raw_synopsis)
+                      if raw_synopsis is not None else None),
         )
 
 

@@ -22,6 +22,7 @@ Two ways values reach the warehouse:
 
 from __future__ import annotations
 
+import inspect
 from typing import Iterable, List, Optional, Protocol, Sequence, TypeVar
 
 from repro.core.sample import WarehouseSample
@@ -32,6 +33,7 @@ from repro.obs.tracing import span
 from repro.rng import SplittableRng
 from repro.warehouse.dataset import PartitionKey
 from repro.warehouse.parallel import make_sampler
+from repro.warehouse.synopsis import SynopsisAccumulator
 
 __all__ = ["split_batch", "CountPolicy", "FractionPolicy", "StreamIngestor"]
 
@@ -165,8 +167,17 @@ class StreamIngestor:
         self._seq = start_seq
         self._closed = False
         self._sampler = None
+        self._synopsis: Optional[SynopsisAccumulator] = None
         self._emitted: List[PartitionKey] = []
         self._partition_t0 = monotonic()
+        # The warehouse sink also takes the partition's exact synopsis
+        # (every arrival passes through here, so it is free to build);
+        # plain two-argument sinks keep working unchanged.
+        try:
+            inspect.signature(sink).bind(None, None, None)
+            self._sink_takes_synopsis = True
+        except TypeError:
+            self._sink_takes_synopsis = False
 
     @property
     def emitted(self) -> List[PartitionKey]:
@@ -194,8 +205,10 @@ class StreamIngestor:
             raise ProtocolError("ingestor already closed")
         if self._sampler is None:
             self._sampler = self._new_sampler()
+            self._synopsis = SynopsisAccumulator()
             self._partition_t0 = monotonic()
         self._sampler.feed(value)
+        self._synopsis.feed(value)
         if self._policy.should_cut(self._sampler):
             self._finalize_current()
 
@@ -211,7 +224,10 @@ class StreamIngestor:
                   stream=self._stream, seq=self._seq, arrivals=seen):
             sample: WarehouseSample = self._sampler.finalize()
             key = PartitionKey(self._dataset, self._stream, self._seq)
-            self._sink(key, sample)
+            if self._sink_takes_synopsis:
+                self._sink(key, sample, self._synopsis.finalize())
+            else:
+                self._sink(key, sample)
         if OBS.enabled:
             elapsed = monotonic() - self._partition_t0
             reg = OBS.registry
@@ -224,6 +240,7 @@ class StreamIngestor:
         self._emitted.append(key)
         self._seq += 1
         self._sampler = None
+        self._synopsis = None
 
     def close(self) -> List[PartitionKey]:
         """Finalize any open partition and return all emitted keys."""

@@ -170,7 +170,9 @@ def warehouse_delete(warehouse, key: PartitionKey, value: object,
 
     Convenience wrapper: loads the sample from the warehouse's store,
     applies :func:`apply_deletion` with a key-derived RNG substream, and
-    writes back both the sample and the catalog's population count.
+    writes back the sample, the catalog's population count, and the
+    partition synopsis (decremented exactly — the deleted value is in
+    hand, so the moments stay current; see docs/aqp.md).
     """
     sample = warehouse.store.get(key)
     rng = warehouse._rng.spawn("delete", str(key),
@@ -180,3 +182,6 @@ def warehouse_delete(warehouse, key: PartitionKey, value: object,
     meta = warehouse.catalog.get(key)
     meta.population_size = updated.population_size
     meta.sample_size = updated.size
+    if meta.synopsis is not None:
+        meta.synopsis = meta.synopsis.without(value)
+    warehouse._notify_mutation(key.dataset)

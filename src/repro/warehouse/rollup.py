@@ -9,15 +9,17 @@ labels and merging each group into a uniform sample of the group's union.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.merge import merge_tree
 from repro.core.sample import WarehouseSample
 from repro.errors import ConfigurationError
 from repro.rng import SplittableRng
 from repro.warehouse.dataset import PartitionKey
+from repro.warehouse.synopsis import PartitionSynopsis
 
-__all__ = ["temporal_rollup", "group_by_window"]
+__all__ = ["temporal_rollup", "temporal_rollup_with_synopses",
+           "group_by_window"]
 
 
 def group_by_window(keys: List[PartitionKey],
@@ -52,6 +54,27 @@ def temporal_rollup(warehouse, dataset: str, *,
     can re-ingest the rollups under a derived dataset name if they want
     them cataloged (see ``examples/temporal_rollup.py``).
     """
+    with_synopses = temporal_rollup_with_synopses(
+        warehouse, dataset, window=window, group_fn=group_fn, rng=rng,
+        mode=mode)
+    return {name: sample for name, (sample, _) in with_synopses.items()}
+
+
+def temporal_rollup_with_synopses(
+        warehouse, dataset: str, *,
+        window: Optional[int] = None,
+        group_fn: Optional[Callable[[PartitionKey], str]] = None,
+        rng: Optional[SplittableRng] = None,
+        mode: str = "balanced"
+) -> Dict[str, Tuple[WarehouseSample, Optional[PartitionSynopsis]]]:
+    """:func:`temporal_rollup` plus each group's merged synopsis.
+
+    Summary statistics merge exactly alongside the samples (moments
+    add, ranges widen, heavy-hitter counters sum), so rolled-up
+    partitions stay fully plannable.  A group whose members include a
+    synopsis-less partition gets ``None`` — estimating would silently
+    mix exact and estimated moments.
+    """
     if (window is None) == (group_fn is None):
         raise ConfigurationError("give exactly one of window and group_fn")
     rng = rng if rng is not None else SplittableRng()
@@ -68,9 +91,14 @@ def temporal_rollup(warehouse, dataset: str, *,
         for key in keys:
             groups.setdefault(group_fn(key), []).append(key)
 
-    out: Dict[str, WarehouseSample] = {}
+    catalog = warehouse.catalog
+    out: Dict[str, Tuple[WarehouseSample, Optional[PartitionSynopsis]]] = {}
     for name, bucket in groups.items():
         samples = [warehouse.sample_for(k) for k in bucket]
-        out[name] = merge_tree(samples, rng=rng.spawn("rollup", name),
-                               mode=mode)
+        merged = merge_tree(samples, rng=rng.spawn("rollup", name),
+                            mode=mode)
+        synopses = [catalog.get(k).synopsis for k in bucket]
+        synopsis = (PartitionSynopsis.merge(synopses)
+                    if all(s is not None for s in synopses) else None)
+        out[name] = (merged, synopsis)
     return out

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import json
 import os
+import weakref
 from typing import Callable, Iterable, List, Optional, Sequence
 
 from repro.core.footprint import DEFAULT_MODEL, FootprintModel
@@ -35,6 +36,7 @@ from repro.warehouse.ingest import (CountPolicy, PartitionPolicy,
 from repro.warehouse.parallel import (SampleTask, SerialExecutor,
                                       sample_partition)
 from repro.warehouse.storage import FileStore, InMemoryStore
+from repro.warehouse.synopsis import PartitionSynopsis
 
 __all__ = ["SampleWarehouse"]
 
@@ -91,6 +93,10 @@ class SampleWarehouse:
         self._store = store if store is not None else InMemoryStore()
         self._model = model
         self._catalog = Catalog()
+        # Weakly-held bound methods called with the dataset name after
+        # every catalog mutation (ingest, roll-in/out, deletion) — the
+        # hook query-engine caches use for per-dataset invalidation.
+        self._mutation_listeners: List[weakref.WeakMethod] = []
 
     # ------------------------------------------------------------------
     # Introspection
@@ -121,11 +127,39 @@ class SampleWarehouse:
             dataset, only_active=only_active)]
 
     # ------------------------------------------------------------------
+    # Mutation listeners
+    # ------------------------------------------------------------------
+    def add_mutation_listener(self, listener: Callable[[str], None]
+                              ) -> None:
+        """Register a bound method called with the dataset name after
+        every mutation of that dataset.
+
+        Held weakly: a listener whose owner is garbage-collected is
+        pruned on the next notification, so short-lived query engines
+        can subscribe without pinning themselves alive.
+        """
+        self._mutation_listeners.append(weakref.WeakMethod(listener))
+
+    def _notify_mutation(self, dataset: str) -> None:
+        alive = []
+        for ref in self._mutation_listeners:
+            listener = ref()
+            if listener is not None:
+                alive.append(ref)
+                listener(dataset)
+        self._mutation_listeners = alive
+
+    # ------------------------------------------------------------------
     # Ingest
     # ------------------------------------------------------------------
     def _register(self, key: PartitionKey, sample: WarehouseSample,
-                  label: Optional[str] = None) -> None:
+                  label: Optional[str] = None,
+                  synopsis: Optional[PartitionSynopsis] = None) -> None:
         self._store.put(key, sample)
+        if synopsis is None:
+            # No raw data in sight: estimate the synopsis from the
+            # sample itself (marked non-exact unless exhaustive).
+            synopsis = PartitionSynopsis.from_sample(sample)
         self._catalog.register(PartitionMeta(
             key=key,
             population_size=sample.population_size,
@@ -133,7 +167,9 @@ class SampleWarehouse:
             kind=sample.kind,
             scheme=sample.scheme,
             label=label,
+            synopsis=synopsis,
         ))
+        self._notify_mutation(key.dataset)
 
     @traced("ingest.batch", timer="ingest.batch.seconds")
     def ingest_batch(self, dataset: str, values: Sequence, *,
@@ -185,16 +221,26 @@ class SampleWarehouse:
         for i, sample in enumerate(samples):
             key = PartitionKey(dataset, stream, seq0 + i)
             label = labels[i] if labels is not None else None
-            self._register(key, sample, label)
+            # The raw chunk is still in hand, so the catalog gets the
+            # partition's *exact* summary statistics (docs/aqp.md).
+            self._register(key, sample, label,
+                           synopsis=PartitionSynopsis.from_values(
+                               chunks[i]))
             keys.append(key)
         if OBS.enabled:
             OBS.registry.counter("ingest.batch.partitions").add(len(keys))
         return keys
 
     def ingest_sample(self, key: PartitionKey, sample: WarehouseSample, *,
-                      label: Optional[str] = None) -> None:
-        """Roll in a pre-built sample (e.g. produced on another machine)."""
-        self._register(key, sample, label)
+                      label: Optional[str] = None,
+                      synopsis: Optional[PartitionSynopsis] = None) -> None:
+        """Roll in a pre-built sample (e.g. produced on another machine).
+
+        Pass the partition's ``synopsis`` if the producing side computed
+        one (rollups do); otherwise an estimated synopsis is derived
+        from the sample.
+        """
+        self._register(key, sample, label, synopsis=synopsis)
 
     def open_stream(self, dataset: str, *,
                     policy: Optional[PartitionPolicy] = None,
@@ -212,9 +258,10 @@ class SampleWarehouse:
         scheme = scheme or self._scheme
         policy = policy or CountPolicy(32 * self._bound)
 
-        def sink(key: PartitionKey, sample: WarehouseSample) -> None:
+        def sink(key: PartitionKey, sample: WarehouseSample,
+                 synopsis: Optional[PartitionSynopsis] = None) -> None:
             label = label_fn(key.seq) if label_fn is not None else None
-            self._register(key, sample, label)
+            self._register(key, sample, label, synopsis=synopsis)
 
         return StreamIngestor(
             dataset,
@@ -304,6 +351,7 @@ class SampleWarehouse:
         self._catalog.roll_out(key)
         if drop_sample and key in self._store:
             self._store.delete(key)
+        self._notify_mutation(key.dataset)
 
     def roll_in(self, key: PartitionKey,
                 sample: Optional[WarehouseSample] = None) -> None:
@@ -314,6 +362,7 @@ class SampleWarehouse:
         elif key not in self._store:
             raise ConfigurationError(
                 f"partition {key} has no stored sample; pass one to roll_in")
+        self._notify_mutation(key.dataset)
 
     # ------------------------------------------------------------------
     # Persistence

@@ -150,3 +150,43 @@ class TestPersistence:
     def test_meta_round_trip(self):
         m = meta(label="x")
         assert PartitionMeta.from_dict(m.to_dict()) == m
+
+
+class TestSynopsisPersistence:
+    def synopsis(self):
+        from repro.warehouse.synopsis import PartitionSynopsis
+        return PartitionSynopsis.from_values([1.0, 2.0, 2.0, 9.0])
+
+    def test_meta_round_trip_with_synopsis(self):
+        import dataclasses
+        m = dataclasses.replace(meta(label="x"), synopsis=self.synopsis())
+        data = m.to_dict()
+        assert "synopsis" in data
+        restored = PartitionMeta.from_dict(data)
+        assert restored == m
+        assert restored.synopsis.mean == m.synopsis.mean
+
+    def test_meta_round_trip_without_synopsis(self):
+        m = meta()
+        data = m.to_dict()
+        assert "synopsis" not in data
+        assert PartitionMeta.from_dict(data) == m
+
+    def test_old_records_load_without_synopsis_key(self):
+        # A record persisted before synopses existed has no "synopsis"
+        # key at all; it must load with synopsis=None, opting the
+        # partition out of planner shortcuts without erroring.
+        data = meta().to_dict()
+        data.pop("synopsis", None)
+        restored = PartitionMeta.from_dict(data)
+        assert restored.synopsis is None
+
+    def test_catalog_round_trip_preserves_synopses(self):
+        import dataclasses
+        c = Catalog()
+        c.register(dataclasses.replace(meta("a", seq=0),
+                                       synopsis=self.synopsis()))
+        c.register(meta("a", seq=1))
+        restored = Catalog.from_dict(c.to_dict())
+        assert restored.get(PartitionKey("a", 0, 0)).synopsis is not None
+        assert restored.get(PartitionKey("a", 0, 1)).synopsis is None

@@ -69,3 +69,41 @@ class TestTemporalRollup:
         before = len(wh.partition_keys("events"))
         temporal_rollup(wh, "events", window=2, rng=SplittableRng(9))
         assert len(wh.partition_keys("events")) == before
+
+
+class TestRollupSynopses:
+    def test_merged_synopsis_equals_recomputed(self):
+        # ingest_batch stores exact synopses, so each weekly group's
+        # merged synopsis must equal the synopsis recomputed from the
+        # concatenated raw values of its member days.
+        from repro.warehouse.rollup import temporal_rollup_with_synopses
+        from repro.warehouse.synopsis import PartitionSynopsis
+
+        days, per_day = 14, 1000
+        wh = daily_warehouse(days=days, per_day=per_day)
+        rolled = temporal_rollup_with_synopses(
+            wh, "events", window=7, rng=SplittableRng(9))
+        for week, (sample, synopsis) in sorted(rolled.items()):
+            w = int(week[1:])
+            raw = list(range(w * 7 * per_day, (w + 1) * 7 * per_day))
+            recomputed = PartitionSynopsis.from_values(raw)
+            assert synopsis is not None and synopsis.exact
+            assert synopsis.count == recomputed.count
+            assert synopsis.total == recomputed.total
+            assert synopsis.total_sq == recomputed.total_sq
+            assert synopsis.minimum == recomputed.minimum
+            assert synopsis.maximum == recomputed.maximum
+            assert sample.population_size == synopsis.count
+
+    def test_group_with_missing_synopsis_gets_none(self):
+        import dataclasses
+        from repro.warehouse.rollup import temporal_rollup_with_synopses
+
+        wh = daily_warehouse(days=4)
+        meta = wh.catalog.partitions("events")[0]
+        wh.catalog.register(dataclasses.replace(meta, synopsis=None),
+                            replace=True)
+        rolled = temporal_rollup_with_synopses(
+            wh, "events", window=2, rng=SplittableRng(9))
+        assert rolled["w0"][1] is None
+        assert rolled["w1"][1] is not None

@@ -479,6 +479,43 @@ class TestEndToEnd:
 
         serve(check)
 
+    def test_estimate_endpoint_planned(self):
+        async def check(host, port, service):
+            await http(host, port, "POST", "/datasets/d/ingest",
+                       body={"values": list(range(100)), "partitions": 4})
+            # Ingest attaches exact synopses, so a planned sum at any
+            # bound certifies with zero partition reads.
+            status, payload, _ = await http(
+                host, port, "GET",
+                "/datasets/d/estimate?stat=sum&target_half_width=1.0")
+            assert status == 200
+            plan = payload["plan"]
+            assert plan["planned"] and plan["certified"]
+            assert not plan["fallback"]
+            assert plan["selected"] == 0
+            assert plan["total_partitions"] == 4
+            assert plan["target_half_width"] == 1.0
+            # The body is Estimate.to_dict() plus the version tag.
+            for field in ("value", "ci_low", "ci_high", "confidence",
+                          "exact", "sample_size", "population_size"):
+                assert field in payload
+            assert payload["value"] == float(sum(range(100)))
+            assert payload["version"] == 1
+            # A relative target goes through the same path.
+            status, payload, _ = await http(
+                host, port, "GET", "/datasets/d/estimate"
+                "?stat=avg&target_half_width=0.05&relative=1")
+            assert status == 200
+            assert payload["plan"]["certified"]
+            # A malformed target is the client's fault.
+            status, payload, _ = await http(
+                host, port, "GET",
+                "/datasets/d/estimate?stat=sum&target_half_width=abc")
+            assert status == 400
+            assert payload["error"] == "bad-request"
+
+        serve(check)
+
     def test_datasets_listing_and_info(self):
         async def check(host, port, service):
             await http(host, port, "POST", "/datasets/d/ingest",

@@ -1,0 +1,151 @@
+"""Tests for repro.warehouse.synopsis (partition summary statistics)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rng import SplittableRng
+from repro.warehouse.parallel import SampleTask, sample_partition
+from repro.warehouse.synopsis import (PartitionSynopsis,
+                                      SynopsisAccumulator)
+
+
+def moments(values):
+    n = len(values)
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / n
+    return mean, var
+
+
+class TestFromValues:
+    def test_exact_moments(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        s = PartitionSynopsis.from_values(values)
+        assert s.exact and s.numeric
+        assert s.count == 8 and s.basis == 8
+        mean, var = moments(values)
+        assert math.isclose(s.mean, mean)
+        assert math.isclose(s.variance, var)
+        assert s.minimum == 1.0 and s.maximum == 9.0
+
+    def test_heavy_hitters_ranked(self):
+        values = [1] * 5 + [2] * 3 + [3]
+        s = PartitionSynopsis.from_values(values, top=2)
+        assert [v for v, _ in s.top_k] == [1, 2]
+        assert [c for _, c in s.top_k] == [5, 3]
+
+    def test_non_numeric_values(self):
+        s = PartitionSynopsis.from_values(["a", "b", "a"])
+        assert s.count == 3 and not s.numeric
+        assert s.top_k[0] == ("a", 2)
+        with pytest.raises(ConfigurationError):
+            s.mean
+
+    def test_bool_is_not_numeric(self):
+        assert not PartitionSynopsis.from_values([True, False]).numeric
+
+    def test_accumulator_matches_batch(self):
+        values = [float(i % 7) for i in range(100)]
+        acc = SynopsisAccumulator()
+        for v in values:
+            acc.feed(v)
+        assert acc.finalize() == PartitionSynopsis.from_values(values)
+
+
+class TestFromSample:
+    def sample(self, values, *, bound=32, seed=1, scheme="hr", sb_rate=None):
+        return sample_partition(SampleTask(
+            values=values, scheme=scheme, bound_values=bound, sb_rate=sb_rate,
+            seed=SplittableRng(seed).spawn("s").seed_value))
+
+    def test_exhaustive_is_exact(self):
+        values = [1.0, 2.0, 3.0]
+        s = PartitionSynopsis.from_sample(self.sample(values, bound=32))
+        assert s.exact
+        assert s.count == 3 and s.basis == 3
+        assert math.isclose(s.total, 6.0)
+
+    def test_scaled_up_is_estimated(self):
+        values = [float(v) for v in range(2_000)]
+        sample = self.sample(values)
+        s = PartitionSynopsis.from_sample(sample)
+        assert not s.exact
+        assert s.count == 2_000
+        assert s.basis == sample.size
+        # HT scale-up: the estimated total is unbiased, so for a
+        # 32-of-2000 uniform sample it lands well within a few sigma.
+        truth = sum(values)
+        assert abs(s.total - truth) < truth
+
+    def test_empty_sample_of_nonempty_parent(self):
+        values = list(range(100))
+        for seed in range(20):
+            sample = self.sample(values, bound=8, scheme="sb",
+                                 sb_rate=0.001, seed=seed)
+            if sample.size == 0:  # Bernoulli can keep nothing
+                s = PartitionSynopsis.from_sample(sample)
+                assert not s.numeric
+                return
+        pytest.skip("no seed produced an empty Bernoulli sample")
+
+
+class TestMerge:
+    def test_merge_equals_recompute(self):
+        a = [float(i) for i in range(50)]
+        b = [float(i) for i in range(50, 120)]
+        merged = PartitionSynopsis.merge([
+            PartitionSynopsis.from_values(a),
+            PartitionSynopsis.from_values(b)])
+        assert merged == PartitionSynopsis.from_values(a + b)
+
+    def test_merge_mixed_exactness(self):
+        exact = PartitionSynopsis.from_values([1.0, 2.0])
+        est = PartitionSynopsis(count=10, total=30.0, total_sq=100.0,
+                                minimum=1.0, maximum=5.0,
+                                exact=False, basis=4)
+        merged = PartitionSynopsis.merge([exact, est])
+        assert not merged.exact
+        assert merged.count == 12 and merged.basis == 6
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PartitionSynopsis.merge([])
+
+
+class TestWithout:
+    def test_exact_decrement(self):
+        values = [1.0, 2.0, 2.0, 5.0]
+        s = PartitionSynopsis.from_values(values)
+        shrunk = s.without(2.0)
+        expected = PartitionSynopsis.from_values([1.0, 2.0, 5.0])
+        assert shrunk.count == expected.count
+        assert math.isclose(shrunk.total, expected.total)
+        assert math.isclose(shrunk.total_sq, expected.total_sq)
+        assert dict(shrunk.top_k)[2.0] == 1
+
+    def test_empty_rejected(self):
+        s = PartitionSynopsis.from_values([1.0])
+        with pytest.raises(ConfigurationError):
+            s.without(1.0).without(1.0)
+
+
+class TestSerialization:
+    def test_round_trip_numeric(self):
+        s = PartitionSynopsis.from_values([1.0, 2.0, 2.0, 7.5])
+        assert PartitionSynopsis.from_dict(s.to_dict()) == s
+
+    def test_round_trip_non_numeric(self):
+        s = PartitionSynopsis.from_values(["x", "y", "x"])
+        back = PartitionSynopsis.from_dict(s.to_dict())
+        assert back.count == 3 and not back.numeric
+        assert back.top_k == s.top_k
+
+    def test_defaults_for_sparse_dicts(self):
+        # A minimal dict (e.g. written by an older producer) loads with
+        # conservative defaults.
+        s = PartitionSynopsis.from_dict({"count": 5})
+        assert s.count == 5 and s.exact and s.basis == 0
+        assert not s.numeric
